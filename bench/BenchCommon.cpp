@@ -1,0 +1,53 @@
+//===- bench/BenchCommon.cpp - Shared bench harness helpers ----------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace lifepred;
+
+BenchOptions BenchOptions::fromCommandLine(const CommandLine &Cl) {
+  BenchOptions Options;
+  Options.Scale = Cl.getDouble("scale", 1.0);
+  Options.Seed = static_cast<uint64_t>(Cl.getInt("seed", 0x1993));
+  Options.OnlyProgram = Cl.getString("program", "");
+  return Options;
+}
+
+ProgramTraces lifepred::makeTraces(const ProgramModel &Model,
+                                   const BenchOptions &Options) {
+  ProgramTraces Traces;
+  Traces.Model = Model;
+  RunOptions Run;
+  Run.Scale = Options.Scale;
+  Run.Seed = Options.Seed;
+  Run.Kind = RunKind::Train;
+  Traces.Train = runWorkload(Model, Run, Traces.Registry);
+  Run.Kind = RunKind::Test;
+  Traces.Test = runWorkload(Model, Run, Traces.Registry);
+  return Traces;
+}
+
+std::vector<ProgramTraces> lifepred::makeAllTraces(
+    const BenchOptions &Options) {
+  std::vector<ProgramTraces> All;
+  for (const ProgramModel &Model : allPrograms()) {
+    if (!Options.OnlyProgram.empty() && Model.Name != Options.OnlyProgram)
+      continue;
+    All.push_back(makeTraces(Model, Options));
+  }
+  return All;
+}
+
+void lifepred::printBanner(const char *Table, const char *Caption,
+                           const BenchOptions &Options) {
+  std::printf("== %s: %s ==\n", Table, Caption);
+  std::printf("(Barrett & Zorn, PLDI 1993 reproduction; scale=%.2f "
+              "seed=0x%llx; 'paper' columns are the published values)\n\n",
+              Options.Scale,
+              static_cast<unsigned long long>(Options.Seed));
+}

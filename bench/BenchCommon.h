@@ -1,0 +1,61 @@
+//===- bench/BenchCommon.h - Shared bench harness helpers -------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table-reproduction bench binaries: workload trace
+/// generation with common flags (--scale, --seed, --program) and printing
+/// conventions.  Every bench prints its measured values beside the paper's
+/// published numbers so the output reads as a direct comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_BENCH_BENCHCOMMON_H
+#define LIFEPRED_BENCH_BENCHCOMMON_H
+
+#include "callchain/FunctionRegistry.h"
+#include "support/CommandLine.h"
+#include "trace/AllocationTrace.h"
+#include "workloads/PaperData.h"
+#include "workloads/Programs.h"
+#include "workloads/WorkloadRunner.h"
+
+#include <string>
+#include <vector>
+
+namespace lifepred {
+
+/// A program's train and test traces generated under one registry (so
+/// FunctionIds agree across the two runs).
+struct ProgramTraces {
+  ProgramModel Model;
+  FunctionRegistry Registry;
+  AllocationTrace Train;
+  AllocationTrace Test;
+};
+
+/// Common bench flags.
+struct BenchOptions {
+  double Scale = 1.0;
+  uint64_t Seed = 0x1993;
+  std::string OnlyProgram; ///< Empty = all five.
+
+  static BenchOptions fromCommandLine(const CommandLine &Cl);
+};
+
+/// Generates traces for every selected program.
+std::vector<ProgramTraces> makeAllTraces(const BenchOptions &Options);
+
+/// Generates traces for one model.
+ProgramTraces makeTraces(const ProgramModel &Model,
+                         const BenchOptions &Options);
+
+/// Prints the standard bench banner naming the table being reproduced.
+void printBanner(const char *Table, const char *Caption,
+                 const BenchOptions &Options);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_BENCH_BENCHCOMMON_H

@@ -1,0 +1,83 @@
+//===- bench/ablation_fit_policy.cpp - Free-list policy comparison ---------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// Ablation for the baseline-allocator choice.  The paper picks "a
+// relatively simple first-fit algorithm with enhancements described by
+// Knuth" for its good memory utilization; this sweep compares the three
+// classic free-list policies — roving-pointer first fit (next fit),
+// address-ordered first fit, and best fit — on heap size and search cost,
+// with and without arena segregation in front.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/Pipeline.h"
+#include "sim/TraceSimulator.h"
+#include "support/TableFormatter.h"
+
+#include <iostream>
+
+using namespace lifepred;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  if (!Cl.has("scale"))
+    Options.Scale = 0.25;
+  printBanner("Ablation E", "free-list policy: next fit vs first fit vs "
+                            "best fit",
+              Options);
+
+  struct PolicyCase {
+    const char *Name;
+    FitPolicy Policy;
+  };
+  const PolicyCase Policies[] = {
+      {"roving (next fit)", FitPolicy::RovingFirstFit},
+      {"address-ordered", FitPolicy::AddressOrderedFirstFit},
+      {"best fit", FitPolicy::BestFit},
+  };
+
+  TableFormatter Table({"Program", "Policy", "PlainHeap(K)", "steps/alloc",
+                        "ArenaHeap(K)", "ArenaSteps/alloc"});
+  for (const ProgramTraces &Traces : makeAllTraces(Options)) {
+    SiteKeyPolicy KeyPolicy = SiteKeyPolicy::completeChain();
+    SiteDatabase DB =
+        trainDatabase(profileTrace(Traces.Train, KeyPolicy), KeyPolicy);
+    bool First = true;
+    for (const PolicyCase &Case : Policies) {
+      FirstFitAllocator::Config FFConfig;
+      FFConfig.Policy = Case.Policy;
+      BaselineSimResult Plain =
+          simulateFirstFit(Traces.Test, CostModel(), FFConfig);
+      ArenaAllocator::Config ArenaConfig;
+      ArenaConfig.General.Policy = Case.Policy;
+      ArenaSimResult Arena =
+          simulateArena(Traces.Test, DB, Traces.Model.CallsPerAlloc,
+                        CostModel(), ArenaConfig);
+
+      auto StepsPerAlloc = [](const FirstFitAllocator::Counters &C) {
+        return C.Allocs == 0 ? 0.0
+                             : static_cast<double>(C.SearchSteps) /
+                                   static_cast<double>(C.Allocs);
+      };
+      Table.beginRow();
+      Table.addCell(First ? Traces.Model.Name : "");
+      Table.addCell(Case.Name);
+      Table.addInt(static_cast<int64_t>(Plain.MaxHeapBytes / 1024));
+      Table.addReal(StepsPerAlloc(Plain.FirstFit), 1);
+      Table.addInt(static_cast<int64_t>(Arena.MaxHeapBytes / 1024));
+      Table.addReal(StepsPerAlloc(Arena.General), 1);
+      First = false;
+    }
+  }
+  Table.print(std::cout);
+  std::printf("\nReading: best fit and address-ordered first fit use "
+              "memory tightly but pay longer searches; the roving pointer "
+              "is cheap per allocation but spreads long-lived objects "
+              "(worst on GHOST).  Arena segregation shrinks the gap by "
+              "taking the churn out of the free list.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+//===- bench/ablation_locality.cpp - Cache locality comparison -------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// Quantifies the paper's locality claim (sections 1 and 6): confining
+// short-lived objects — a large fraction of all heap references — to a
+// 64 KB arena area improves reference locality.  Replays each program's
+// test trace through first fit and the arena allocator, synthesizes the
+// heap reference stream, and measures miss rates in the same cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/Pipeline.h"
+#include "locality/LocalityExperiment.h"
+#include "support/TableFormatter.h"
+
+#include <iostream>
+
+using namespace lifepred;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  if (!Cl.has("scale"))
+    Options.Scale = 0.3;
+  printBanner("Ablation D", "cache miss rate: first fit vs arena",
+              Options);
+
+  std::vector<uint64_t> CacheKbs = {8, 16, 64};
+  if (Cl.has("cache-kb"))
+    CacheKbs = {static_cast<uint64_t>(Cl.getInt("cache-kb", 64))};
+
+  TableFormatter Table({"Program", "Cache(K)", "FirstFitMiss%",
+                        "ArenaMiss%", "Improvement%"});
+  for (const ProgramTraces &Traces : makeAllTraces(Options)) {
+    SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+    SiteDatabase DB =
+        trainDatabase(profileTrace(Traces.Train, Policy), Policy);
+    bool First = true;
+    for (uint64_t CacheKb : CacheKbs) {
+      LocalityOptions Locality;
+      Locality.Cache.CacheBytes = CacheKb * 1024;
+      LocalityResult R = compareLocality(Traces.Test, DB, Locality);
+      Table.beginRow();
+      Table.addCell(First ? Traces.Model.Name : "");
+      Table.addInt(static_cast<int64_t>(CacheKb));
+      Table.addPercent(R.FirstFitMissPercent, 2);
+      Table.addPercent(R.ArenaMissPercent, 2);
+      if (R.FirstFitMissPercent < 0.05)
+        Table.addCell("-"); // Both rates negligible: ratio meaningless.
+      else
+        Table.addPercent(100.0 *
+                             (R.FirstFitMissPercent - R.ArenaMissPercent) /
+                             R.FirstFitMissPercent,
+                         1);
+      First = false;
+    }
+  }
+  Table.print(std::cout);
+
+  // Page-fault view of the same claim: a small LRU resident set.
+  TableFormatter Pages({"Program", "Resident(K)", "FirstFitFault%",
+                        "ArenaFault%", "Improvement%"});
+  for (const ProgramTraces &Traces : makeAllTraces(Options)) {
+    SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+    SiteDatabase DB =
+        trainDatabase(profileTrace(Traces.Train, Policy), Policy);
+    PagingOptions Paging;
+    Paging.Memory.MemoryPages =
+        static_cast<unsigned>(Cl.getInt("resident-pages", 16));
+    PagingResult R = comparePaging(Traces.Test, DB, Paging);
+    Pages.beginRow();
+    Pages.addCell(Traces.Model.Name);
+    Pages.addInt(static_cast<int64_t>(Paging.Memory.MemoryPages *
+                                      Paging.Memory.PageBytes / 1024));
+    Pages.addPercent(R.FirstFitFaultPercent, 2);
+    Pages.addPercent(R.ArenaFaultPercent, 2);
+    if (R.FirstFitFaultPercent < 0.05)
+      Pages.addCell("-"); // Both rates negligible: ratio meaningless.
+    else
+      Pages.addPercent(100.0 *
+                           (R.FirstFitFaultPercent - R.ArenaFaultPercent) /
+                           R.FirstFitFaultPercent,
+                       1);
+  }
+  std::printf("\n");
+  Pages.print(std::cout);
+
+  std::printf("\nReading: segregation pays once live data exceeds the "
+              "cache — GHOST at every size, the small-heap programs once "
+              "the cache is smaller than their heaps.  When the whole heap "
+              "fits in cache, first fit's address reuse is already "
+              "cache-friendly and the arena area only adds footprint.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+//===- bench/ablation_threshold.cpp - Short-lived threshold sweep ----------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// Ablation for section 4.1's design choice: the paper fixes "short-lived"
+// at 32 KB, noting the tension — a larger threshold predicts more bytes
+// but needs a larger arena area and admits more error.  This sweep
+// quantifies that tradeoff per program (true prediction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/Pipeline.h"
+#include "support/TableFormatter.h"
+
+#include <iostream>
+
+using namespace lifepred;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  if (!Cl.has("scale"))
+    Options.Scale = 0.25;
+  printBanner("Ablation A", "short-lived threshold sweep (true prediction)",
+              Options);
+
+  const uint64_t Thresholds[] = {8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024,
+                                 128 * 1024};
+
+  TableFormatter Table({"Program", "Threshold(K)", "Actual%", "Pred%",
+                        "Error%", "SitesUsed"});
+  for (const ProgramTraces &Traces : makeAllTraces(Options)) {
+    bool First = true;
+    for (uint64_t Threshold : Thresholds) {
+      TrainingOptions Train;
+      Train.Threshold = Threshold;
+      PipelineResult Result = trainAndEvaluate(
+          Traces.Train, Traces.Test, SiteKeyPolicy::completeChain(), Train);
+      Table.beginRow();
+      Table.addCell(First ? Traces.Model.Name : "");
+      Table.addInt(static_cast<int64_t>(Threshold / 1024));
+      Table.addPercent(Result.Report.actualShortPercent());
+      Table.addPercent(Result.Report.predictedShortPercent());
+      Table.addPercent(Result.Report.errorPercent(), 2);
+      Table.addInt(static_cast<int64_t>(Result.Report.SitesUsed));
+      First = false;
+    }
+  }
+  Table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- bench/ablation_type_prediction.cpp - Type-based prediction ----------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// Implements the paper's stated future work: "Extensions of lifetime
+// prediction algorithms that use type information, which is available in
+// languages such as C++, Modula-2, and Modula-3, are the subject of future
+// research."  Compares self prediction keyed on the object's type alone,
+// type + size, size alone (Table 5), the short length-1 chain, and the
+// complete chain.  Types are modeled per site group; interpreter-style
+// programs funnel many behaviours through one struct (gawk's NODE, perl's
+// SV, GhostScript's ref), which bounds what type can resolve.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/Pipeline.h"
+#include "support/TableFormatter.h"
+
+#include <iostream>
+
+using namespace lifepred;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  if (!Cl.has("scale"))
+    Options.Scale = 0.25;
+  printBanner("Ablation G",
+              "type-based lifetime prediction (the paper's future work)",
+              Options);
+
+  struct PolicyCase {
+    const char *Name;
+    SiteKeyPolicy Policy;
+  };
+  const PolicyCase Policies[] = {
+      {"size only", SiteKeyPolicy::sizeOnly()},
+      {"type only", SiteKeyPolicy::typeOnly()},
+      {"type + size", SiteKeyPolicy::typeAndSize()},
+      {"chain length 1", SiteKeyPolicy::lastN(1)},
+      {"complete chain", SiteKeyPolicy::completeChain()},
+  };
+
+  TableFormatter Table({"Program", "Predictor", "Pred%", "SitesUsed"});
+  for (const ProgramTraces &Traces : makeAllTraces(Options)) {
+    bool First = true;
+    for (const PolicyCase &Case : Policies) {
+      PipelineResult R =
+          trainAndEvaluate(Traces.Train, Traces.Train, Case.Policy);
+      Table.beginRow();
+      Table.addCell(First ? Traces.Model.Name : "");
+      Table.addCell(Case.Name);
+      Table.addPercent(R.Report.predictedShortPercent());
+      Table.addInt(static_cast<int64_t>(R.Report.SitesUsed));
+      First = false;
+    }
+  }
+  Table.print(std::cout);
+  std::printf("\nReading: type sits between size and the call-chain as a "
+              "predictor.  It beats size (types separate same-sized "
+              "structs) but a shared workhorse struct — gawk's NODE, "
+              "perl's SV — carries both short- and long-lived objects, so "
+              "only the allocation context can split those.\n");
+  return 0;
+}

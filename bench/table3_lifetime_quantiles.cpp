@@ -1,0 +1,115 @@
+//===- bench/table3_lifetime_quantiles.cpp - Reproduce Table 3 -------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// Reproduces Table 3: byte-weighted quantiles of the object-lifetime
+// distribution of each program.  Lifetimes are measured in bytes allocated;
+// objects alive at exit count as dying at exit (hence each program's
+// maximum is close to its total allocation).  Both the exact quantiles and
+// the streaming P-squared histogram approximation are shown — the paper
+// notes the approximation can drift (its GHOST 75% entry).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/Profiler.h"
+#include "quantile/QuantileHistogram.h"
+#include "support/TableFormatter.h"
+
+#include <algorithm>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+using namespace lifepred;
+
+namespace {
+
+/// Exact byte-weighted quantiles of a trace's lifetime distribution.
+std::vector<uint64_t> exactByteQuantiles(const AllocationTrace &Trace,
+                                         const std::vector<double> &Phis) {
+  std::vector<std::pair<uint64_t, uint32_t>> LifetimeAndSize;
+  LifetimeAndSize.reserve(Trace.size());
+  uint64_t FinalClock = Trace.totalBytes();
+  uint64_t Clock = 0;
+  for (const AllocRecord &Record : Trace.records()) {
+    Clock += Record.Size;
+    LifetimeAndSize.emplace_back(
+        effectiveLifetime(Record, Clock, FinalClock), Record.Size);
+  }
+  std::sort(LifetimeAndSize.begin(), LifetimeAndSize.end());
+
+  std::vector<uint64_t> Result;
+  uint64_t Total = Trace.totalBytes();
+  size_t Index = 0;
+  uint64_t Cumulative = 0;
+  for (double Phi : Phis) {
+    auto Target = static_cast<uint64_t>(Phi * static_cast<double>(Total));
+    while (Index < LifetimeAndSize.size() && Cumulative < Target)
+      Cumulative += LifetimeAndSize[Index++].second;
+    size_t At = Index == 0 ? 0 : Index - 1;
+    Result.push_back(LifetimeAndSize[At].first);
+  }
+  return Result;
+}
+
+/// P-squared approximation, byte-weighted by adding each lifetime once per
+/// 32-byte chunk of the object.
+std::vector<uint64_t> p2ByteQuantiles(const AllocationTrace &Trace,
+                                      const std::vector<double> &Phis) {
+  QuantileHistogram Histogram(8);
+  uint64_t FinalClock = Trace.totalBytes();
+  uint64_t Clock = 0;
+  for (const AllocRecord &Record : Trace.records()) {
+    Clock += Record.Size;
+    uint64_t Lifetime = effectiveLifetime(Record, Clock, FinalClock);
+    uint32_t Chunks = (Record.Size + 31) / 32;
+    for (uint32_t C = 0; C < Chunks; ++C)
+      Histogram.add(static_cast<double>(Lifetime));
+  }
+  std::vector<uint64_t> Result;
+  for (double Phi : Phis)
+    Result.push_back(static_cast<uint64_t>(Histogram.quantile(Phi)));
+  return Result;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  printBanner("Table 3", "quantile histograms of object lifetimes (bytes)",
+              Options);
+
+  std::vector<double> Phis = {0.0, 0.25, 0.5, 0.75, 1.0};
+  TableFormatter Table({"Program", "Kind", "0%(min)", "25%", "50%(med)",
+                        "75%", "100%(max)"});
+
+  for (const ProgramTraces &Traces : makeAllTraces(Options)) {
+    const PaperProgramData *Paper = paperData(Traces.Model.Name);
+
+    std::vector<uint64_t> Exact = exactByteQuantiles(Traces.Train, Phis);
+    Table.beginRow();
+    Table.addCell(Traces.Model.Name);
+    Table.addCell("exact");
+    for (uint64_t Q : Exact)
+      Table.addInt(static_cast<int64_t>(Q));
+
+    std::vector<uint64_t> Approx = p2ByteQuantiles(Traces.Train, Phis);
+    Table.beginRow();
+    Table.addCell("");
+    Table.addCell("p2-histogram");
+    for (uint64_t Q : Approx)
+      Table.addInt(static_cast<int64_t>(Q));
+
+    Table.beginRow();
+    Table.addCell("");
+    Table.addCell("paper");
+    for (double Q : Paper->LifetimeQuantiles)
+      Table.addInt(static_cast<int64_t>(Q));
+  }
+
+  Table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- bench/table4_site_prediction.cpp - Reproduce Table 4 ----------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// Reproduces Table 4: the fraction of bytes predicted short-lived from the
+// allocation site (complete pruned call-chain + size rounded to 4), under
+// self prediction (train == test input) and true prediction (different
+// inputs), with the paper's 32 KB threshold.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/Pipeline.h"
+#include "support/TableFormatter.h"
+
+#include <iostream>
+
+using namespace lifepred;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  printBanner("Table 4",
+              "bytes predicted short-lived from allocation site and size",
+              Options);
+
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  TrainingOptions Train;
+  Train.Threshold = static_cast<uint64_t>(
+      Cl.getInt("threshold", DefaultShortLivedThreshold));
+
+  TableFormatter Table({"Program", "Sites", "paper", "Actual%", "paper",
+                        "SelfSites", "paper", "SelfPred%", "paper",
+                        "SelfErr%", "paper", "TrueSites", "paper",
+                        "TruePred%", "paper", "TrueErr%", "paper"});
+
+  for (const ProgramTraces &Traces : makeAllTraces(Options)) {
+    const PaperProgramData *Paper = paperData(Traces.Model.Name);
+
+    PipelineResult Self =
+        trainAndEvaluate(Traces.Train, Traces.Train, Policy, Train);
+    PredictionReport True = evaluatePrediction(Traces.Test, Self.Database);
+
+    Table.beginRow();
+    Table.addCell(Traces.Model.Name);
+    Table.addInt(static_cast<int64_t>(Self.TrainingProfile.Sites.size()));
+    Table.addInt(Paper->TotalSites);
+    Table.addPercent(Self.Report.actualShortPercent(), 0);
+    Table.addInt(Paper->ActualShortPercent);
+    Table.addInt(static_cast<int64_t>(Self.Report.SitesUsed));
+    Table.addInt(Paper->SelfSitesUsed);
+    Table.addPercent(Self.Report.predictedShortPercent());
+    Table.addReal(Paper->SelfPredictedPercent, 1);
+    Table.addPercent(Self.Report.errorPercent(), 2);
+    Table.addReal(Paper->SelfErrorPercent, 2);
+    Table.addInt(static_cast<int64_t>(True.SitesUsed));
+    Table.addInt(Paper->TrueSitesUsed);
+    Table.addPercent(True.predictedShortPercent());
+    Table.addReal(Paper->TruePredictedPercent, 1);
+    Table.addPercent(True.errorPercent(), 2);
+    Table.addReal(Paper->TrueErrorPercent, 2);
+  }
+
+  Table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+//===- bench/table5_size_only.cpp - Reproduce Table 5 ----------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// Reproduces Table 5: how much of the short-lived allocation can be
+// predicted from the object size *alone* (self prediction).  The paper's
+// point: size is a poor predictor compared to the allocation site.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/Pipeline.h"
+#include "support/TableFormatter.h"
+
+#include <iostream>
+
+using namespace lifepred;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  printBanner("Table 5", "bytes predicted short-lived from size alone",
+              Options);
+
+  SiteKeyPolicy Policy = SiteKeyPolicy::sizeOnly();
+
+  TableFormatter Table({"Program", "Actual%", "paper", "Pred%", "paper",
+                        "SizesUsed", "paper"});
+
+  for (const ProgramTraces &Traces : makeAllTraces(Options)) {
+    const PaperProgramData *Paper = paperData(Traces.Model.Name);
+    PipelineResult Self =
+        trainAndEvaluate(Traces.Train, Traces.Train, Policy);
+
+    Table.beginRow();
+    Table.addCell(Traces.Model.Name);
+    Table.addPercent(Self.Report.actualShortPercent(), 0);
+    Table.addInt(Paper->ActualShortPercent);
+    Table.addPercent(Self.Report.predictedShortPercent(), 0);
+    Table.addInt(Paper->SizeOnlyPredictedPercent);
+    Table.addInt(static_cast<int64_t>(Self.Report.SitesUsed));
+    Table.addInt(Paper->SizeOnlySitesUsed);
+  }
+
+  Table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- bench/table7_arena_fractions.cpp - Reproduce Table 7 ----------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// Reproduces Table 7: the fraction of objects and bytes the lifetime-
+// predicting arena allocator places in the 64 KB arena area under true
+// prediction.  Expected shapes: GHOST arenas most *objects* but few *bytes*
+// (its 6 KB short-lived objects do not fit a 4 KB arena); CFRAC collapses
+// because mispredicted very-long-lived objects pollute the arenas.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/Pipeline.h"
+#include "sim/TraceSimulator.h"
+#include "support/TableFormatter.h"
+
+#include <iostream>
+
+using namespace lifepred;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  printBanner("Table 7",
+              "objects and bytes allocated in arenas (true prediction)",
+              Options);
+
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+
+  TableFormatter Table({"Program", "Allocs(1000s)", "paperTotal",
+                        "Arena%", "paper", "NonArena%", "Bytes(K)",
+                        "ArenaBytes%", "paper", "NonArenaBytes%"});
+
+  for (const ProgramTraces &Traces : makeAllTraces(Options)) {
+    const PaperProgramData *Paper = paperData(Traces.Model.Name);
+
+    Profile TrainProfile = profileTrace(Traces.Train, Policy);
+    SiteDatabase DB = trainDatabase(TrainProfile, Policy);
+    ArenaSimResult Sim =
+        simulateArena(Traces.Test, DB, Traces.Model.CallsPerAlloc);
+
+    uint64_t TotalAllocs = Sim.Arena.ArenaAllocs + Sim.Arena.GeneralAllocs;
+    uint64_t TotalBytes = Sim.Arena.ArenaBytes + Sim.Arena.GeneralBytes;
+    Table.beginRow();
+    Table.addCell(Traces.Model.Name);
+    Table.addReal(static_cast<double>(TotalAllocs) / 1000.0, 1);
+    Table.addReal(Paper->TotalObjectsM * 1000.0, 1);
+    Table.addPercent(Sim.arenaAllocPercent());
+    Table.addReal(Paper->ArenaAllocPercent, 1);
+    Table.addPercent(100.0 - Sim.arenaAllocPercent());
+    Table.addInt(static_cast<int64_t>(TotalBytes / 1024));
+    Table.addPercent(Sim.arenaBytesPercent());
+    Table.addReal(Paper->ArenaBytesPercent, 1);
+    Table.addPercent(100.0 - Sim.arenaBytesPercent());
+  }
+
+  Table.print(std::cout);
+  return 0;
+}

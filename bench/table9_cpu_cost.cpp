@@ -1,0 +1,68 @@
+//===- bench/table9_cpu_cost.cpp - Reproduce Table 9 -----------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// Reproduces Table 9: average instructions per allocate and free under four
+// allocators — BSD (Kingsley), first fit, and the arena allocator with
+// length-4 chain prediction and with call-chain encryption (both under
+// true prediction).  Arena costs are operation counts times per-operation
+// estimates, exactly the paper's method.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/Pipeline.h"
+#include "sim/TraceSimulator.h"
+#include "support/TableFormatter.h"
+
+#include <iostream>
+
+using namespace lifepred;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  printBanner("Table 9", "instructions per allocation and free", Options);
+
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  CostModel Costs;
+
+  TableFormatter Table({"Program", "Alg", "alloc", "paper", "free", "paper",
+                        "a+f", "paper"});
+
+  for (const ProgramTraces &Traces : makeAllTraces(Options)) {
+    const PaperProgramData *Paper = paperData(Traces.Model.Name);
+
+    Profile TrainProfile = profileTrace(Traces.Train, Policy);
+    SiteDatabase DB = trainDatabase(TrainProfile, Policy);
+
+    BaselineSimResult Bsd = simulateBsd(Traces.Test, Costs);
+    BaselineSimResult FF = simulateFirstFit(Traces.Test, Costs);
+    ArenaSimResult Arena =
+        simulateArena(Traces.Test, DB, Traces.Model.CallsPerAlloc, Costs);
+
+    auto AddRow = [&](const char *Alg, const InstrPerOp &Instr,
+                      int PaperAlloc, int PaperFree, bool First) {
+      Table.beginRow();
+      Table.addCell(First ? Traces.Model.Name : "");
+      Table.addCell(Alg);
+      Table.addReal(Instr.Alloc, 0);
+      Table.addInt(PaperAlloc);
+      Table.addReal(Instr.Free, 0);
+      Table.addInt(PaperFree);
+      Table.addReal(Instr.total(), 0);
+      Table.addInt(PaperAlloc + PaperFree);
+    };
+    AddRow("BSD", Bsd.Instr, Paper->BsdAlloc, Paper->BsdFree, true);
+    AddRow("First-fit", FF.Instr, Paper->FirstFitAlloc, Paper->FirstFitFree,
+           false);
+    AddRow("Arena(len4)", Arena.InstrLen4, Paper->ArenaLen4Alloc,
+           Paper->ArenaLen4Free, false);
+    AddRow("Arena(cce)", Arena.InstrCce, Paper->ArenaCceAlloc,
+           Paper->ArenaCceFree, false);
+  }
+
+  Table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,166 @@
+//===- examples/interpreter_profile.cpp - Profile-guided real heap ---------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// The paper's end-to-end story on a *real* (non-simulated) application: a
+// small arithmetic-expression interpreter, instrumented with
+// LIFEPRED_FUNCTION shadow-stack frames.  A training run profiles its
+// allocation lifetimes and trains a site database; the optimized run
+// allocates through PredictingHeap, which bump-allocates the short-lived
+// expression nodes in real arenas while the interpreter's persistent
+// variable bindings go to the general heap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Instrument.h"
+#include "runtime/PredictingHeap.h"
+#include "runtime/RuntimeProfiler.h"
+#include "support/Random.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace lifepred;
+
+namespace {
+
+/// Expression node allocated from a pluggable heap.
+struct Node {
+  char Op;         // '+', '*', or 'n' for a literal.
+  double Value;    // Literal value.
+  Node *Lhs = nullptr;
+  Node *Rhs = nullptr;
+};
+
+/// The interpreter: generates random expressions, evaluates them, and
+/// retains occasional results in an environment (the long-lived data).
+class Interpreter {
+public:
+  RuntimeProfiler *Profiler = nullptr;
+  PredictingHeap *Heap = nullptr;
+
+  Node *newNode() {
+    LIFEPRED_NAMED_FUNCTION("newNode");
+    void *P;
+    if (Heap) {
+      P = Heap->allocate(sizeof(Node));
+    } else {
+      P = ::operator new(sizeof(Node));
+      if (Profiler)
+        Profiler->recordAlloc(P, sizeof(Node));
+    }
+    return new (P) Node();
+  }
+
+  void deleteTree(Node *N) {
+    if (!N)
+      return;
+    deleteTree(N->Lhs);
+    deleteTree(N->Rhs);
+    if (Heap) {
+      Heap->deallocate(N);
+    } else {
+      if (Profiler)
+        Profiler->recordFree(N);
+      ::operator delete(N);
+    }
+  }
+
+  Node *parseExpression(unsigned Depth) {
+    LIFEPRED_NAMED_FUNCTION("parseExpression");
+    Node *N = newNode();
+    if (Depth == 0 || Random.nextBool(0.3)) {
+      N->Op = 'n';
+      N->Value = Random.nextDouble() * 10;
+      return N;
+    }
+    N->Op = Random.nextBool(0.5) ? '+' : '*';
+    N->Lhs = parseExpression(Depth - 1);
+    N->Rhs = parseExpression(Depth - 1);
+    return N;
+  }
+
+  double eval(const Node *N) {
+    LIFEPRED_NAMED_FUNCTION("eval");
+    switch (N->Op) {
+    case 'n':
+      return N->Value;
+    case '+':
+      return eval(N->Lhs) + eval(N->Rhs);
+    default:
+      return eval(N->Lhs) * eval(N->Rhs);
+    }
+  }
+
+  /// Binds a result into the environment (long-lived binding cell).
+  void bindResult(double Value) {
+    LIFEPRED_NAMED_FUNCTION("bindResult");
+    Node *Cell = newNode();
+    Cell->Op = 'n';
+    Cell->Value = Value;
+    Environment.push_back(Cell);
+  }
+
+  double run(unsigned Statements) {
+    LIFEPRED_NAMED_FUNCTION("run");
+    double Total = 0;
+    for (unsigned I = 0; I < Statements; ++I) {
+      Node *Expr = parseExpression(4);
+      double Value = eval(Expr);
+      Total += Value;
+      deleteTree(Expr); // Expression trees are short-lived...
+      if (I % 64 == 0)
+        bindResult(Value); // ...bindings persist.
+    }
+    return Total;
+  }
+
+  void teardown() {
+    for (Node *Cell : Environment)
+      deleteTree(Cell);
+    Environment.clear();
+  }
+
+  Rng Random{0xbeef};
+  std::vector<Node *> Environment;
+};
+
+} // namespace
+
+int main() {
+  const unsigned Statements = 20000;
+
+  // --- Training run: profile lifetimes behind the shadow stack. ---
+  RuntimeProfiler Profiler(SiteKeyPolicy::lastN(4));
+  Interpreter TrainRun;
+  TrainRun.Profiler = &Profiler;
+  double TrainResult = TrainRun.run(Statements);
+  TrainRun.teardown();
+  SiteDatabase DB = Profiler.train();
+  std::printf("training run: checksum %.1f, %zu sites predicted "
+              "short-lived\n",
+              TrainResult, DB.size());
+
+  // --- Optimized run: same program, predicting heap. ---
+  PredictingHeap Heap(DB);
+  Interpreter TestRun;
+  TestRun.Heap = &Heap;
+  double TestResult = TestRun.run(Statements);
+  TestRun.teardown();
+
+  const PredictingHeap::Stats &S = Heap.stats();
+  std::printf("optimized run: checksum %.1f\n", TestResult);
+  std::printf("  arena allocations:   %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(S.ArenaAllocs),
+              100.0 * static_cast<double>(S.ArenaAllocs) /
+                  static_cast<double>(S.ArenaAllocs + S.GeneralAllocs));
+  std::printf("  general allocations: %llu (persistent bindings)\n",
+              static_cast<unsigned long long>(S.GeneralAllocs));
+  std::printf("  arena resets:        %llu (batch reclamation)\n",
+              static_cast<unsigned long long>(S.Resets));
+  std::printf("  fallbacks:           %llu\n",
+              static_cast<unsigned long long>(S.Fallbacks));
+  return 0;
+}

@@ -1,0 +1,212 @@
+//===- examples/trace_tool.cpp - Trace generation and inspection CLI -------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// A small command-line tool around the trace and database file formats:
+//
+//   trace_tool generate <program> <out.trace> [--scale=0.1] [--test]
+//                          [--binary]
+//       Generate a workload trace (text, or compact binary with --binary).
+//   trace_tool stats <in.trace>
+//       Print Table-2-style statistics for a trace file.
+//   trace_tool train <in.trace> <out.sitedb> [--threshold=32768]
+//       Profile a trace and save the predicted-short-lived site database.
+//   trace_tool predict <in.trace> <in.sitedb>
+//       Evaluate a saved database against a trace.
+//   trace_tool emit-header <in.sitedb> <out.h>
+//       Emit the database as a linkable C++ header (constexpr key table
+//       plus an isPredictedShortLived() predicate).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GeneratedAllocator.h"
+#include "core/Pipeline.h"
+#include "support/CommandLine.h"
+#include "trace/TraceBinaryIO.h"
+#include "trace/TraceIO.h"
+#include "trace/TraceStats.h"
+#include "workloads/Programs.h"
+#include "workloads/WorkloadRunner.h"
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+
+using namespace lifepred;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_tool generate <program> <out.trace> "
+               "[--scale=S] [--test]\n"
+               "       trace_tool stats <in.trace>\n"
+               "       trace_tool train <in.trace> <out.sitedb> "
+               "[--threshold=T]\n"
+               "       trace_tool predict <in.trace> <in.sitedb>\n"
+               "       trace_tool emit-header <in.sitedb> <out.h>\n");
+  return 1;
+}
+
+std::optional<AllocationTrace> loadTrace(const std::string &Path) {
+  // Try binary first (its magic makes the format self-identifying),
+  // then fall back to text.
+  {
+    std::ifstream In(Path, std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      return std::nullopt;
+    }
+    if (auto Trace = readTraceBinary(In))
+      return Trace;
+  }
+  std::ifstream In(Path);
+  auto Trace = readTrace(In);
+  if (!Trace)
+    std::fprintf(stderr, "error: %s is not a valid trace file\n",
+                 Path.c_str());
+  return Trace;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  const auto &Args = Cl.positional();
+  if (Args.empty())
+    return usage();
+  const std::string &Command = Args[0];
+
+  if (Command == "generate") {
+    if (Args.size() != 3)
+      return usage();
+    for (ProgramModel &Model : allPrograms()) {
+      if (Model.Name != Args[1])
+        continue;
+      RunOptions Run;
+      Run.Scale = Cl.getDouble("scale", 0.1);
+      Run.Kind = Cl.has("test") ? RunKind::Test : RunKind::Train;
+      Run.Seed = static_cast<uint64_t>(Cl.getInt("seed", 0x1993));
+      FunctionRegistry Registry;
+      AllocationTrace Trace = runWorkload(Model, Run, Registry);
+      std::ofstream Out(Args[2], Cl.has("binary")
+                                     ? std::ios::binary | std::ios::out
+                                     : std::ios::out);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write %s\n", Args[2].c_str());
+        return 1;
+      }
+      if (Cl.has("binary"))
+        writeTraceBinary(Trace, Out);
+      else
+        writeTrace(Trace, Out);
+      std::printf("wrote %zu allocation events (%llu bytes allocated) to "
+                  "%s\n",
+                  Trace.size(),
+                  static_cast<unsigned long long>(Trace.totalBytes()),
+                  Args[2].c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "error: unknown program '%s'\n", Args[1].c_str());
+    return 1;
+  }
+
+  if (Command == "stats") {
+    if (Args.size() != 2)
+      return usage();
+    auto Trace = loadTrace(Args[1]);
+    if (!Trace)
+      return 1;
+    TraceStats Stats = computeTraceStats(*Trace);
+    std::printf("objects:          %llu\n",
+                static_cast<unsigned long long>(Stats.TotalObjects));
+    std::printf("bytes:            %llu\n",
+                static_cast<unsigned long long>(Stats.TotalBytes));
+    std::printf("max live objects: %llu\n",
+                static_cast<unsigned long long>(Stats.MaxLiveObjects));
+    std::printf("max live bytes:   %llu\n",
+                static_cast<unsigned long long>(Stats.MaxLiveBytes));
+    std::printf("distinct chains:  %zu\n", Stats.DistinctChains);
+    std::printf("heap refs:        %.1f%%\n", Stats.heapRefPercent());
+    return 0;
+  }
+
+  if (Command == "train") {
+    if (Args.size() != 3)
+      return usage();
+    auto Trace = loadTrace(Args[1]);
+    if (!Trace)
+      return 1;
+    SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+    TrainingOptions Options;
+    Options.Threshold =
+        static_cast<uint64_t>(Cl.getInt("threshold", 32 * 1024));
+    SiteDatabase DB =
+        trainDatabase(profileTrace(*Trace, Policy), Policy, Options);
+    std::ofstream Out(Args[2]);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", Args[2].c_str());
+      return 1;
+    }
+    DB.save(Out);
+    std::printf("trained %zu short-lived sites -> %s\n", DB.size(),
+                Args[2].c_str());
+    return 0;
+  }
+
+  if (Command == "predict") {
+    if (Args.size() != 3)
+      return usage();
+    auto Trace = loadTrace(Args[1]);
+    if (!Trace)
+      return 1;
+    std::ifstream In(Args[2]);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Args[2].c_str());
+      return 1;
+    }
+    auto DB = SiteDatabase::load(In);
+    if (!DB) {
+      std::fprintf(stderr, "error: %s is not a valid site database\n",
+                   Args[2].c_str());
+      return 1;
+    }
+    PredictionReport Report = evaluatePrediction(*Trace, *DB);
+    std::printf("sites used:      %llu of %zu\n",
+                static_cast<unsigned long long>(Report.SitesUsed),
+                DB->size());
+    std::printf("predicted short: %.1f%% of bytes\n",
+                Report.predictedShortPercent());
+    std::printf("error bytes:     %.2f%%\n", Report.errorPercent());
+    std::printf("actually short:  %.1f%%\n", Report.actualShortPercent());
+    return 0;
+  }
+
+  if (Command == "emit-header") {
+    if (Args.size() != 3)
+      return usage();
+    std::ifstream In(Args[1]);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Args[1].c_str());
+      return 1;
+    }
+    auto DB = SiteDatabase::load(In);
+    if (!DB) {
+      std::fprintf(stderr, "error: %s is not a valid site database\n",
+                   Args[1].c_str());
+      return 1;
+    }
+    std::ofstream Out(Args[2]);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", Args[2].c_str());
+      return 1;
+    }
+    emitSiteDatabaseHeader(*DB, Out);
+    std::printf("emitted %zu-site predictor -> %s\n", DB->size(),
+                Args[2].c_str());
+    return 0;
+  }
+
+  return usage();
+}

@@ -1,0 +1,46 @@
+//===- alloc/AllocatorSim.h - Allocator simulation interface ----*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common interface for the simulated allocators.  The simulators manage a
+/// *simulated* address space: allocate() returns an address, free() takes
+/// it back, and the implementation tracks heap growth and the operation
+/// counts the instruction cost model consumes.  No real memory of the
+/// requested sizes is touched, so multi-gigabyte traces replay quickly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_ALLOC_ALLOCATORSIM_H
+#define LIFEPRED_ALLOC_ALLOCATORSIM_H
+
+#include <cstdint>
+
+namespace lifepred {
+
+/// Abstract allocator simulator.
+class AllocatorSim {
+public:
+  virtual ~AllocatorSim();
+
+  /// Allocates \p Size bytes; returns the simulated address.
+  virtual uint64_t allocate(uint32_t Size) = 0;
+
+  /// Frees a previously allocated address.
+  virtual void free(uint64_t Address) = 0;
+
+  /// Bytes currently acquired from the simulated operating system.
+  virtual uint64_t heapBytes() const = 0;
+
+  /// High-water mark of heapBytes().
+  virtual uint64_t maxHeapBytes() const = 0;
+
+  /// Bytes currently allocated to live objects (payload, not headers).
+  virtual uint64_t liveBytes() const = 0;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_ALLOC_ALLOCATORSIM_H

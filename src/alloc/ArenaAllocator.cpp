@@ -1,0 +1,100 @@
+//===- alloc/ArenaAllocator.cpp - Lifetime-predicting arenas ---------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/ArenaAllocator.h"
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace lifepred;
+
+ArenaAllocator::ArenaAllocator() : ArenaAllocator(Config()) {}
+
+ArenaAllocator::ArenaAllocator(Config Config)
+    : Cfg(Config), General(Config.General) {
+  assert(Cfg.ArenaCount > 0 && Cfg.AreaBytes % Cfg.ArenaCount == 0 &&
+         "arena area must divide evenly");
+  assert(Cfg.ArenaBase + Cfg.AreaBytes <= Cfg.General.BaseAddress &&
+         "arena area must not overlap the general heap");
+  Arenas.resize(Cfg.ArenaCount);
+}
+
+bool ArenaAllocator::fitsCurrentArena(uint64_t Need) const {
+  return Arenas[Current].AllocPtr + Need <= arenaBytes();
+}
+
+uint64_t ArenaAllocator::bumpAllocate(uint32_t Size, uint64_t Need) {
+  Arena &A = Arenas[Current];
+  uint64_t Addr = Cfg.ArenaBase + Current * arenaBytes() + A.AllocPtr;
+  A.AllocPtr += Need;
+  ++A.LiveCount;
+  ++Stats.ArenaAllocs;
+  Stats.ArenaBytes += Size;
+  ArenaPayload[Addr] = Size;
+  ArenaLiveBytes += Size;
+  return Addr;
+}
+
+uint64_t ArenaAllocator::allocate(uint32_t Size, bool PredictedShortLived) {
+  if (!PredictedShortLived) {
+    ++Stats.GeneralAllocs;
+    ++Stats.UnpredictedAllocs;
+    Stats.GeneralBytes += Size;
+    return General.allocate(Size);
+  }
+
+  // Objects have no per-object overhead in an arena; only 8-byte alignment.
+  uint64_t Need = alignTo(Size, 8);
+  if (Need > arenaBytes()) {
+    // Predicted short-lived but cannot ever fit an arena (GHOST's 6 KB
+    // objects) — general heap.
+    ++Stats.GeneralAllocs;
+    ++Stats.OversizeAllocs;
+    Stats.GeneralBytes += Size;
+    return General.allocate(Size);
+  }
+
+  if (fitsCurrentArena(Need))
+    return bumpAllocate(Size, Need);
+
+  // Scan every arena for one with no live objects; reset and reuse it.
+  for (unsigned I = 0; I < Cfg.ArenaCount; ++I) {
+    ++Stats.ScanSteps;
+    if (Arenas[I].LiveCount == 0) {
+      ++Stats.Resets;
+      Arenas[I].AllocPtr = 0;
+      Current = I;
+      return bumpAllocate(Size, Need);
+    }
+  }
+
+  // Every arena is pinned by live objects: degenerate to the general
+  // allocator (the paper's CFRAC pollution case).
+  ++Stats.GeneralAllocs;
+  ++Stats.FallbackAllocs;
+  Stats.GeneralBytes += Size;
+  return General.allocate(Size);
+}
+
+void ArenaAllocator::free(uint64_t Address) {
+  if (Address >= Cfg.ArenaBase &&
+      Address < Cfg.ArenaBase + Cfg.AreaBytes) {
+    ++Stats.ArenaFrees;
+    unsigned Index =
+        static_cast<unsigned>((Address - Cfg.ArenaBase) / arenaBytes());
+    Arena &A = Arenas[Index];
+    assert(A.LiveCount > 0 && "arena live count underflow");
+    --A.LiveCount;
+    auto It = ArenaPayload.find(Address);
+    assert(It != ArenaPayload.end() && "free of unallocated arena address");
+    ArenaLiveBytes -= It->second;
+    ArenaPayload.erase(It);
+    return;
+  }
+  ++Stats.GeneralFrees;
+  General.free(Address);
+}

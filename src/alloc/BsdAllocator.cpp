@@ -1,0 +1,69 @@
+//===- alloc/BsdAllocator.cpp - Kingsley power-of-two buckets --------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/BsdAllocator.h"
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace lifepred;
+
+BsdAllocator::BsdAllocator() : BsdAllocator(Config()) {}
+
+BsdAllocator::BsdAllocator(Config Config)
+    : Cfg(Config), HeapEnd(Config.BaseAddress) {
+  assert(isPowerOf2(Cfg.MinBlockBytes) && "min block must be a power of 2");
+  Buckets.resize(40);
+}
+
+unsigned BsdAllocator::bucketFor(uint32_t Size) const {
+  uint64_t Need = Size + Cfg.HeaderBytes;
+  if (Need < Cfg.MinBlockBytes)
+    Need = Cfg.MinBlockBytes;
+  return log2Ceil(Need);
+}
+
+uint64_t BsdAllocator::allocate(uint32_t Size) {
+  ++Stats.Allocs;
+  unsigned Bucket = bucketFor(Size);
+  Stats.BucketBits += Bucket;
+  assert(Bucket < Buckets.size() && "size class out of range");
+  std::vector<uint64_t> &FreeList = Buckets[Bucket];
+
+  if (FreeList.empty()) {
+    // Carve a fresh extent into blocks of this class.  Oversize classes
+    // get a single block of their exact power-of-two size.
+    ++Stats.PageRefills;
+    uint64_t BlockBytes = uint64_t(1) << Bucket;
+    uint64_t Extent =
+        BlockBytes >= Cfg.PageBytes ? BlockBytes : Cfg.PageBytes;
+    uint64_t Page = HeapEnd;
+    HeapEnd += Extent;
+    if (heapBytes() > MaxHeap)
+      MaxHeap = heapBytes();
+    // Push in reverse so the lowest address pops first.
+    for (uint64_t Offset = Extent; Offset >= BlockBytes;
+         Offset -= BlockBytes)
+      FreeList.push_back(Page + Offset - BlockBytes);
+  }
+
+  uint64_t Addr = FreeList.back();
+  FreeList.pop_back();
+  Live[Addr] = Size;
+  LiveBytes += Size;
+  return Addr;
+}
+
+void BsdAllocator::free(uint64_t Address) {
+  ++Stats.Frees;
+  auto It = Live.find(Address);
+  assert(It != Live.end() && "free of unallocated address");
+  unsigned Bucket = bucketFor(It->second);
+  LiveBytes -= It->second;
+  Live.erase(It);
+  Buckets[Bucket].push_back(Address);
+}

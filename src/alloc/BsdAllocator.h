@@ -1,0 +1,73 @@
+//===- alloc/BsdAllocator.h - Kingsley power-of-two buckets -----*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 4.2BSD (Kingsley) malloc the paper uses as its CPU-cost baseline:
+/// requests are rounded up to a power of two, each size class keeps a LIFO
+/// free list, freed blocks are pushed without coalescing, and empty classes
+/// are refilled by carving a fresh page.  Extremely fast but memory-hungry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_ALLOC_BSDALLOCATOR_H
+#define LIFEPRED_ALLOC_BSDALLOCATOR_H
+
+#include "alloc/AllocatorSim.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace lifepred {
+
+/// Kingsley-style power-of-two segregated-storage simulator.
+class BsdAllocator : public AllocatorSim {
+public:
+  /// Tunables.
+  struct Config {
+    uint64_t PageBytes = 8192;        ///< Refill granularity.
+    uint64_t HeaderBytes = 8;         ///< Per-block bucket tag.
+    uint64_t MinBlockBytes = 16;      ///< Smallest size class.
+    uint64_t BaseAddress = uint64_t(1) << 41;
+  };
+
+  /// Operation counts for the instruction cost model.
+  struct Counters {
+    uint64_t Allocs = 0;
+    uint64_t Frees = 0;
+    uint64_t PageRefills = 0; ///< Pages carved into a size class.
+    uint64_t BucketBits = 0;  ///< Sum of size-class indexes (shift loops).
+  };
+
+  BsdAllocator();
+  explicit BsdAllocator(Config C);
+
+  uint64_t allocate(uint32_t Size) override;
+  void free(uint64_t Address) override;
+  uint64_t heapBytes() const override { return HeapEnd - Cfg.BaseAddress; }
+  uint64_t maxHeapBytes() const override { return MaxHeap; }
+  uint64_t liveBytes() const override { return LiveBytes; }
+
+  const Counters &counters() const { return Stats; }
+
+  /// The size class (bucket index) serving \p Size (test support).
+  unsigned bucketFor(uint32_t Size) const;
+
+private:
+  Config Cfg;
+  Counters Stats;
+  /// Per-bucket LIFO free lists of addresses.
+  std::vector<std::vector<uint64_t>> Buckets;
+  /// Bucket index by allocated address.
+  std::unordered_map<uint64_t, uint32_t> Live;
+  uint64_t HeapEnd;
+  uint64_t MaxHeap = 0;
+  uint64_t LiveBytes = 0;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_ALLOC_BSDALLOCATOR_H

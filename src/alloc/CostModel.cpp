@@ -1,0 +1,69 @@
+//===- alloc/CostModel.cpp - Instruction cost model ------------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/CostModel.h"
+
+using namespace lifepred;
+
+namespace {
+
+double perOp(double TotalInstr, uint64_t Ops) {
+  return Ops == 0 ? 0.0 : TotalInstr / static_cast<double>(Ops);
+}
+
+} // namespace
+
+InstrPerOp CostModel::firstFit(const FirstFitAllocator::Counters &C) const {
+  double AllocInstr = static_cast<double>(C.Allocs) * FirstFitAllocBase +
+                      static_cast<double>(C.SearchSteps) * FirstFitSearchStep +
+                      static_cast<double>(C.Splits) * FirstFitSplit +
+                      static_cast<double>(C.Grows) * FirstFitGrow;
+  double FreeInstr = static_cast<double>(C.Frees) * FirstFitFreeBase +
+                     static_cast<double>(C.Coalesces) * FirstFitCoalesce;
+  return {perOp(AllocInstr, C.Allocs), perOp(FreeInstr, C.Frees)};
+}
+
+InstrPerOp CostModel::bsd(const BsdAllocator::Counters &C) const {
+  double AllocInstr = static_cast<double>(C.Allocs) * BsdAllocBase +
+                      static_cast<double>(C.BucketBits) * BsdBucketBit +
+                      static_cast<double>(C.PageRefills) * BsdRefill;
+  double FreeInstr = static_cast<double>(C.Frees) * BsdFreeCost;
+  return {perOp(AllocInstr, C.Allocs), perOp(FreeInstr, C.Frees)};
+}
+
+InstrPerOp CostModel::arena(const ArenaAllocator::Counters &C,
+                            const FirstFitAllocator::Counters &GeneralC,
+                            bool UseCce, double CallsPerAlloc) const {
+  uint64_t Allocs = C.ArenaAllocs + C.GeneralAllocs;
+  uint64_t Frees = C.ArenaFrees + C.GeneralFrees;
+
+  double PredictPerAlloc =
+      UseCce ? PredictCceBase + CcePerCall * CallsPerAlloc : PredictLen4;
+
+  // Every allocation pays the prediction check; arena hits pay the bump;
+  // scans and resets are charged as they occurred; general allocations pay
+  // the embedded first-fit costs (whose counters track only the general
+  // heap's operations).
+  double GeneralAllocInstr =
+      static_cast<double>(GeneralC.Allocs) * FirstFitAllocBase +
+      static_cast<double>(GeneralC.SearchSteps) * FirstFitSearchStep +
+      static_cast<double>(GeneralC.Splits) * FirstFitSplit +
+      static_cast<double>(GeneralC.Grows) * FirstFitGrow;
+  double AllocInstr = static_cast<double>(Allocs) * PredictPerAlloc +
+                      static_cast<double>(C.ArenaAllocs) * ArenaBump +
+                      static_cast<double>(C.ScanSteps) * ArenaScanStep +
+                      static_cast<double>(C.Resets) * ArenaReset +
+                      GeneralAllocInstr;
+
+  double GeneralFreeInstr =
+      static_cast<double>(GeneralC.Frees) * FirstFitFreeBase +
+      static_cast<double>(GeneralC.Coalesces) * FirstFitCoalesce;
+  double FreeInstr = static_cast<double>(C.ArenaFrees) * ArenaFreeCost +
+                     static_cast<double>(C.GeneralFrees) * ArenaRangeCheck +
+                     GeneralFreeInstr;
+
+  return {perOp(AllocInstr, Allocs), perOp(FreeInstr, Frees)};
+}

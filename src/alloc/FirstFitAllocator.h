@@ -1,0 +1,104 @@
+//===- alloc/FirstFitAllocator.h - Knuth-style first fit --------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's baseline general-purpose allocator: first fit over an
+/// address-ordered free list with the boundary-tag enhancements of Knuth
+/// (TAOCP vol. 1, section 2.5) — immediate coalescing of adjacent free
+/// blocks and block splitting.  The heap grows in 8 KB increments, matching
+/// the granularity of the paper's reported heap sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_ALLOC_FIRSTFITALLOCATOR_H
+#define LIFEPRED_ALLOC_FIRSTFITALLOCATOR_H
+
+#include "alloc/AllocatorSim.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace lifepred {
+
+/// How the free list is searched.
+enum class FitPolicy {
+  /// First fit with Knuth's roving pointer (next fit): searches resume
+  /// where the last one stopped, so small residues do not pile up at the
+  /// front of the list.  The paper's baseline.
+  RovingFirstFit,
+  /// Classic first fit over the address-ordered free list.
+  AddressOrderedFirstFit,
+  /// Best fit: the whole list is searched for the tightest block.
+  BestFit,
+};
+
+/// Free-list allocator simulator (first fit by default; see FitPolicy).
+class FirstFitAllocator : public AllocatorSim {
+public:
+  /// Tunables; defaults model a 1990s Unix malloc.
+  struct Config {
+    uint64_t GrowthGranularity = 8192; ///< sbrk increment.
+    uint64_t HeaderBytes = 8;          ///< Boundary-tag overhead per block.
+    uint64_t MinBlockBytes = 16;       ///< Smallest splittable remainder.
+    uint64_t BaseAddress = uint64_t(1) << 40; ///< Simulated heap start.
+    FitPolicy Policy = FitPolicy::RovingFirstFit;
+  };
+
+  /// Operation counts for the instruction cost model.
+  struct Counters {
+    uint64_t Allocs = 0;
+    uint64_t Frees = 0;
+    uint64_t SearchSteps = 0; ///< Free blocks inspected during searches.
+    uint64_t Splits = 0;
+    uint64_t Coalesces = 0;   ///< Merges performed at free time.
+    uint64_t Grows = 0;       ///< Heap extensions.
+  };
+
+  FirstFitAllocator();
+  explicit FirstFitAllocator(Config C);
+
+  uint64_t allocate(uint32_t Size) override;
+  void free(uint64_t Address) override;
+  uint64_t heapBytes() const override { return HeapEnd - Cfg.BaseAddress; }
+  uint64_t maxHeapBytes() const override { return MaxHeap; }
+  uint64_t liveBytes() const override { return LiveBytes; }
+
+  const Counters &counters() const { return Stats; }
+  const Config &config() const { return Cfg; }
+
+  /// Number of blocks on the free list (test support).
+  size_t freeBlockCount() const { return FreeBlocks.size(); }
+
+private:
+  struct Block {
+    uint64_t Size = 0; ///< Total block size including header.
+    bool Free = false;
+  };
+
+  uint64_t blockNeed(uint32_t Size) const;
+  void grow(uint64_t AtLeast);
+
+  Config Cfg;
+  Counters Stats;
+  /// All blocks keyed by address; adjacency = map neighbours (the
+  /// simulation analogue of boundary tags).
+  std::map<uint64_t, Block> Blocks;
+  /// Addresses of free blocks, in address order (first fit scans this).
+  std::set<uint64_t> FreeBlocks;
+  /// Payload size by allocated address (for liveBytes accounting).
+  std::unordered_map<uint64_t, uint32_t> Payload;
+  uint64_t HeapEnd;
+  uint64_t Rover = 0; ///< Next-fit scan resume address.
+  uint64_t MaxHeap = 0;
+  uint64_t LiveBytes = 0;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_ALLOC_FIRSTFITALLOCATOR_H

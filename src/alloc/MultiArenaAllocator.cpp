@@ -1,0 +1,111 @@
+//===- alloc/MultiArenaAllocator.cpp - Banded arena areas ------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/MultiArenaAllocator.h"
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace lifepred;
+
+MultiArenaAllocator::MultiArenaAllocator()
+    : MultiArenaAllocator(Config()) {}
+
+MultiArenaAllocator::MultiArenaAllocator(Config C)
+    : Cfg(std::move(C)), General(Cfg.General) {
+  if (Cfg.Bands.empty())
+    Cfg.Bands.push_back(BandConfig());
+  // Lay the band areas out contiguously below the general heap.
+  uint64_t Base = 1 << 20;
+  for (const BandConfig &BandCfg : Cfg.Bands) {
+    assert(BandCfg.ArenaCount > 0 &&
+           BandCfg.AreaBytes % BandCfg.ArenaCount == 0 &&
+           "band area must divide evenly");
+    BandState State;
+    State.Cfg = BandCfg;
+    State.Base = Base;
+    State.Arenas.resize(BandCfg.ArenaCount);
+    Base += BandCfg.AreaBytes;
+    BandStates.push_back(std::move(State));
+  }
+  assert(Base <= Cfg.General.BaseAddress &&
+         "band areas must not overlap the general heap");
+}
+
+uint64_t MultiArenaAllocator::bumpAllocate(BandState &Band, uint32_t Size,
+                                           uint64_t Need) {
+  Arena &A = Band.Arenas[Band.Current];
+  uint64_t Addr = Band.Base + Band.Current * Band.arenaBytes() + A.AllocPtr;
+  A.AllocPtr += Need;
+  ++A.LiveCount;
+  ++Band.Stats.Allocs;
+  Band.Stats.Bytes += Size;
+  ArenaPayload[Addr] = Size;
+  ArenaLiveBytes += Size;
+  return Addr;
+}
+
+uint64_t MultiArenaAllocator::allocate(uint32_t Size, uint8_t BandIndex) {
+  if (BandIndex < BandStates.size()) {
+    BandState &Band = BandStates[BandIndex];
+    uint64_t Need = alignTo(Size, 8);
+    if (Need <= Band.arenaBytes()) {
+      Arena &Current = Band.Arenas[Band.Current];
+      if (Current.AllocPtr + Need <= Band.arenaBytes())
+        return bumpAllocate(Band, Size, Need);
+      for (unsigned I = 0; I < Band.Cfg.ArenaCount; ++I) {
+        ++Band.Stats.ScanSteps;
+        if (Band.Arenas[I].LiveCount == 0) {
+          ++Band.Stats.Resets;
+          Band.Arenas[I].AllocPtr = 0;
+          Band.Current = I;
+          return bumpAllocate(Band, Size, Need);
+        }
+      }
+    }
+    ++Band.Stats.Fallbacks;
+  }
+  ++GeneralAllocs;
+  GeneralBytes += Size;
+  return General.allocate(Size);
+}
+
+void MultiArenaAllocator::free(uint64_t Address) {
+  for (BandState &Band : BandStates) {
+    if (Address < Band.Base || Address >= Band.Base + Band.Cfg.AreaBytes)
+      continue;
+    ++Band.Stats.Frees;
+    Arena &A =
+        Band.Arenas[(Address - Band.Base) / Band.arenaBytes()];
+    assert(A.LiveCount > 0 && "arena live count underflow");
+    --A.LiveCount;
+    auto It = ArenaPayload.find(Address);
+    assert(It != ArenaPayload.end() && "free of unallocated arena address");
+    ArenaLiveBytes -= It->second;
+    ArenaPayload.erase(It);
+    return;
+  }
+  General.free(Address);
+}
+
+uint64_t MultiArenaAllocator::heapBytes() const {
+  uint64_t Total = General.heapBytes();
+  for (const BandState &Band : BandStates)
+    Total += Band.Cfg.AreaBytes;
+  return Total;
+}
+
+uint64_t MultiArenaAllocator::maxHeapBytes() const {
+  uint64_t Total = General.maxHeapBytes();
+  for (const BandState &Band : BandStates)
+    Total += Band.Cfg.AreaBytes;
+  return Total;
+}
+
+uint64_t MultiArenaAllocator::liveBytes() const {
+  return ArenaLiveBytes + General.liveBytes();
+}

@@ -1,0 +1,63 @@
+//===- callchain/ChainEncryption.cpp - XOR call-chain keys -----------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "callchain/ChainEncryption.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace lifepred;
+
+ChainKey ChainEncryption::idFor(FunctionId Function) const {
+  auto It = Ids.find(Function);
+  return It == Ids.end() ? ChainKey(0) : It->second;
+}
+
+ChainKey ChainEncryption::keyFor(const CallChain &Chain) const {
+  ChainKey Key = 0;
+  for (FunctionId F : Chain.functions())
+    Key = static_cast<ChainKey>(Key ^ idFor(F));
+  return Key;
+}
+
+unsigned ChainEncryption::countCollisions(
+    const std::vector<CallChain> &Chains) const {
+  std::unordered_map<ChainKey, unsigned> KeyCounts;
+  for (const CallChain &Chain : Chains)
+    ++KeyCounts[keyFor(Chain)];
+  unsigned Colliding = 0;
+  for (const CallChain &Chain : Chains)
+    if (KeyCounts[keyFor(Chain)] > 1)
+      ++Colliding;
+  return Colliding;
+}
+
+ChainEncryption ChainEncryption::assign(const std::vector<CallChain> &Chains,
+                                        Rng &Random, unsigned Attempts) {
+  // Collect the function universe.
+  std::unordered_set<FunctionId> FunctionSet;
+  for (const CallChain &Chain : Chains)
+    for (FunctionId F : Chain.functions())
+      FunctionSet.insert(F);
+  std::vector<FunctionId> Functions(FunctionSet.begin(), FunctionSet.end());
+  std::sort(Functions.begin(), Functions.end());
+
+  ChainEncryption Best;
+  unsigned BestCollisions = ~0u;
+  for (unsigned Attempt = 0; Attempt < std::max(Attempts, 1u); ++Attempt) {
+    ChainEncryption Candidate;
+    for (FunctionId F : Functions)
+      Candidate.Ids[F] = static_cast<ChainKey>(Random.next() & 0xffff);
+    unsigned Collisions = Candidate.countCollisions(Chains);
+    if (Collisions < BestCollisions) {
+      BestCollisions = Collisions;
+      Best = std::move(Candidate);
+      if (BestCollisions == 0)
+        break;
+    }
+  }
+  return Best;
+}

@@ -1,0 +1,69 @@
+//===- callchain/ChainEncryption.h - XOR call-chain keys --------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call-chain encryption (paper section 5.1, attributed to Larry Carter):
+/// every function is assigned a 16-bit id; at each call the callee's key is
+/// the caller's key XORed with the callee's id, so the current key is the
+/// XOR of the ids of every function on the stack.  The key identifies the
+/// call-chain in O(1) per call (the paper charges 3 instructions).
+///
+/// Because XOR is commutative and self-inverse, distinct chains can share a
+/// key.  The paper proposes choosing ids via static call-graph analysis so
+/// that keys of chains that actually occur are likely unique; we implement
+/// that as randomized-restart assignment scored on the observed chain set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_CALLCHAIN_CHAINENCRYPTION_H
+#define LIFEPRED_CALLCHAIN_CHAINENCRYPTION_H
+
+#include "callchain/CallChain.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace lifepred {
+
+/// A 16-bit chain key, as computed by call-chain encryption.
+using ChainKey = uint16_t;
+
+/// Assigns 16-bit ids to functions and computes chain keys.
+class ChainEncryption {
+public:
+  ChainEncryption() = default;
+
+  /// Assigns ids to every function appearing in \p Chains, retrying
+  /// \p Attempts random assignments and keeping the one with the fewest
+  /// key collisions among distinct chains.  This models the paper's
+  /// "static call-graph analysis may be used to determine the best ids".
+  static ChainEncryption assign(const std::vector<CallChain> &Chains,
+                                Rng &Random, unsigned Attempts = 16);
+
+  /// Returns the id assigned to \p Function (assigning a fresh random-free
+  /// id of 0 if the function was never seen; unseen functions XOR as 0 so
+  /// they do not perturb keys).
+  ChainKey idFor(FunctionId Function) const;
+
+  /// Sets \p Function's id explicitly (used by the runtime shadow stack).
+  void setId(FunctionId Function, ChainKey Id) { Ids[Function] = Id; }
+
+  /// Computes the key of \p Chain: the XOR of its function ids.
+  ChainKey keyFor(const CallChain &Chain) const;
+
+  /// Counts how many of the given distinct \p Chains collide (share a key
+  /// with a different chain) under this assignment.
+  unsigned countCollisions(const std::vector<CallChain> &Chains) const;
+
+private:
+  std::unordered_map<FunctionId, ChainKey> Ids;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_CALLCHAIN_CHAINENCRYPTION_H

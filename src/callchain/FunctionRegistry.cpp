@@ -1,0 +1,31 @@
+//===- callchain/FunctionRegistry.cpp - Names for FunctionIds --------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "callchain/FunctionRegistry.h"
+
+using namespace lifepred;
+
+FunctionId FunctionRegistry::intern(const std::string &Name) {
+  auto [It, Inserted] =
+      Ids.try_emplace(Name, static_cast<FunctionId>(Names.size()));
+  if (Inserted)
+    Names.push_back(Name);
+  return It->second;
+}
+
+const std::string &FunctionRegistry::name(FunctionId Id) const {
+  static const std::string Unknown = "<unknown>";
+  if (Id >= Names.size())
+    return Unknown;
+  return Names[Id];
+}
+
+CallChain FunctionRegistry::chainOf(const std::vector<std::string> &Path) {
+  CallChain Chain;
+  for (const std::string &Name : Path)
+    Chain.push(intern(Name));
+  return Chain;
+}

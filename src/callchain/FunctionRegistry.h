@@ -1,0 +1,47 @@
+//===- callchain/FunctionRegistry.h - Names for FunctionIds -----*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bidirectional mapping between function names and FunctionIds.  The
+/// workload models register readable names ("xmalloc", "parse_expr") and the
+/// reporting code resolves ids back for debug output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_CALLCHAIN_FUNCTIONREGISTRY_H
+#define LIFEPRED_CALLCHAIN_FUNCTIONREGISTRY_H
+
+#include "callchain/CallChain.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lifepred {
+
+/// Interns function names, handing out dense FunctionIds from 0.
+class FunctionRegistry {
+public:
+  /// Returns the id for \p Name, creating it on first use.
+  FunctionId intern(const std::string &Name);
+
+  /// Returns the name for \p Id; "<unknown>" if the id was never interned.
+  const std::string &name(FunctionId Id) const;
+
+  /// Number of interned functions.
+  size_t size() const { return Names.size(); }
+
+  /// Builds a chain by interning each name in \p Path (outermost first).
+  CallChain chainOf(const std::vector<std::string> &Path);
+
+private:
+  std::unordered_map<std::string, FunctionId> Ids;
+  std::vector<std::string> Names;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_CALLCHAIN_FUNCTIONREGISTRY_H

@@ -1,0 +1,21 @@
+//===- callchain/ShadowStack.cpp - Runtime call-stack mirror ---------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "callchain/ShadowStack.h"
+
+using namespace lifepred;
+
+ShadowStack &ShadowStack::current() {
+  thread_local ShadowStack Stack;
+  return Stack;
+}
+
+CallChain ShadowStack::captureLastN(size_t N) const {
+  if (N >= Frames.size())
+    return CallChain(Frames);
+  return CallChain(std::vector<FunctionId>(
+      Frames.end() - static_cast<ptrdiff_t>(N), Frames.end()));
+}

@@ -1,0 +1,45 @@
+//===- core/GeneratedAllocator.h - Emit a linkable predictor ----*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits a trained site database as a self-contained C++ header, closing
+/// the paper's loop: "this set of sites is stored in a database that is
+/// incorporated into an allocation system that is then linked to the
+/// program."  The generated header defines a sorted constexpr key table
+/// and a branch-free binary-search predicate, so the optimized build
+/// carries no file I/O or hash-table initialization — the profile *is*
+/// the code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_CORE_GENERATEDALLOCATOR_H
+#define LIFEPRED_CORE_GENERATEDALLOCATOR_H
+
+#include "core/SiteDatabase.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace lifepred {
+
+/// Options for header emission.
+struct EmitHeaderOptions {
+  /// Namespace the generated symbols live in.
+  std::string Namespace = "lifepred_profile";
+  /// Include-guard macro.
+  std::string Guard = "LIFEPRED_GENERATED_PROFILE_H";
+};
+
+/// Writes \p DB to \p OS as a compilable header defining:
+///   constexpr uint64_t SiteKeys[];         // sorted
+///   constexpr uint64_t ShortLivedThreshold;
+///   bool isPredictedShortLived(uint64_t SiteKey);
+void emitSiteDatabaseHeader(const SiteDatabase &DB, std::ostream &OS,
+                            const EmitHeaderOptions &Options = {});
+
+} // namespace lifepred
+
+#endif // LIFEPRED_CORE_GENERATEDALLOCATOR_H

@@ -1,0 +1,37 @@
+//===- core/LifetimeClassifier.cpp - Multi-class lifetime prediction -------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LifetimeClassifier.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lifepred;
+
+size_t ClassDatabase::sitesInClass(LifetimeClass Class) const {
+  size_t Count = 0;
+  for (const auto &[Key, C] : Classes)
+    if (C == Class)
+      ++Count;
+  return Count;
+}
+
+ClassDatabase lifepred::trainClassDatabase(const Profile &Profile,
+                                           const SiteKeyPolicy &Policy,
+                                           std::vector<uint64_t> Thresholds) {
+  assert(!Thresholds.empty() && "need at least one lifetime band");
+  std::sort(Thresholds.begin(), Thresholds.end());
+  ClassDatabase DB(Policy, Thresholds);
+  for (const auto &[Key, Stats] : Profile.Sites) {
+    for (size_t Band = 0; Band < Thresholds.size(); ++Band) {
+      if (Stats.allShortLived(Thresholds[Band])) {
+        DB.insert(Key, static_cast<LifetimeClass>(Band));
+        break;
+      }
+    }
+  }
+  return DB;
+}

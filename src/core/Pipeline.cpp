@@ -1,0 +1,20 @@
+//===- core/Pipeline.cpp - One-call train-and-evaluate API -----------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+using namespace lifepred;
+
+PipelineResult lifepred::trainAndEvaluate(const AllocationTrace &Train,
+                                          const AllocationTrace &Test,
+                                          const SiteKeyPolicy &Policy,
+                                          const TrainingOptions &Options) {
+  PipelineResult Result;
+  Result.TrainingProfile = profileTrace(Train, Policy);
+  Result.Database = trainDatabase(Result.TrainingProfile, Policy, Options);
+  Result.Report = evaluatePrediction(Test, Result.Database);
+  return Result;
+}

@@ -1,0 +1,39 @@
+//===- core/Pipeline.h - One-call train-and-evaluate API --------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience API tying the pipeline together: profile a training trace,
+/// select sites, and evaluate the resulting database against a test trace.
+/// Self prediction passes the same trace twice; true prediction passes
+/// traces from different inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_CORE_PIPELINE_H
+#define LIFEPRED_CORE_PIPELINE_H
+
+#include "core/PredictionEvaluator.h"
+#include "core/Trainer.h"
+
+namespace lifepred {
+
+/// Everything a train+evaluate cycle produces.
+struct PipelineResult {
+  Profile TrainingProfile;    ///< Per-site statistics of the training run.
+  SiteDatabase Database;      ///< Selected short-lived sites.
+  PredictionReport Report;    ///< Accuracy over the evaluation trace.
+};
+
+/// Profiles \p Train under \p Policy, trains a database with \p Options,
+/// and evaluates it over \p Test.
+PipelineResult trainAndEvaluate(const AllocationTrace &Train,
+                                const AllocationTrace &Test,
+                                const SiteKeyPolicy &Policy,
+                                const TrainingOptions &Options = {});
+
+} // namespace lifepred
+
+#endif // LIFEPRED_CORE_PIPELINE_H

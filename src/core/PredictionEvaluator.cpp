@@ -1,0 +1,55 @@
+//===- core/PredictionEvaluator.cpp - Prediction accuracy metrics ----------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PredictionEvaluator.h"
+
+#include "core/Profiler.h"
+
+#include <unordered_set>
+#include <vector>
+
+using namespace lifepred;
+
+PredictionReport lifepred::evaluatePrediction(const AllocationTrace &Trace,
+                                              const SiteDatabase &DB) {
+  PredictionReport Report;
+  Report.NonHeapRefs = Trace.nonHeapRefs();
+
+  const SiteKeyPolicy &Policy = DB.policy();
+  std::vector<uint64_t> ChainParts(Trace.chainCount());
+  for (uint32_t I = 0; I < Trace.chainCount(); ++I)
+    ChainParts[I] = chainKeyPart(Policy, Trace.chain(I));
+
+  std::unordered_set<SiteKey> UsedSites;
+  uint64_t Threshold = DB.threshold();
+  uint64_t FinalClock = Trace.totalBytes();
+  uint64_t Clock = 0;
+  for (const AllocRecord &Record : Trace.records()) {
+    Clock += Record.Size;
+    ++Report.TotalObjects;
+    Report.TotalBytes += Record.Size;
+    Report.TotalHeapRefs += Record.Refs;
+
+    uint64_t Lifetime = effectiveLifetime(Record, Clock, FinalClock);
+    bool ActuallyShort = Lifetime < Threshold;
+    if (ActuallyShort)
+      Report.ActualShortBytes += Record.Size;
+
+    SiteKey Key =
+        siteKeyForRecord(Policy, ChainParts[Record.ChainIndex], Record);
+    if (!DB.contains(Key))
+      continue;
+    UsedSites.insert(Key);
+    ++Report.PredictedObjects;
+    Report.PredictedRefs += Record.Refs;
+    if (ActuallyShort)
+      Report.PredictedShortBytes += Record.Size;
+    else
+      Report.ErrorBytes += Record.Size;
+  }
+  Report.SitesUsed = UsedSites.size();
+  return Report;
+}

@@ -1,0 +1,78 @@
+//===- core/PredictionEvaluator.h - Prediction accuracy metrics -*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates a trained site database against a (test or training) trace,
+/// producing the statistics of the paper's Tables 4-6: the fraction of
+/// bytes correctly predicted short-lived, the erroneously predicted bytes,
+/// the number of database sites actually used, and the fraction of all
+/// memory references made to predicted objects ("New Ref").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_CORE_PREDICTIONEVALUATOR_H
+#define LIFEPRED_CORE_PREDICTIONEVALUATOR_H
+
+#include "core/SiteDatabase.h"
+#include "trace/AllocationTrace.h"
+
+#include <cstdint>
+
+namespace lifepred {
+
+/// Accuracy of one database evaluated over one trace.
+struct PredictionReport {
+  uint64_t TotalObjects = 0;
+  uint64_t TotalBytes = 0;
+
+  /// Bytes of objects that really were short-lived (died before the
+  /// database threshold).
+  uint64_t ActualShortBytes = 0;
+
+  /// Bytes predicted short-lived that really were ("Predicted" columns).
+  uint64_t PredictedShortBytes = 0;
+
+  /// Bytes predicted short-lived that were long-lived ("Error Bytes").
+  uint64_t ErrorBytes = 0;
+
+  /// Objects predicted short-lived (right or wrong).
+  uint64_t PredictedObjects = 0;
+
+  /// Distinct database sites observed in the trace ("Sites Used").
+  uint64_t SitesUsed = 0;
+
+  /// References to predicted objects / all references ("New Ref").
+  uint64_t PredictedRefs = 0;
+  uint64_t TotalHeapRefs = 0;
+  uint64_t NonHeapRefs = 0;
+
+  double actualShortPercent() const {
+    return pct(ActualShortBytes, TotalBytes);
+  }
+  double predictedShortPercent() const {
+    return pct(PredictedShortBytes, TotalBytes);
+  }
+  double errorPercent() const { return pct(ErrorBytes, TotalBytes); }
+  double newRefPercent() const {
+    return pct(PredictedRefs, TotalHeapRefs + NonHeapRefs);
+  }
+
+private:
+  static double pct(uint64_t Num, uint64_t Den) {
+    return Den == 0 ? 0.0
+                    : 100.0 * static_cast<double>(Num) /
+                          static_cast<double>(Den);
+  }
+};
+
+/// Evaluates \p DB over \p Trace.  Objects are judged short-lived by their
+/// effective lifetime (deaths past the trace end clamp to exit).
+PredictionReport evaluatePrediction(const AllocationTrace &Trace,
+                                    const SiteDatabase &DB);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_CORE_PREDICTIONEVALUATOR_H

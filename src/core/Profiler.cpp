@@ -1,0 +1,37 @@
+//===- core/Profiler.cpp - Training-run profiling --------------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Profiler.h"
+
+#include <vector>
+
+using namespace lifepred;
+
+Profile lifepred::profileTrace(const AllocationTrace &Trace,
+                               const SiteKeyPolicy &Policy) {
+  Profile Result;
+  Result.NonHeapRefs = Trace.nonHeapRefs();
+
+  // Site keys depend only on (chain index, size); precompute the chain
+  // part once per distinct chain rather than per object.
+  std::vector<uint64_t> ChainParts(Trace.chainCount());
+  for (uint32_t I = 0; I < Trace.chainCount(); ++I)
+    ChainParts[I] = chainKeyPart(Policy, Trace.chain(I));
+
+  uint64_t FinalClock = Trace.totalBytes();
+  uint64_t Clock = 0;
+  for (const AllocRecord &Record : Trace.records()) {
+    Clock += Record.Size;
+    uint64_t Lifetime = effectiveLifetime(Record, Clock, FinalClock);
+    SiteKey Key =
+        siteKeyForRecord(Policy, ChainParts[Record.ChainIndex], Record);
+    Result.Sites[Key].add(Record.Size, Lifetime, Record.Refs);
+    ++Result.TotalObjects;
+    Result.TotalBytes += Record.Size;
+    Result.TotalHeapRefs += Record.Refs;
+  }
+  return Result;
+}

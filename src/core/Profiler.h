@@ -1,0 +1,58 @@
+//===- core/Profiler.h - Training-run profiling -----------------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds per-site lifetime statistics from an allocation trace.  This is
+/// the offline half of the paper's system: the training execution is traced
+/// and every object's lifetime is attributed to its allocation site.
+///
+/// Objects alive at program exit (or whose scheduled death lies beyond the
+/// end of the trace) are treated as dying at exit, so their lifetime is the
+/// number of bytes allocated after their birth.  This matches the paper's
+/// Table 3, whose maximum lifetimes equal each program's total allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_CORE_PROFILER_H
+#define LIFEPRED_CORE_PROFILER_H
+
+#include "core/SiteTable.h"
+#include "trace/AllocationTrace.h"
+
+#include <cstdint>
+
+namespace lifepred {
+
+/// The lifetime an object actually exhibits within a trace whose final byte
+/// clock is \p FinalClock, given its birth clock (clock *after* its own
+/// allocation).  Never-freed and past-the-end deaths clamp to exit.
+inline uint64_t effectiveLifetime(const AllocRecord &Record,
+                                  uint64_t BirthClock, uint64_t FinalClock) {
+  uint64_t AtExit = FinalClock - BirthClock;
+  uint64_t Lifetime =
+      Record.Lifetime == NeverFreed || Record.Lifetime > AtExit
+          ? AtExit
+          : Record.Lifetime;
+  return Lifetime == 0 ? 1 : Lifetime;
+}
+
+/// Result of profiling one trace under one site-key policy.
+struct Profile {
+  SiteTable Sites;
+  uint64_t TotalObjects = 0;
+  uint64_t TotalBytes = 0;
+  uint64_t TotalHeapRefs = 0;
+  uint64_t NonHeapRefs = 0;
+};
+
+/// Profiles \p Trace, attributing each object's (effective) lifetime to its
+/// site under \p Policy.
+Profile profileTrace(const AllocationTrace &Trace,
+                     const SiteKeyPolicy &Policy);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_CORE_PROFILER_H

@@ -1,0 +1,98 @@
+//===- core/SiteDatabase.cpp - Predicted-short-lived site set --------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SiteDatabase.h"
+
+#include "support/Assert.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+using namespace lifepred;
+
+namespace {
+
+const char *modeName(SiteKeyMode Mode) {
+  switch (Mode) {
+  case SiteKeyMode::CompleteChain:
+    return "complete";
+  case SiteKeyMode::LastN:
+    return "lastn";
+  case SiteKeyMode::SizeOnly:
+    return "sizeonly";
+  case SiteKeyMode::Encrypted:
+    return "encrypted";
+  case SiteKeyMode::TypeOnly:
+    return "typeonly";
+  case SiteKeyMode::TypeAndSize:
+    return "typesize";
+  }
+  LIFEPRED_UNREACHABLE("unknown site-key mode");
+}
+
+std::optional<SiteKeyMode> parseMode(const std::string &Name) {
+  if (Name == "complete")
+    return SiteKeyMode::CompleteChain;
+  if (Name == "lastn")
+    return SiteKeyMode::LastN;
+  if (Name == "sizeonly")
+    return SiteKeyMode::SizeOnly;
+  if (Name == "encrypted")
+    return SiteKeyMode::Encrypted;
+  if (Name == "typeonly")
+    return SiteKeyMode::TypeOnly;
+  if (Name == "typesize")
+    return SiteKeyMode::TypeAndSize;
+  return std::nullopt;
+}
+
+} // namespace
+
+void SiteDatabase::save(std::ostream &OS) const {
+  OS << "sitedb v1\n";
+  OS << "policy " << modeName(Policy.Mode) << ' ' << Policy.Length << ' '
+     << Policy.SizeRounding << '\n';
+  OS << "threshold " << Threshold << '\n';
+  for (SiteKey Key : Keys)
+    OS << "site " << Key << '\n';
+}
+
+std::optional<SiteDatabase> SiteDatabase::load(std::istream &IS) {
+  std::string Line;
+  if (!std::getline(IS, Line) || Line != "sitedb v1")
+    return std::nullopt;
+
+  SiteDatabase DB;
+  while (std::getline(IS, Line)) {
+    if (Line.empty())
+      continue;
+    std::istringstream LS(Line);
+    std::string Keyword;
+    LS >> Keyword;
+    if (Keyword == "policy") {
+      std::string ModeText;
+      if (!(LS >> ModeText >> DB.Policy.Length >> DB.Policy.SizeRounding))
+        return std::nullopt;
+      auto Mode = parseMode(ModeText);
+      if (!Mode)
+        return std::nullopt;
+      DB.Policy.Mode = *Mode;
+    } else if (Keyword == "threshold") {
+      if (!(LS >> DB.Threshold))
+        return std::nullopt;
+    } else if (Keyword == "site") {
+      SiteKey Key = 0;
+      if (!(LS >> Key))
+        return std::nullopt;
+      DB.Keys.insert(Key);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return DB;
+}

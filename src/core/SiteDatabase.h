@@ -1,0 +1,71 @@
+//===- core/SiteDatabase.h - Predicted-short-lived site set -----*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The database of allocation sites predicted to allocate only short-lived
+/// objects — the artifact a training run produces and the optimized
+/// allocator links against.  Per the paper it is a small hash table of
+/// encoded site keys; here additionally serializable so examples and tools
+/// can persist profiles between processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_CORE_SITEDATABASE_H
+#define LIFEPRED_CORE_SITEDATABASE_H
+
+#include "core/SiteKey.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <unordered_set>
+
+namespace lifepred {
+
+/// A set of site keys predicted short-lived, plus the policy and threshold
+/// they were trained under.
+class SiteDatabase {
+public:
+  SiteDatabase() = default;
+  SiteDatabase(SiteKeyPolicy Policy, uint64_t Threshold)
+      : Policy(Policy), Threshold(Threshold) {}
+
+  /// Adds a predicted-short-lived site.
+  void insert(SiteKey Key) { Keys.insert(Key); }
+
+  /// True if \p Key was predicted short-lived in training.
+  bool contains(SiteKey Key) const { return Keys.count(Key) != 0; }
+
+  /// Predicts from a raw chain and size directly.
+  bool predictShortLived(const CallChain &Raw, uint32_t Size) const {
+    return contains(siteKey(Policy, Raw, Size));
+  }
+
+  /// Number of predicted sites.
+  size_t size() const { return Keys.size(); }
+
+  /// The key policy the database was trained under.
+  const SiteKeyPolicy &policy() const { return Policy; }
+
+  /// The short-lived threshold (bytes) used in training.
+  uint64_t threshold() const { return Threshold; }
+
+  /// Writes the database as text ("sitedb v1" header, one key per line).
+  /// The encryption pointer of the policy is not serialized.
+  void save(std::ostream &OS) const;
+
+  /// Parses a database written by save(); std::nullopt on malformed input.
+  static std::optional<SiteDatabase> load(std::istream &IS);
+
+private:
+  std::unordered_set<SiteKey> Keys;
+  SiteKeyPolicy Policy;
+  uint64_t Threshold = 32 * 1024;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_CORE_SITEDATABASE_H

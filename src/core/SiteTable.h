@@ -1,0 +1,55 @@
+//===- core/SiteTable.h - Per-site lifetime statistics ----------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mapping from allocation sites to lifetime statistics built during a
+/// training run: object/byte/reference counts, the exact maximum lifetime
+/// (the training rule needs it exactly), and the P² quantile histogram of
+/// the site's lifetime distribution (the paper's section 4.1 data).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_CORE_SITETABLE_H
+#define LIFEPRED_CORE_SITETABLE_H
+
+#include "core/SiteKey.h"
+#include "quantile/QuantileHistogram.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace lifepred {
+
+/// Statistics for a single allocation site.
+struct SiteStats {
+  uint64_t Objects = 0;      ///< Objects allocated at this site.
+  uint64_t Bytes = 0;        ///< Bytes allocated at this site.
+  uint64_t Refs = 0;         ///< Heap references to this site's objects.
+  uint64_t MaxLifetime = 0;  ///< Exact maximum observed lifetime.
+  QuantileHistogram Lifetimes{8}; ///< Streaming lifetime histogram.
+
+  /// Records one object.
+  void add(uint32_t Size, uint64_t Lifetime, uint32_t ObjectRefs) {
+    ++Objects;
+    Bytes += Size;
+    Refs += ObjectRefs;
+    if (Lifetime > MaxLifetime)
+      MaxLifetime = Lifetime;
+    Lifetimes.add(static_cast<double>(Lifetime));
+  }
+
+  /// The paper's selection rule: every object died under \p Threshold.
+  bool allShortLived(uint64_t Threshold) const {
+    return Objects > 0 && MaxLifetime < Threshold;
+  }
+};
+
+/// Site-keyed statistics table.
+using SiteTable = std::unordered_map<SiteKey, SiteStats>;
+
+} // namespace lifepred
+
+#endif // LIFEPRED_CORE_SITETABLE_H

@@ -1,0 +1,53 @@
+//===- core/ThresholdSelector.cpp - Automatic threshold choice -------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ThresholdSelector.h"
+
+#include <algorithm>
+
+using namespace lifepred;
+
+ThresholdSelection lifepred::selectThreshold(
+    const Profile &Profile, const ThresholdSelectorOptions &Options) {
+  std::vector<uint64_t> Candidates = Options.Candidates;
+  if (Candidates.empty())
+    for (uint64_t T = 2 * 1024; T <= 512 * 1024; T *= 2)
+      Candidates.push_back(T);
+  std::sort(Candidates.begin(), Candidates.end());
+
+  ThresholdSelection Selection;
+  double BestCoverage = 0;
+  for (uint64_t Threshold : Candidates) {
+    ThresholdCandidate Candidate;
+    Candidate.Threshold = Threshold;
+    Candidate.ImpliedArenaBytes = 2 * Threshold;
+    if (Options.MaxArenaBytes != 0 &&
+        Candidate.ImpliedArenaBytes > Options.MaxArenaBytes)
+      continue;
+    for (const auto &[Key, Stats] : Profile.Sites) {
+      if (!Stats.allShortLived(Threshold))
+        continue;
+      ++Candidate.QualifyingSites;
+      Candidate.PredictedBytes += Stats.Bytes;
+    }
+    Candidate.CoveragePercent =
+        Profile.TotalBytes == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(Candidate.PredictedBytes) /
+                  static_cast<double>(Profile.TotalBytes);
+    BestCoverage = std::max(BestCoverage, Candidate.CoveragePercent);
+    Selection.Candidates.push_back(Candidate);
+  }
+
+  // Knee: the smallest threshold within KneeFraction of the best coverage.
+  for (const ThresholdCandidate &Candidate : Selection.Candidates) {
+    if (Candidate.CoveragePercent >= Options.KneeFraction * BestCoverage) {
+      Selection.Threshold = Candidate.Threshold;
+      break;
+    }
+  }
+  return Selection;
+}

@@ -1,0 +1,71 @@
+//===- core/ThresholdSelector.h - Automatic threshold choice ----*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Automatic selection of the short-lived threshold.  The paper fixes
+/// 32 KB by hand and notes that "in general, this value would be
+/// determined automatically by the tool that analyses the program
+/// behavior" — this is that tool.
+///
+/// The tradeoff (paper section 4.1): a larger threshold qualifies more
+/// sites (more predicted bytes) but needs a proportionally larger arena
+/// area (the paper sizes the area at twice the threshold), costing memory
+/// and diluting locality.  The selector sweeps candidate thresholds,
+/// scores each by predicted-byte coverage penalized by the implied arena
+/// area, and returns the knee: the smallest threshold within a
+/// configurable fraction of the best achievable coverage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_CORE_THRESHOLDSELECTOR_H
+#define LIFEPRED_CORE_THRESHOLDSELECTOR_H
+
+#include "core/Profiler.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lifepred {
+
+/// One candidate threshold's evaluation.
+struct ThresholdCandidate {
+  uint64_t Threshold = 0;       ///< Bytes.
+  uint64_t QualifyingSites = 0; ///< Sites whose objects all die under it.
+  uint64_t PredictedBytes = 0;  ///< Bytes those sites allocated in training.
+  double CoveragePercent = 0;   ///< PredictedBytes / total bytes.
+  uint64_t ImpliedArenaBytes = 0; ///< 2x threshold (the paper's sizing).
+};
+
+/// Selector configuration.
+struct ThresholdSelectorOptions {
+  /// Candidate thresholds; empty = powers of two from 2 KB to 512 KB.
+  std::vector<uint64_t> Candidates;
+
+  /// Accept the smallest threshold whose coverage reaches this fraction of
+  /// the best candidate's coverage (the knee criterion).
+  double KneeFraction = 0.95;
+
+  /// Hard cap on the implied arena area; candidates above it are skipped
+  /// (0 = no cap).
+  uint64_t MaxArenaBytes = 0;
+};
+
+/// Result: the chosen threshold plus the full candidate table.
+struct ThresholdSelection {
+  uint64_t Threshold = 0;
+  std::vector<ThresholdCandidate> Candidates;
+};
+
+/// Sweeps thresholds over \p Profile and picks the knee.  The profile must
+/// have been built with the complete-chain (or any fixed) policy; only the
+/// per-site maximum lifetimes and byte counts are consulted, so one
+/// profiling pass serves every candidate.
+ThresholdSelection selectThreshold(
+    const Profile &Profile, const ThresholdSelectorOptions &Options = {});
+
+} // namespace lifepred
+
+#endif // LIFEPRED_CORE_THRESHOLDSELECTOR_H

@@ -1,0 +1,23 @@
+//===- core/Trainer.cpp - Site selection from a profile --------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Trainer.h"
+
+using namespace lifepred;
+
+SiteDatabase lifepred::trainDatabase(const Profile &Profile,
+                                     const SiteKeyPolicy &Policy,
+                                     const TrainingOptions &Options) {
+  SiteDatabase DB(Policy, Options.Threshold);
+  uint64_t MinObjects = Options.MinObjects == 0 ? 1 : Options.MinObjects;
+  for (const auto &[Key, Stats] : Profile.Sites) {
+    if (Stats.Objects < MinObjects)
+      continue;
+    if (Stats.allShortLived(Options.Threshold))
+      DB.insert(Key);
+  }
+  return DB;
+}

@@ -1,0 +1,49 @@
+//===- core/Trainer.h - Site selection from a profile -----------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a training profile into a predicted-short-lived site database by
+/// applying the paper's selection rule: a site is selected iff *all* of its
+/// training objects died before the short-lived threshold (32 KB by
+/// default).  The rule is deliberately conservative because incorrect
+/// prediction is expensive — an erroneously predicted long-lived object
+/// ties up an entire arena.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_CORE_TRAINER_H
+#define LIFEPRED_CORE_TRAINER_H
+
+#include "core/Profiler.h"
+#include "core/SiteDatabase.h"
+
+#include <cstdint>
+
+namespace lifepred {
+
+/// The paper's default short-lived threshold: 32 kilobytes of allocation.
+inline constexpr uint64_t DefaultShortLivedThreshold = 32 * 1024;
+
+/// Training configuration.
+struct TrainingOptions {
+  /// An object is short-lived if it dies before this many bytes are
+  /// allocated after its birth.
+  uint64_t Threshold = DefaultShortLivedThreshold;
+
+  /// Minimum objects a site must have allocated in training to be
+  /// considered (0/1 = the paper's behaviour: every observed site counts).
+  uint64_t MinObjects = 1;
+};
+
+/// Selects the all-short-lived sites of \p Profile into a database trained
+/// under \p Policy.
+SiteDatabase trainDatabase(const Profile &Profile,
+                           const SiteKeyPolicy &Policy,
+                           const TrainingOptions &Options = {});
+
+} // namespace lifepred
+
+#endif // LIFEPRED_CORE_TRAINER_H

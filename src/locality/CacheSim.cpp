@@ -1,0 +1,51 @@
+//===- locality/CacheSim.cpp - Set-associative cache simulator -------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "locality/CacheSim.h"
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace lifepred;
+
+CacheSim::CacheSim() : CacheSim(Config()) {}
+
+CacheSim::CacheSim(Config Config) : Cfg(Config) {
+  assert(isPowerOf2(Cfg.CacheBytes) && isPowerOf2(Cfg.LineBytes) &&
+         "cache geometry must be powers of two");
+  assert(Cfg.Ways >= 1 && "cache needs at least one way");
+  SetCount = static_cast<unsigned>(Cfg.CacheBytes / Cfg.LineBytes / Cfg.Ways);
+  assert(SetCount >= 1 && "cache too small for its associativity");
+  Lines.resize(static_cast<size_t>(SetCount) * Cfg.Ways);
+}
+
+bool CacheSim::access(uint64_t Address) {
+  ++Tick;
+  uint64_t LineAddr = Address / Cfg.LineBytes;
+  unsigned Set = static_cast<unsigned>(LineAddr % SetCount);
+  uint64_t Tag = LineAddr / SetCount;
+  Line *SetLines = &Lines[static_cast<size_t>(Set) * Cfg.Ways];
+
+  Line *Victim = &SetLines[0];
+  for (unsigned Way = 0; Way < Cfg.Ways; ++Way) {
+    Line &L = SetLines[Way];
+    if (L.Valid && L.Tag == Tag) {
+      L.LastUse = Tick;
+      ++Hits;
+      return true;
+    }
+    // Prefer an invalid line; otherwise evict the least recently used.
+    if (Victim->Valid && (!L.Valid || L.LastUse < Victim->LastUse))
+      Victim = &L;
+  }
+
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->LastUse = Tick;
+  ++Misses;
+  return false;
+}

@@ -1,0 +1,39 @@
+//===- locality/PageSim.cpp - LRU paging simulator -------------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "locality/PageSim.h"
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace lifepred;
+
+PageSim::PageSim() : PageSim(Config()) {}
+
+PageSim::PageSim(Config C) : Cfg(C) {
+  assert(isPowerOf2(Cfg.PageBytes) && "page size must be a power of two");
+  assert(Cfg.MemoryPages >= 1 && "need at least one resident page");
+}
+
+bool PageSim::access(uint64_t Address) {
+  ++Accesses;
+  uint64_t Page = Address / Cfg.PageBytes;
+  auto It = Resident.find(Page);
+  if (It != Resident.end()) {
+    // Hit: move to the front of the LRU list.
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return false;
+  }
+  ++Faults;
+  if (Lru.size() >= Cfg.MemoryPages) {
+    Resident.erase(Lru.back());
+    Lru.pop_back();
+  }
+  Lru.push_front(Page);
+  Resident[Page] = Lru.begin();
+  return true;
+}

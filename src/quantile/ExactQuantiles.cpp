@@ -1,0 +1,31 @@
+//===- quantile/ExactQuantiles.cpp - Exact quantile reference --------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "quantile/ExactQuantiles.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace lifepred;
+
+void ExactQuantiles::ensureSorted() {
+  if (Sorted)
+    return;
+  std::sort(Values.begin(), Values.end());
+  Sorted = true;
+}
+
+double ExactQuantiles::quantile(double Phi) {
+  assert(!Values.empty() && "no observations");
+  ensureSorted();
+  Phi = std::clamp(Phi, 0.0, 1.0);
+  double Rank = Phi * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}

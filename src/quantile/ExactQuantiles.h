@@ -1,0 +1,54 @@
+//===- quantile/ExactQuantiles.h - Exact quantile reference -----*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact quantile computation that stores every observation.  Used as the
+/// ground-truth oracle in tests and by Table 3's harness, which reports how
+/// far the streaming P² approximation drifts from the truth (the paper makes
+/// the same remark for GHOST's 75% quantile).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_QUANTILE_EXACTQUANTILES_H
+#define LIFEPRED_QUANTILE_EXACTQUANTILES_H
+
+#include <cstdint>
+#include <vector>
+
+namespace lifepred {
+
+/// Stores observations and answers exact quantile queries.
+class ExactQuantiles {
+public:
+  /// Records one observation.
+  void add(double Value) {
+    Values.push_back(Value);
+    Sorted = false;
+  }
+
+  /// Number of observations.
+  uint64_t count() const { return Values.size(); }
+
+  /// Exact quantile at probability \p Phi in [0, 1] using linear
+  /// interpolation between order statistics.  Requires count() > 0.
+  double quantile(double Phi);
+
+  /// Exact minimum.  Requires count() > 0.
+  double min() { return quantile(0.0); }
+
+  /// Exact maximum.  Requires count() > 0.
+  double max() { return quantile(1.0); }
+
+private:
+  void ensureSorted();
+
+  std::vector<double> Values;
+  bool Sorted = false;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_QUANTILE_EXACTQUANTILES_H

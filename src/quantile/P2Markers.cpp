@@ -1,0 +1,149 @@
+//===- quantile/P2Markers.cpp - Generic P-squared marker set ---------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "quantile/P2Markers.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace lifepred;
+
+P2Markers::P2Markers(std::vector<double> InTargets) {
+  std::sort(InTargets.begin(), InTargets.end());
+  Targets.reserve(InTargets.size() + 2);
+  if (InTargets.empty() || InTargets.front() > 0.0)
+    Targets.push_back(0.0);
+  for (double T : InTargets) {
+    assert(T >= 0.0 && T <= 1.0 && "quantile target out of range");
+    if (Targets.empty() || T > Targets.back())
+      Targets.push_back(T);
+  }
+  if (Targets.back() < 1.0)
+    Targets.push_back(1.0);
+  assert(Targets.size() >= 3 && "need at least one interior target");
+
+  Heights.reserve(Targets.size());
+  Positions.reserve(Targets.size());
+  Desired.reserve(Targets.size());
+}
+
+void P2Markers::add(double Value) {
+  if (Count < Targets.size())
+    addInitial(Value);
+  else
+    addSteadyState(Value);
+  ++Count;
+}
+
+void P2Markers::addInitial(double Value) {
+  // Collect the first M observations sorted; once M have arrived they
+  // become the initial marker heights.
+  auto It = std::lower_bound(Heights.begin(), Heights.end(), Value);
+  Heights.insert(It, Value);
+  if (Heights.size() == Targets.size()) {
+    Positions.resize(Targets.size());
+    Desired.resize(Targets.size());
+    for (size_t I = 0; I < Targets.size(); ++I) {
+      Positions[I] = static_cast<double>(I + 1);
+      Desired[I] = 1.0 + Targets[I] * static_cast<double>(Targets.size() - 1);
+    }
+  }
+}
+
+void P2Markers::addSteadyState(double Value) {
+  size_t M = Targets.size();
+
+  // Find the cell containing the new observation, extending the extreme
+  // markers when the observation falls outside the current range.
+  size_t K;
+  if (Value < Heights[0]) {
+    Heights[0] = Value;
+    K = 0;
+  } else if (Value >= Heights[M - 1]) {
+    Heights[M - 1] = Value;
+    K = M - 2;
+  } else {
+    K = 0;
+    while (K + 1 < M && Value >= Heights[K + 1])
+      ++K;
+  }
+
+  for (size_t I = K + 1; I < M; ++I)
+    Positions[I] += 1.0;
+  for (size_t I = 0; I < M; ++I)
+    Desired[I] += Targets[I];
+
+  // Adjust interior markers whose actual position drifted at least one slot
+  // away from the desired position.
+  for (size_t I = 1; I + 1 < M; ++I) {
+    double Drift = Desired[I] - Positions[I];
+    bool MoveUp = Drift >= 1.0 && Positions[I + 1] - Positions[I] > 1.0;
+    bool MoveDown = Drift <= -1.0 && Positions[I - 1] - Positions[I] < -1.0;
+    if (!MoveUp && !MoveDown)
+      continue;
+    double Direction = MoveUp ? 1.0 : -1.0;
+    double NewHeight = parabolic(I, Direction);
+    if (NewHeight <= Heights[I - 1] || NewHeight >= Heights[I + 1])
+      NewHeight = linear(I, Direction);
+    Heights[I] = NewHeight;
+    Positions[I] += Direction;
+  }
+}
+
+double P2Markers::parabolic(size_t I, double Direction) const {
+  double Q = Heights[I];
+  double QPrev = Heights[I - 1];
+  double QNext = Heights[I + 1];
+  double N = Positions[I];
+  double NPrev = Positions[I - 1];
+  double NNext = Positions[I + 1];
+  return Q + Direction / (NNext - NPrev) *
+                 ((N - NPrev + Direction) * (QNext - Q) / (NNext - N) +
+                  (NNext - N - Direction) * (Q - QPrev) / (N - NPrev));
+}
+
+double P2Markers::linear(size_t I, double Direction) const {
+  size_t J = Direction > 0 ? I + 1 : I - 1;
+  return Heights[I] + Direction * (Heights[J] - Heights[I]) /
+                          (Positions[J] - Positions[I]);
+}
+
+double P2Markers::markerValue(size_t I) const {
+  assert(Count > 0 && "no observations");
+  assert(I < Targets.size() && "marker index out of range");
+  if (Count < Targets.size()) {
+    // Transient phase: interpolate into the sorted prefix.
+    double Rank = Targets[I] * static_cast<double>(Heights.size() - 1);
+    size_t Lo = static_cast<size_t>(Rank);
+    size_t Hi = std::min(Lo + 1, Heights.size() - 1);
+    double Frac = Rank - static_cast<double>(Lo);
+    return Heights[Lo] * (1.0 - Frac) + Heights[Hi] * Frac;
+  }
+  return Heights[I];
+}
+
+double P2Markers::quantile(double Phi) const {
+  assert(Count > 0 && "no observations");
+  Phi = std::clamp(Phi, 0.0, 1.0);
+  if (Count < Targets.size()) {
+    double Rank = Phi * static_cast<double>(Heights.size() - 1);
+    size_t Lo = static_cast<size_t>(Rank);
+    size_t Hi = std::min(Lo + 1, Heights.size() - 1);
+    double Frac = Rank - static_cast<double>(Lo);
+    return Heights[Lo] * (1.0 - Frac) + Heights[Hi] * Frac;
+  }
+  // Find surrounding targets and interpolate between marker heights.
+  size_t Hi = 0;
+  while (Hi + 1 < Targets.size() && Targets[Hi] < Phi)
+    ++Hi;
+  if (Hi == 0)
+    return Heights[0];
+  size_t Lo = Hi - 1;
+  double Span = Targets[Hi] - Targets[Lo];
+  double Frac = Span <= 0 ? 0.0 : (Phi - Targets[Lo]) / Span;
+  return Heights[Lo] * (1.0 - Frac) + Heights[Hi] * Frac;
+}

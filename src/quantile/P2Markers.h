@@ -1,0 +1,84 @@
+//===- quantile/P2Markers.h - Generic P-squared marker set ------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic multi-marker P² quantile estimator (Jain & Chlamtac, CACM 28(10),
+/// 1985).  The paper uses this algorithm to summarize the object-lifetime
+/// distribution of every allocation site with O(#markers) memory instead of
+/// storing every observed lifetime.
+///
+/// A marker set tracks a fixed vector of target cumulative probabilities
+/// (e.g. {0, .25, .5, .75, 1} for quartiles).  Marker heights are adjusted
+/// with the piecewise-parabolic (P²) formula as observations arrive, falling
+/// back to linear adjustment when the parabolic prediction would break
+/// monotonicity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_QUANTILE_P2MARKERS_H
+#define LIFEPRED_QUANTILE_P2MARKERS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lifepred {
+
+/// Streaming quantile estimator over an arbitrary set of target quantiles.
+class P2Markers {
+public:
+  /// Creates an estimator for the given \p Targets, which must be strictly
+  /// increasing and bracketed by 0.0 and 1.0 (both are added automatically
+  /// if missing).  At least one interior target is required.
+  explicit P2Markers(std::vector<double> Targets);
+
+  /// Adds one observation.
+  void add(double Value);
+
+  /// Returns the number of observations added so far.
+  uint64_t count() const { return Count; }
+
+  /// Returns the estimate for the I-th target quantile (including the
+  /// implicit 0.0 and 1.0 endpoints).  Exact while count() <= #markers.
+  double markerValue(size_t I) const;
+
+  /// Returns the number of markers (targets including endpoints).
+  size_t markerCount() const { return Targets.size(); }
+
+  /// Returns the target probability of the I-th marker.
+  double markerTarget(size_t I) const { return Targets[I]; }
+
+  /// Estimates an arbitrary quantile \p Phi in [0, 1] by interpolating
+  /// linearly between neighbouring markers.
+  double quantile(double Phi) const;
+
+  /// Smallest observation seen (marker 0).  Requires count() > 0.
+  double min() const { return markerValue(0); }
+
+  /// Largest observation seen (last marker).  Requires count() > 0.
+  double max() const { return markerValue(Targets.size() - 1); }
+
+private:
+  void addInitial(double Value);
+  void addSteadyState(double Value);
+
+  /// Piecewise-parabolic height prediction for marker \p I moved by
+  /// \p Direction (+1 or -1).
+  double parabolic(size_t I, double Direction) const;
+
+  /// Linear height prediction for marker \p I moved by \p Direction.
+  double linear(size_t I, double Direction) const;
+
+  std::vector<double> Targets;  ///< Target probabilities, 0 and 1 included.
+  std::vector<double> Heights;  ///< Current marker heights (q_i).
+  std::vector<double> Positions; ///< Current marker positions (n_i), 1-based.
+  std::vector<double> Desired;  ///< Desired marker positions (n'_i).
+  uint64_t Count = 0;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_QUANTILE_P2MARKERS_H

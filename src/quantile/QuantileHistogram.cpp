@@ -1,0 +1,45 @@
+//===- quantile/QuantileHistogram.cpp - Lifetime quantile histogram --------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "quantile/QuantileHistogram.h"
+
+#include <cassert>
+
+using namespace lifepred;
+
+std::vector<double> QuantileHistogram::cellTargets(unsigned Cells) {
+  assert(Cells >= 2 && "a histogram needs at least two cells");
+  std::vector<double> Targets;
+  Targets.reserve(Cells + 1);
+  for (unsigned I = 0; I <= Cells; ++I)
+    Targets.push_back(static_cast<double>(I) / Cells);
+  return Targets;
+}
+
+QuantileHistogram::QuantileHistogram(unsigned Cells)
+    : Cells(Cells), Markers(cellTargets(Cells)) {}
+
+void QuantileHistogram::add(double Lifetime) {
+  if (Markers.count() == 0) {
+    Min = Lifetime;
+    Max = Lifetime;
+  } else {
+    if (Lifetime < Min)
+      Min = Lifetime;
+    if (Lifetime > Max)
+      Max = Lifetime;
+  }
+  Markers.add(Lifetime);
+}
+
+double QuantileHistogram::quantile(double Phi) const {
+  assert(count() > 0 && "no observations");
+  if (Phi <= 0.0)
+    return Min;
+  if (Phi >= 1.0)
+    return Max;
+  return Markers.quantile(Phi);
+}

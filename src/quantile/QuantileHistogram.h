@@ -1,0 +1,69 @@
+//===- quantile/QuantileHistogram.h - Lifetime quantile histogram -*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lifetime quantile histogram of the paper's section 4.1: a B-cell
+/// equiprobable histogram maintained with the P² algorithm, plus the exact
+/// extrema and observation count that the predictor's training rule needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_QUANTILE_QUANTILEHISTOGRAM_H
+#define LIFEPRED_QUANTILE_QUANTILEHISTOGRAM_H
+
+#include "quantile/P2Markers.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lifepred {
+
+/// Streaming B-cell quantile histogram of a lifetime distribution.
+///
+/// markerValue(i) estimates the i/B quantile.  The exact minimum and
+/// maximum are tracked separately because the training rule ("all objects
+/// at this site died before the threshold") must be exact, not estimated.
+class QuantileHistogram {
+public:
+  /// Creates a histogram with \p Cells equiprobable cells (Cells >= 2).
+  explicit QuantileHistogram(unsigned Cells = 8);
+
+  /// Records one observed lifetime (in allocated bytes).
+  void add(double Lifetime);
+
+  /// Number of recorded lifetimes.
+  uint64_t count() const { return Markers.count(); }
+
+  /// Exact minimum recorded lifetime; requires count() > 0.
+  double min() const { return Min; }
+
+  /// Exact maximum recorded lifetime; requires count() > 0.
+  double max() const { return Max; }
+
+  /// Estimated quantile at probability \p Phi in [0, 1].
+  double quantile(double Phi) const;
+
+  /// Number of equiprobable cells.
+  unsigned cells() const { return Cells; }
+
+  /// Returns true if every recorded lifetime was strictly below
+  /// \p Threshold.  This is the paper's site-selection predicate.
+  bool allBelow(double Threshold) const {
+    return count() > 0 && Max < Threshold;
+  }
+
+private:
+  static std::vector<double> cellTargets(unsigned Cells);
+
+  unsigned Cells;
+  P2Markers Markers;
+  double Min = 0;
+  double Max = 0;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_QUANTILE_QUANTILEHISTOGRAM_H

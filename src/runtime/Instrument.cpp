@@ -1,0 +1,22 @@
+//===- runtime/Instrument.cpp - Function instrumentation -------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Instrument.h"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+using namespace lifepred;
+
+FunctionId lifepred::runtimeFunctionId(const char *Name) {
+  static std::mutex Lock;
+  static std::unordered_map<std::string, FunctionId> Ids;
+  std::lock_guard<std::mutex> Guard(Lock);
+  auto [It, Inserted] =
+      Ids.try_emplace(Name, static_cast<FunctionId>(Ids.size()));
+  return It->second;
+}

@@ -1,0 +1,57 @@
+//===- runtime/Instrument.h - Function instrumentation macro ----*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instrumentation for real, in-process call-chain capture.  The paper
+/// walks SPARC stack frames; portable C++ cannot, so applications mark
+/// instrumented functions with LIFEPRED_FUNCTION() at the top of the body,
+/// which pushes an RAII frame onto the thread's shadow stack (one
+/// FunctionId push plus one XOR for the encryption key — the same order of
+/// cost as the paper's 3-instruction call-chain encryption).
+///
+/// \code
+///   void parseExpression() {
+///     LIFEPRED_FUNCTION();
+///     Node *N = static_cast<Node *>(Heap.allocate(sizeof(Node)));
+///     ...
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_RUNTIME_INSTRUMENT_H
+#define LIFEPRED_RUNTIME_INSTRUMENT_H
+
+#include "callchain/ShadowStack.h"
+
+#include <string>
+
+namespace lifepred {
+
+/// Interns runtime function names into stable FunctionIds, process-wide.
+/// (The offline pipeline uses per-run FunctionRegistry instances; the
+/// runtime needs a single registry shared by every instrumented function.)
+FunctionId runtimeFunctionId(const char *Name);
+
+} // namespace lifepred
+
+/// Marks the enclosing function as instrumented for call-chain capture.
+#define LIFEPRED_FUNCTION()                                                   \
+  static const ::lifepred::FunctionId LifepredFuncId =                       \
+      ::lifepred::runtimeFunctionId(__func__);                               \
+  ::lifepred::ScopedFrame LifepredFrame(LifepredFuncId,                      \
+                                        static_cast<::lifepred::ChainKey>(   \
+                                            LifepredFuncId & 0xffff))
+
+/// Variant with an explicit name (for lambdas or disambiguation).
+#define LIFEPRED_NAMED_FUNCTION(Name)                                         \
+  static const ::lifepred::FunctionId LifepredFuncId =                       \
+      ::lifepred::runtimeFunctionId(Name);                                   \
+  ::lifepred::ScopedFrame LifepredFrame(LifepredFuncId,                      \
+                                        static_cast<::lifepred::ChainKey>(   \
+                                            LifepredFuncId & 0xffff))
+
+#endif // LIFEPRED_RUNTIME_INSTRUMENT_H

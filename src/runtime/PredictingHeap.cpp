@@ -1,0 +1,94 @@
+//===- runtime/PredictingHeap.cpp - Real predicting allocator --------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PredictingHeap.h"
+
+#include "callchain/ShadowStack.h"
+#include "support/MathExtras.h"
+
+#include <cassert>
+#include <new>
+
+using namespace lifepred;
+
+PredictingHeap::PredictingHeap(SiteDatabase Database)
+    : PredictingHeap(std::move(Database), Config()) {}
+
+PredictingHeap::PredictingHeap(SiteDatabase Database, Config Config)
+    : Database(std::move(Database)), Cfg(Config) {
+  assert(Cfg.ArenaCount > 0 && Cfg.AreaBytes % Cfg.ArenaCount == 0 &&
+         "arena area must divide evenly");
+  assert(isPowerOf2(Cfg.Alignment) && "alignment must be a power of two");
+  Area = std::make_unique<unsigned char[]>(Cfg.AreaBytes);
+  Arenas.resize(Cfg.ArenaCount);
+}
+
+PredictingHeap::~PredictingHeap() = default;
+
+bool PredictingHeap::isArenaPointer(const void *Ptr) const {
+  const auto *P = static_cast<const unsigned char *>(Ptr);
+  return P >= Area.get() && P < Area.get() + Cfg.AreaBytes;
+}
+
+void *PredictingHeap::bump(size_t Need, size_t Size) {
+  Arena &A = Arenas[Current];
+  void *Ptr = Area.get() + Current * arenaBytes() + A.AllocPtr;
+  A.AllocPtr += Need;
+  ++A.LiveCount;
+  ++Counters.ArenaAllocs;
+  Counters.ArenaBytes += Size;
+  return Ptr;
+}
+
+void *PredictingHeap::allocate(size_t Size) {
+  const ShadowStack &Stack = ShadowStack::current();
+  const SiteKeyPolicy &Policy = Database.policy();
+  CallChain Chain = Policy.Mode == SiteKeyMode::LastN
+                        ? Stack.captureLastN(Policy.Length)
+                        : Stack.capture();
+  bool Predicted =
+      Database.predictShortLived(Chain, static_cast<uint32_t>(Size));
+
+  std::unique_lock<std::mutex> Guard(Lock, std::defer_lock);
+  if (Cfg.ThreadSafe)
+    Guard.lock();
+
+  size_t Need = alignTo(Size, Cfg.Alignment);
+  if (Predicted && Need <= arenaBytes()) {
+    if (Arenas[Current].AllocPtr + Need <= arenaBytes())
+      return bump(Need, Size);
+    for (unsigned I = 0; I < Cfg.ArenaCount; ++I) {
+      if (Arenas[I].LiveCount == 0) {
+        ++Counters.Resets;
+        Arenas[I].AllocPtr = 0;
+        Current = I;
+        return bump(Need, Size);
+      }
+    }
+    ++Counters.Fallbacks;
+  }
+
+  ++Counters.GeneralAllocs;
+  Counters.GeneralBytes += Size;
+  return ::operator new(Size < 1 ? 1 : Size);
+}
+
+void PredictingHeap::deallocate(void *Ptr) {
+  if (!Ptr)
+    return;
+  std::unique_lock<std::mutex> Guard(Lock, std::defer_lock);
+  if (Cfg.ThreadSafe)
+    Guard.lock();
+  if (isArenaPointer(Ptr)) {
+    auto Offset = static_cast<size_t>(static_cast<unsigned char *>(Ptr) -
+                                      Area.get());
+    Arena &A = Arenas[Offset / arenaBytes()];
+    assert(A.LiveCount > 0 && "arena live count underflow");
+    --A.LiveCount;
+    return;
+  }
+  ::operator delete(Ptr);
+}

@@ -1,0 +1,63 @@
+//===- runtime/StlAllocator.h - STL adapter for PredictingHeap --*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An STL-compatible allocator adapter over PredictingHeap, so standard
+/// containers participate in lifetime prediction.  Combined with a
+/// LIFEPRED_FUNCTION frame at the container's use site, a std::vector's
+/// buffer can be profiled and — when its site trains short-lived —
+/// bump-allocated in an arena.
+///
+/// \code
+///   PredictingHeap Heap(Database);
+///   std::vector<int, StlAllocator<int>> V{StlAllocator<int>(Heap)};
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_RUNTIME_STLALLOCATOR_H
+#define LIFEPRED_RUNTIME_STLALLOCATOR_H
+
+#include "runtime/PredictingHeap.h"
+
+#include <cstddef>
+
+namespace lifepred {
+
+/// C++17-style allocator delegating to a PredictingHeap.
+template <typename T> class StlAllocator {
+public:
+  using value_type = T;
+
+  explicit StlAllocator(PredictingHeap &Heap) : Heap(&Heap) {}
+
+  template <typename U>
+  StlAllocator(const StlAllocator<U> &Other) : Heap(Other.heap()) {}
+
+  T *allocate(size_t N) {
+    return static_cast<T *>(Heap->allocate(N * sizeof(T)));
+  }
+
+  void deallocate(T *Ptr, size_t) { Heap->deallocate(Ptr); }
+
+  PredictingHeap *heap() const { return Heap; }
+
+  friend bool operator==(const StlAllocator &A, const StlAllocator &B) {
+    return A.Heap == B.Heap;
+  }
+  friend bool operator!=(const StlAllocator &A, const StlAllocator &B) {
+    return !(A == B);
+  }
+
+private:
+  template <typename U> friend class StlAllocator;
+
+  PredictingHeap *Heap;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_RUNTIME_STLALLOCATOR_H

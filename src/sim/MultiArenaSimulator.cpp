@@ -1,0 +1,68 @@
+//===- sim/MultiArenaSimulator.cpp - Banded-arena simulation ---------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MultiArenaSimulator.h"
+
+#include "trace/TraceReplayer.h"
+
+using namespace lifepred;
+
+namespace {
+
+class MultiArenaConsumer : public TraceConsumer {
+public:
+  MultiArenaConsumer(MultiArenaAllocator &Allocator,
+                     const AllocationTrace &Trace, const ClassDatabase &DB)
+      : Allocator(Allocator), DB(DB) {
+    Addresses.resize(Trace.size());
+    const SiteKeyPolicy &Policy = DB.policy();
+    ChainParts.resize(Trace.chainCount());
+    for (uint32_t I = 0; I < Trace.chainCount(); ++I)
+      ChainParts[I] = chainKeyPart(Policy, Trace.chain(I));
+  }
+
+  void onAlloc(uint64_t Id, const AllocRecord &Record, uint64_t) override {
+    SiteKey Key = siteKeyForRecord(DB.policy(),
+                                   ChainParts[Record.ChainIndex], Record);
+    Addresses[Id] = Allocator.allocate(Record.Size, DB.classify(Key));
+    if (Allocator.liveBytes() > MaxLive)
+      MaxLive = Allocator.liveBytes();
+  }
+
+  void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
+    Allocator.free(Addresses[Id]);
+  }
+
+  uint64_t maxLiveBytes() const { return MaxLive; }
+
+private:
+  MultiArenaAllocator &Allocator;
+  const ClassDatabase &DB;
+  std::vector<uint64_t> ChainParts;
+  std::vector<uint64_t> Addresses;
+  uint64_t MaxLive = 0;
+};
+
+} // namespace
+
+MultiArenaSimResult
+lifepred::simulateMultiArena(const AllocationTrace &Trace,
+                             const ClassDatabase &DB,
+                             MultiArenaAllocator::Config Config) {
+  MultiArenaAllocator Allocator(Config);
+  MultiArenaConsumer Consumer(Allocator, Trace, DB);
+  replayTrace(Trace, Consumer);
+
+  MultiArenaSimResult Result;
+  Result.MaxHeapBytes = Allocator.maxHeapBytes();
+  Result.MaxLiveBytes = Consumer.maxLiveBytes();
+  for (size_t Band = 0; Band < Allocator.bands(); ++Band)
+    Result.PerBand.push_back(Allocator.bandCounters(Band));
+  Result.GeneralAllocs = Allocator.generalAllocs();
+  Result.GeneralBytes = Allocator.generalBytes();
+  Result.General = Allocator.general().counters();
+  return Result;
+}

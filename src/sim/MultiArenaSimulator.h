@@ -1,0 +1,53 @@
+//===- sim/MultiArenaSimulator.h - Banded-arena simulation ------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace-driven simulation of the multi-band arena allocator with a
+/// trained ClassDatabase deciding each allocation's lifetime band.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_SIM_MULTIARENASIMULATOR_H
+#define LIFEPRED_SIM_MULTIARENASIMULATOR_H
+
+#include "alloc/MultiArenaAllocator.h"
+#include "core/LifetimeClassifier.h"
+#include "trace/AllocationTrace.h"
+
+#include <vector>
+
+namespace lifepred {
+
+/// Results of a banded-arena simulation.
+struct MultiArenaSimResult {
+  uint64_t MaxHeapBytes = 0;
+  uint64_t MaxLiveBytes = 0;
+  std::vector<MultiArenaAllocator::BandCounters> PerBand;
+  uint64_t GeneralAllocs = 0;
+  uint64_t GeneralBytes = 0;
+  FirstFitAllocator::Counters General;
+
+  /// Fraction of all allocated bytes placed in band \p Band's arenas.
+  double bandBytesPercent(size_t Band) const {
+    uint64_t Total = GeneralBytes;
+    for (const auto &Counters : PerBand)
+      Total += Counters.Bytes;
+    return Total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(PerBand[Band].Bytes) /
+                            static_cast<double>(Total);
+  }
+};
+
+/// Simulates \p Trace over a banded arena allocator configured by
+/// \p Config, with \p DB classifying each allocation.
+MultiArenaSimResult
+simulateMultiArena(const AllocationTrace &Trace, const ClassDatabase &DB,
+                   MultiArenaAllocator::Config Config =
+                       MultiArenaAllocator::Config());
+
+} // namespace lifepred
+
+#endif // LIFEPRED_SIM_MULTIARENASIMULATOR_H

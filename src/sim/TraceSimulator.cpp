@@ -1,0 +1,134 @@
+//===- sim/TraceSimulator.cpp - Trace-driven allocator simulation ----------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/TraceSimulator.h"
+
+#include "trace/TraceReplayer.h"
+
+#include <vector>
+
+using namespace lifepred;
+
+namespace {
+
+/// Replays a trace into any AllocatorSim, tracking peaks.
+class BaselineConsumer : public TraceConsumer {
+public:
+  BaselineConsumer(AllocatorSim &Allocator, size_t ObjectCount)
+      : Allocator(Allocator) {
+    Addresses.resize(ObjectCount);
+  }
+
+  void onAlloc(uint64_t Id, const AllocRecord &Record, uint64_t) override {
+    Addresses[Id] = Allocator.allocate(Record.Size);
+    if (Allocator.liveBytes() > MaxLive)
+      MaxLive = Allocator.liveBytes();
+  }
+
+  void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
+    Allocator.free(Addresses[Id]);
+  }
+
+  uint64_t maxLiveBytes() const { return MaxLive; }
+
+private:
+  AllocatorSim &Allocator;
+  std::vector<uint64_t> Addresses;
+  uint64_t MaxLive = 0;
+};
+
+/// Replays a trace into the arena allocator with per-alloc prediction.
+class ArenaConsumer : public TraceConsumer {
+public:
+  ArenaConsumer(ArenaAllocator &Allocator, const AllocationTrace &Trace,
+                const SiteDatabase &DB)
+      : Allocator(Allocator) {
+    Addresses.resize(Trace.size());
+    // Prediction depends only on (chain, rounded size); memoize per chain
+    // so the hot loop avoids re-hashing chains.
+    const SiteKeyPolicy &Policy = DB.policy();
+    ChainParts.resize(Trace.chainCount());
+    for (uint32_t I = 0; I < Trace.chainCount(); ++I)
+      ChainParts[I] = chainKeyPart(Policy, Trace.chain(I));
+    this->DB = &DB;
+  }
+
+  void onAlloc(uint64_t Id, const AllocRecord &Record, uint64_t) override {
+    SiteKey Key = siteKeyForRecord(DB->policy(),
+                                   ChainParts[Record.ChainIndex], Record);
+    bool Predicted = DB->contains(Key);
+    Addresses[Id] = Allocator.allocate(Record.Size, Predicted);
+    if (Allocator.liveBytes() > MaxLive)
+      MaxLive = Allocator.liveBytes();
+  }
+
+  void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
+    Allocator.free(Addresses[Id]);
+  }
+
+  uint64_t maxLiveBytes() const { return MaxLive; }
+
+private:
+  ArenaAllocator &Allocator;
+  const SiteDatabase *DB = nullptr;
+  std::vector<uint64_t> ChainParts;
+  std::vector<uint64_t> Addresses;
+  uint64_t MaxLive = 0;
+};
+
+} // namespace
+
+BaselineSimResult
+lifepred::simulateFirstFit(const AllocationTrace &Trace,
+                           const CostModel &Costs,
+                           FirstFitAllocator::Config Config) {
+  FirstFitAllocator Allocator(Config);
+  BaselineConsumer Consumer(Allocator, Trace.size());
+  replayTrace(Trace, Consumer);
+
+  BaselineSimResult Result;
+  Result.MaxHeapBytes = Allocator.maxHeapBytes();
+  Result.MaxLiveBytes = Consumer.maxLiveBytes();
+  Result.FirstFit = Allocator.counters();
+  Result.Instr = Costs.firstFit(Allocator.counters());
+  return Result;
+}
+
+BaselineSimResult lifepred::simulateBsd(const AllocationTrace &Trace,
+                                        const CostModel &Costs,
+                                        BsdAllocator::Config Config) {
+  BsdAllocator Allocator(Config);
+  BaselineConsumer Consumer(Allocator, Trace.size());
+  replayTrace(Trace, Consumer);
+
+  BaselineSimResult Result;
+  Result.MaxHeapBytes = Allocator.maxHeapBytes();
+  Result.MaxLiveBytes = Consumer.maxLiveBytes();
+  Result.Bsd = Allocator.counters();
+  Result.Instr = Costs.bsd(Allocator.counters());
+  return Result;
+}
+
+ArenaSimResult lifepred::simulateArena(const AllocationTrace &Trace,
+                                       const SiteDatabase &DB,
+                                       double CallsPerAlloc,
+                                       const CostModel &Costs,
+                                       ArenaAllocator::Config Config) {
+  ArenaAllocator Allocator(Config);
+  ArenaConsumer Consumer(Allocator, Trace, DB);
+  replayTrace(Trace, Consumer);
+
+  ArenaSimResult Result;
+  Result.MaxHeapBytes = Allocator.maxHeapBytes();
+  Result.MaxLiveBytes = Consumer.maxLiveBytes();
+  Result.Arena = Allocator.counters();
+  Result.General = Allocator.general().counters();
+  Result.InstrLen4 = Costs.arena(Result.Arena, Result.General,
+                                 /*UseCce=*/false, CallsPerAlloc);
+  Result.InstrCce = Costs.arena(Result.Arena, Result.General,
+                                /*UseCce=*/true, CallsPerAlloc);
+  return Result;
+}

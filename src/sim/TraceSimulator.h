@@ -1,0 +1,83 @@
+//===- sim/TraceSimulator.h - Trace-driven allocator simulation -*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives allocator simulators from an allocation trace, as the paper's
+/// section 5.2 does: each allocation event carries its size and the site
+/// identifier; the trained site database decides whether it goes to the
+/// short-lived arenas; frees are replayed at the byte clock implied by
+/// lifetimes.  The simulation reports heap sizes, arena fractions,
+/// operation counts, and reference-locality accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_SIM_TRACESIMULATOR_H
+#define LIFEPRED_SIM_TRACESIMULATOR_H
+
+#include "alloc/ArenaAllocator.h"
+#include "alloc/BsdAllocator.h"
+#include "alloc/CostModel.h"
+#include "alloc/FirstFitAllocator.h"
+#include "core/SiteDatabase.h"
+#include "trace/AllocationTrace.h"
+
+#include <cstdint>
+
+namespace lifepred {
+
+/// Results of one first-fit (or BSD) baseline simulation.
+struct BaselineSimResult {
+  uint64_t MaxHeapBytes = 0;
+  uint64_t MaxLiveBytes = 0;
+  FirstFitAllocator::Counters FirstFit;
+  BsdAllocator::Counters Bsd;
+  InstrPerOp Instr;
+};
+
+/// Results of one arena-allocator simulation.
+struct ArenaSimResult {
+  uint64_t MaxHeapBytes = 0;  ///< Includes the arena area.
+  uint64_t MaxLiveBytes = 0;
+  ArenaAllocator::Counters Arena;
+  FirstFitAllocator::Counters General;
+  InstrPerOp InstrLen4; ///< Cost with length-4 chain prediction.
+  InstrPerOp InstrCce;  ///< Cost with call-chain encryption.
+
+  double arenaAllocPercent() const {
+    uint64_t Total = Arena.ArenaAllocs + Arena.GeneralAllocs;
+    return Total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(Arena.ArenaAllocs) /
+                            static_cast<double>(Total);
+  }
+  double arenaBytesPercent() const {
+    uint64_t Total = Arena.ArenaBytes + Arena.GeneralBytes;
+    return Total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(Arena.ArenaBytes) /
+                            static_cast<double>(Total);
+  }
+};
+
+/// Simulates \p Trace over a plain first-fit heap.
+BaselineSimResult simulateFirstFit(
+    const AllocationTrace &Trace, const CostModel &Costs = {},
+    FirstFitAllocator::Config Config = FirstFitAllocator::Config());
+
+/// Simulates \p Trace over the BSD allocator.
+BaselineSimResult simulateBsd(const AllocationTrace &Trace,
+                              const CostModel &Costs = {},
+                              BsdAllocator::Config Config = BsdAllocator::Config());
+
+/// Simulates \p Trace over the lifetime-predicting arena allocator, with
+/// \p DB deciding which allocations are predicted short-lived.
+/// \p CallsPerAlloc feeds the cce cost estimate.
+ArenaSimResult simulateArena(const AllocationTrace &Trace,
+                             const SiteDatabase &DB, double CallsPerAlloc,
+                             const CostModel &Costs = {},
+                             ArenaAllocator::Config Config = ArenaAllocator::Config());
+
+} // namespace lifepred
+
+#endif // LIFEPRED_SIM_TRACESIMULATOR_H

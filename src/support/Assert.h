@@ -1,0 +1,40 @@
+//===- support/Assert.h - Assertion helpers ---------------------*- C++ -*-===//
+//
+// Part of the lifepred project: a reproduction of Barrett & Zorn,
+// "Using Lifetime Predictors to Improve Memory Allocation Performance",
+// PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion and unreachable-code helpers shared by every lifepred library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_SUPPORT_ASSERT_H
+#define LIFEPRED_SUPPORT_ASSERT_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lifepred {
+
+/// Reports an internal invariant violation and aborts.
+///
+/// Used to mark control flow that must never be reached if the program's
+/// invariants hold (e.g. a fully covered switch).  Unlike a bare assert this
+/// also fires in release builds, since reaching it means later behaviour
+/// would be undefined.
+[[noreturn]] inline void unreachableInternal(const char *Msg, const char *File,
+                                             unsigned Line) {
+  std::fprintf(stderr, "%s:%u: unreachable executed: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace lifepred
+
+#define LIFEPRED_UNREACHABLE(Msg)                                             \
+  ::lifepred::unreachableInternal(Msg, __FILE__, __LINE__)
+
+#endif // LIFEPRED_SUPPORT_ASSERT_H

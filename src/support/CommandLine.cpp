@@ -1,0 +1,55 @@
+//===- support/CommandLine.cpp - Tiny flag parser --------------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include <cstdlib>
+
+using namespace lifepred;
+
+CommandLine::CommandLine(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(2);
+    auto Eq = Body.find('=');
+    if (Eq == std::string::npos)
+      Flags[Body] = "true";
+    else
+      Flags[Body.substr(0, Eq)] = Body.substr(Eq + 1);
+  }
+}
+
+bool CommandLine::has(const std::string &Name) const {
+  return Flags.count(Name) != 0;
+}
+
+std::string CommandLine::getString(const std::string &Name,
+                                   const std::string &Default) const {
+  auto It = Flags.find(Name);
+  return It == Flags.end() ? Default : It->second;
+}
+
+int64_t CommandLine::getInt(const std::string &Name, int64_t Default) const {
+  auto It = Flags.find(Name);
+  if (It == Flags.end())
+    return Default;
+  char *End = nullptr;
+  int64_t Value = std::strtoll(It->second.c_str(), &End, 10);
+  return End && *End == '\0' ? Value : Default;
+}
+
+double CommandLine::getDouble(const std::string &Name, double Default) const {
+  auto It = Flags.find(Name);
+  if (It == Flags.end())
+    return Default;
+  char *End = nullptr;
+  double Value = std::strtod(It->second.c_str(), &End);
+  return End && *End == '\0' ? Value : Default;
+}

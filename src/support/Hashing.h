@@ -1,0 +1,47 @@
+//===- support/Hashing.h - Hashing utilities --------------------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 64-bit hashing helpers used to encode allocation sites and call-chains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_SUPPORT_HASHING_H
+#define LIFEPRED_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lifepred {
+
+/// FNV-1a offset basis and prime for 64-bit hashing.
+inline constexpr uint64_t FnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t FnvPrime = 0x100000001b3ULL;
+
+/// Hashes \p Size bytes starting at \p Data with FNV-1a.
+inline uint64_t hashBytes(const void *Data, size_t Size,
+                          uint64_t Seed = FnvOffsetBasis) {
+  const auto *Bytes = static_cast<const unsigned char *>(Data);
+  uint64_t Hash = Seed;
+  for (size_t I = 0; I < Size; ++I) {
+    Hash ^= Bytes[I];
+    Hash *= FnvPrime;
+  }
+  return Hash;
+}
+
+/// Mixes a 64-bit value into an accumulated hash (splitmix64 finalizer).
+inline uint64_t hashCombine(uint64_t Hash, uint64_t Value) {
+  uint64_t Z = Hash ^ (Value + 0x9e3779b97f4a7c15ULL + (Hash << 6) +
+                       (Hash >> 2));
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace lifepred
+
+#endif // LIFEPRED_SUPPORT_HASHING_H

@@ -1,0 +1,98 @@
+//===- support/TableFormatter.cpp - Aligned text tables -------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableFormatter.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace lifepred;
+
+TableFormatter::TableFormatter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TableFormatter::beginRow() { Rows.emplace_back(); }
+
+void TableFormatter::addCell(std::string Text) {
+  assert(!Rows.empty() && "beginRow must be called before adding cells");
+  Rows.back().push_back({std::move(Text), /*RightAlign=*/false});
+}
+
+void TableFormatter::addInt(int64_t Value) {
+  assert(!Rows.empty() && "beginRow must be called before adding cells");
+  Rows.back().push_back({withThousands(Value), /*RightAlign=*/true});
+}
+
+void TableFormatter::addReal(double Value, int Precision) {
+  assert(!Rows.empty() && "beginRow must be called before adding cells");
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  Rows.back().push_back({Buffer, /*RightAlign=*/true});
+}
+
+void TableFormatter::addPercent(double Value, int Precision) {
+  addReal(Value, Precision);
+}
+
+std::string TableFormatter::withThousands(int64_t Value) {
+  bool Negative = Value < 0;
+  uint64_t Magnitude =
+      Negative ? 0 - static_cast<uint64_t>(Value) : static_cast<uint64_t>(Value);
+  std::string Digits = std::to_string(Magnitude);
+  std::string Result;
+  int Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count != 0 && Count % 3 == 0)
+      Result.push_back(',');
+    Result.push_back(*It);
+    ++Count;
+  }
+  if (Negative)
+    Result.push_back('-');
+  return std::string(Result.rbegin(), Result.rend());
+}
+
+void TableFormatter::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t I = 0; I < Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size() && I < Widths.size(); ++I)
+      if (Row[I].Text.size() > Widths[I])
+        Widths[I] = Row[I].Text.size();
+
+  auto PrintPadded = [&](const std::string &Text, size_t Width,
+                         bool RightAlign) {
+    size_t Pad = Width > Text.size() ? Width - Text.size() : 0;
+    if (RightAlign)
+      OS << std::string(Pad, ' ') << Text;
+    else
+      OS << Text << std::string(Pad, ' ');
+  };
+
+  for (size_t I = 0; I < Headers.size(); ++I) {
+    if (I)
+      OS << "  ";
+    PrintPadded(Headers[I], Widths[I], /*RightAlign=*/false);
+  }
+  OS << '\n';
+
+  size_t RuleWidth = 0;
+  for (size_t I = 0; I < Widths.size(); ++I)
+    RuleWidth += Widths[I] + (I ? 2 : 0);
+  OS << std::string(RuleWidth, '-') << '\n';
+
+  for (const auto &Row : Rows) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I)
+        OS << "  ";
+      PrintPadded(Row[I].Text, I < Widths.size() ? Widths[I] : 0,
+                  Row[I].RightAlign);
+    }
+    OS << '\n';
+  }
+}

@@ -1,0 +1,65 @@
+//===- support/TableFormatter.h - Aligned text tables -----------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds aligned, paper-style text tables for the bench harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_SUPPORT_TABLEFORMATTER_H
+#define LIFEPRED_SUPPORT_TABLEFORMATTER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lifepred {
+
+/// Accumulates rows of cells and prints them with per-column alignment.
+///
+/// Numeric cells are right-aligned, text cells left-aligned.  The bench
+/// binaries use this to print rows in the same layout as the paper's tables
+/// so the output can be compared side-by-side with the published numbers.
+class TableFormatter {
+public:
+  /// Creates a table with the given column \p Headers.
+  explicit TableFormatter(std::vector<std::string> Headers);
+
+  /// Starts a new row; subsequent add* calls fill it left to right.
+  void beginRow();
+
+  /// Appends a text cell (left-aligned).
+  void addCell(std::string Text);
+
+  /// Appends an integer cell (right-aligned, thousands separators).
+  void addInt(int64_t Value);
+
+  /// Appends a floating-point cell with \p Precision fraction digits.
+  void addReal(double Value, int Precision = 1);
+
+  /// Appends a percentage cell formatted as e.g. "42.0".
+  void addPercent(double Value, int Precision = 1);
+
+  /// Renders the table to \p OS, including the header and a separator rule.
+  void print(std::ostream &OS) const;
+
+  /// Formats \p Value with thousands separators ("1,234,567").
+  static std::string withThousands(int64_t Value);
+
+private:
+  struct Cell {
+    std::string Text;
+    bool RightAlign = false;
+  };
+
+  std::vector<std::string> Headers;
+  std::vector<std::vector<Cell>> Rows;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_SUPPORT_TABLEFORMATTER_H

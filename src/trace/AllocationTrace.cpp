@@ -1,0 +1,28 @@
+//===- trace/AllocationTrace.cpp - Allocation trace storage ----------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/AllocationTrace.h"
+
+using namespace lifepred;
+
+uint32_t AllocationTrace::internChain(const CallChain &Chain) {
+  uint64_t Hash = Chain.hash();
+  auto &Bucket = ChainLookup[Hash];
+  for (uint32_t Index : Bucket)
+    if (Chains[Index] == Chain)
+      return Index;
+  auto Index = static_cast<uint32_t>(Chains.size());
+  Chains.push_back(Chain);
+  Bucket.push_back(Index);
+  return Index;
+}
+
+uint64_t AllocationTrace::totalBytes() const {
+  uint64_t Total = 0;
+  for (const AllocRecord &Record : Records)
+    Total += Record.Size;
+  return Total;
+}

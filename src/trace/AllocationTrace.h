@@ -1,0 +1,87 @@
+//===- trace/AllocationTrace.h - Allocation trace storage -------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage for a program's allocation trace.  Mirrors the paper's simulator
+/// input: each allocation event carries its size, its lifetime (in bytes
+/// allocated — the paper's time measure), and an identifier for the complete
+/// call-chain at the allocation point.  Free events are not stored: they are
+/// derived from lifetimes during replay (see TraceReplayer), which keeps a
+/// multi-million-object trace compact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_TRACE_ALLOCATIONTRACE_H
+#define LIFEPRED_TRACE_ALLOCATIONTRACE_H
+
+#include "callchain/CallChain.h"
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace lifepred {
+
+/// Lifetime value for objects that are never freed.
+inline constexpr uint64_t NeverFreed = std::numeric_limits<uint64_t>::max();
+
+/// One allocation event.  The object's id is its index in the trace.
+struct AllocRecord {
+  /// Bytes allocated between this object's birth and its free; NeverFreed
+  /// for objects alive at program exit.
+  uint64_t Lifetime = 0;
+  /// Requested object size in bytes.
+  uint32_t Size = 0;
+  /// Index into the trace's chain table (the complete, unpruned chain).
+  uint32_t ChainIndex = 0;
+  /// Simulated count of heap references made to this object over its life.
+  uint32_t Refs = 0;
+  /// The object's type, when the traced language exposes one (the paper's
+  /// future-work extension for C++/Modula); 0 = unknown.
+  uint32_t TypeId = 0;
+};
+
+/// An entire program run's allocation behaviour.
+class AllocationTrace {
+public:
+  /// Interns \p Chain into the chain table, returning its index.  Chains
+  /// are deduplicated, so repeated allocations from one site share an entry.
+  uint32_t internChain(const CallChain &Chain);
+
+  /// Appends one allocation event.
+  void append(const AllocRecord &Record) { Records.push_back(Record); }
+
+  /// All allocation events in birth order.
+  const std::vector<AllocRecord> &records() const { return Records; }
+
+  /// The chain for chain-table index \p Index.
+  const CallChain &chain(uint32_t Index) const { return Chains[Index]; }
+
+  /// Number of distinct chains.
+  size_t chainCount() const { return Chains.size(); }
+
+  /// Number of allocation events.
+  size_t size() const { return Records.size(); }
+
+  /// Total bytes allocated over the run.
+  uint64_t totalBytes() const;
+
+  /// References made to non-heap (stack/global) memory by the modeled
+  /// program; only used to report the paper's "Heap Refs %" column.
+  uint64_t nonHeapRefs() const { return NonHeapRefs; }
+  void setNonHeapRefs(uint64_t Refs) { NonHeapRefs = Refs; }
+
+private:
+  std::vector<CallChain> Chains;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> ChainLookup;
+  std::vector<AllocRecord> Records;
+  uint64_t NonHeapRefs = 0;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_TRACE_ALLOCATIONTRACE_H

@@ -1,0 +1,120 @@
+//===- trace/TraceBinaryIO.cpp - Binary trace serialization ----------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceBinaryIO.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+using namespace lifepred;
+
+namespace {
+
+constexpr char Magic[8] = {'L', 'P', 'T', 'R', 'A', 'C', 'E', '1'};
+
+void putU32(std::ostream &OS, uint32_t Value) {
+  unsigned char Bytes[4];
+  for (int I = 0; I < 4; ++I)
+    Bytes[I] = static_cast<unsigned char>(Value >> (8 * I));
+  OS.write(reinterpret_cast<const char *>(Bytes), 4);
+}
+
+void putU64(std::ostream &OS, uint64_t Value) {
+  unsigned char Bytes[8];
+  for (int I = 0; I < 8; ++I)
+    Bytes[I] = static_cast<unsigned char>(Value >> (8 * I));
+  OS.write(reinterpret_cast<const char *>(Bytes), 8);
+}
+
+bool getU32(std::istream &IS, uint32_t &Value) {
+  unsigned char Bytes[4];
+  if (!IS.read(reinterpret_cast<char *>(Bytes), 4))
+    return false;
+  Value = 0;
+  for (int I = 3; I >= 0; --I)
+    Value = (Value << 8) | Bytes[I];
+  return true;
+}
+
+bool getU64(std::istream &IS, uint64_t &Value) {
+  unsigned char Bytes[8];
+  if (!IS.read(reinterpret_cast<char *>(Bytes), 8))
+    return false;
+  Value = 0;
+  for (int I = 7; I >= 0; --I)
+    Value = (Value << 8) | Bytes[I];
+  return true;
+}
+
+} // namespace
+
+void lifepred::writeTraceBinary(const AllocationTrace &Trace,
+                                std::ostream &OS) {
+  OS.write(Magic, sizeof(Magic));
+  putU64(OS, Trace.nonHeapRefs());
+  putU32(OS, static_cast<uint32_t>(Trace.chainCount()));
+  for (size_t I = 0; I < Trace.chainCount(); ++I) {
+    const CallChain &Chain = Trace.chain(static_cast<uint32_t>(I));
+    putU32(OS, static_cast<uint32_t>(Chain.depth()));
+    for (FunctionId F : Chain.functions())
+      putU32(OS, F);
+  }
+  putU64(OS, Trace.size());
+  for (const AllocRecord &Record : Trace.records()) {
+    putU64(OS, Record.Lifetime);
+    putU32(OS, Record.Size);
+    putU32(OS, Record.ChainIndex);
+    putU32(OS, Record.Refs);
+    putU32(OS, Record.TypeId);
+  }
+}
+
+std::optional<AllocationTrace> lifepred::readTraceBinary(std::istream &IS) {
+  char Header[8];
+  if (!IS.read(Header, sizeof(Header)) ||
+      std::memcmp(Header, Magic, sizeof(Magic)) != 0)
+    return std::nullopt;
+
+  AllocationTrace Trace;
+  uint64_t NonHeapRefs = 0;
+  if (!getU64(IS, NonHeapRefs))
+    return std::nullopt;
+  Trace.setNonHeapRefs(NonHeapRefs);
+
+  uint32_t ChainCount = 0;
+  if (!getU32(IS, ChainCount))
+    return std::nullopt;
+  for (uint32_t I = 0; I < ChainCount; ++I) {
+    uint32_t Depth = 0;
+    if (!getU32(IS, Depth) || Depth > (1u << 20))
+      return std::nullopt; // Absurd depth: corrupt stream.
+    CallChain Chain;
+    for (uint32_t K = 0; K < Depth; ++K) {
+      uint32_t F = 0;
+      if (!getU32(IS, F))
+        return std::nullopt;
+      Chain.push(F);
+    }
+    if (Trace.internChain(Chain) != I)
+      return std::nullopt; // Duplicate chain entries: corrupt stream.
+  }
+
+  uint64_t RecordCount = 0;
+  if (!getU64(IS, RecordCount))
+    return std::nullopt;
+  for (uint64_t I = 0; I < RecordCount; ++I) {
+    AllocRecord Record;
+    if (!getU64(IS, Record.Lifetime) || !getU32(IS, Record.Size) ||
+        !getU32(IS, Record.ChainIndex) || !getU32(IS, Record.Refs) ||
+        !getU32(IS, Record.TypeId))
+      return std::nullopt;
+    if (Record.ChainIndex >= ChainCount)
+      return std::nullopt;
+    Trace.append(Record);
+  }
+  return Trace;
+}

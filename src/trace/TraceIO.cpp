@@ -1,0 +1,93 @@
+//===- trace/TraceIO.cpp - Trace text serialization ------------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceIO.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+using namespace lifepred;
+
+void lifepred::writeTrace(const AllocationTrace &Trace, std::ostream &OS) {
+  OS << "trace v1\n";
+  OS << "nonheaprefs " << Trace.nonHeapRefs() << '\n';
+  for (size_t I = 0; I < Trace.chainCount(); ++I) {
+    OS << "chain " << I;
+    for (FunctionId F : Trace.chain(static_cast<uint32_t>(I)).functions())
+      OS << ' ' << F;
+    OS << '\n';
+  }
+  for (const AllocRecord &Record : Trace.records()) {
+    OS << "alloc " << Record.Size << ' ' << Record.ChainIndex << ' ';
+    if (Record.Lifetime == NeverFreed)
+      OS << "never";
+    else
+      OS << Record.Lifetime;
+    OS << ' ' << Record.Refs;
+    if (Record.TypeId != 0)
+      OS << ' ' << Record.TypeId;
+    OS << '\n';
+  }
+}
+
+std::optional<AllocationTrace> lifepred::readTrace(std::istream &IS) {
+  std::string Line;
+  if (!std::getline(IS, Line) || Line != "trace v1")
+    return std::nullopt;
+
+  AllocationTrace Trace;
+  // Chain indices must match the file's declared indices; the file writer
+  // emits them densely in order, which internChain reproduces.
+  uint32_t NextChain = 0;
+  while (std::getline(IS, Line)) {
+    if (Line.empty())
+      continue;
+    std::istringstream LS(Line);
+    std::string Keyword;
+    LS >> Keyword;
+    if (Keyword == "nonheaprefs") {
+      uint64_t Refs = 0;
+      if (!(LS >> Refs))
+        return std::nullopt;
+      Trace.setNonHeapRefs(Refs);
+    } else if (Keyword == "chain") {
+      uint32_t Index = 0;
+      if (!(LS >> Index) || Index != NextChain)
+        return std::nullopt;
+      CallChain Chain;
+      FunctionId F = 0;
+      while (LS >> F)
+        Chain.push(F);
+      if (Trace.internChain(Chain) != NextChain)
+        return std::nullopt; // Duplicate chain line.
+      ++NextChain;
+    } else if (Keyword == "alloc") {
+      AllocRecord Record;
+      std::string LifetimeText;
+      if (!(LS >> Record.Size >> Record.ChainIndex >> LifetimeText >>
+            Record.Refs))
+        return std::nullopt;
+      if (Record.ChainIndex >= NextChain)
+        return std::nullopt;
+      if (LifetimeText == "never") {
+        Record.Lifetime = NeverFreed;
+      } else {
+        char *End = nullptr;
+        Record.Lifetime = std::strtoull(LifetimeText.c_str(), &End, 10);
+        if (!End || *End != '\0')
+          return std::nullopt;
+      }
+      LS >> Record.TypeId; // Optional trailing type id.
+      Trace.append(Record);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return Trace;
+}

@@ -1,0 +1,36 @@
+//===- trace/TraceIO.h - Trace text serialization ---------------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line-oriented text serialization for allocation traces, so traces can be
+/// saved, inspected, and replayed by external tooling.  Format:
+///
+///   trace v1
+///   nonheaprefs <count>
+///   chain <index> <f0> <f1> ... <fk>      # outermost first
+///   alloc <size> <chain-index> <lifetime|never> <refs>
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_TRACE_TRACEIO_H
+#define LIFEPRED_TRACE_TRACEIO_H
+
+#include "trace/AllocationTrace.h"
+
+#include <iosfwd>
+#include <optional>
+
+namespace lifepred {
+
+/// Writes \p Trace to \p OS in the text format above.
+void writeTrace(const AllocationTrace &Trace, std::ostream &OS);
+
+/// Parses a trace from \p IS.  Returns std::nullopt on malformed input.
+std::optional<AllocationTrace> readTrace(std::istream &IS);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_TRACE_TRACEIO_H

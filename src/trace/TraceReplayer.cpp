@@ -1,0 +1,54 @@
+//===- trace/TraceReplayer.cpp - Ordered trace replay ----------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceReplayer.h"
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+using namespace lifepred;
+
+namespace {
+
+/// A pending death: (death clock, object id).  Ordered so the earliest
+/// death — ties broken by birth order — pops first.
+using Death = std::pair<uint64_t, uint64_t>;
+
+} // namespace
+
+void lifepred::replayTrace(const AllocationTrace &Trace,
+                           TraceConsumer &Consumer) {
+  std::priority_queue<Death, std::vector<Death>, std::greater<Death>> Deaths;
+  const std::vector<AllocRecord> &Records = Trace.records();
+
+  uint64_t Clock = 0;
+  for (uint64_t Id = 0; Id < Records.size(); ++Id) {
+    const AllocRecord &Record = Records[Id];
+    // Frees whose death clock this allocation would cross happen first, so
+    // the allocator can reuse their space.
+    uint64_t NewClock = Clock + Record.Size;
+    while (!Deaths.empty() && Deaths.top().first < NewClock) {
+      uint64_t DeadId = Deaths.top().second;
+      uint64_t DeathClock = Deaths.top().first;
+      Deaths.pop();
+      Consumer.onFree(DeadId, Records[DeadId], DeathClock);
+    }
+    Clock = NewClock;
+    Consumer.onAlloc(Id, Record, Clock);
+    if (Record.Lifetime != NeverFreed)
+      Deaths.push({Clock + Record.Lifetime, Id});
+  }
+
+  // Drain deaths scheduled past the last allocation.
+  while (!Deaths.empty()) {
+    uint64_t DeadId = Deaths.top().second;
+    uint64_t DeathClock = Deaths.top().first;
+    Deaths.pop();
+    Consumer.onFree(DeadId, Records[DeadId], DeathClock);
+  }
+  Consumer.onEnd(Clock);
+}

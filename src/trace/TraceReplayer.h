@@ -1,0 +1,53 @@
+//===- trace/TraceReplayer.h - Ordered trace replay -------------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays an AllocationTrace as an interleaved alloc/free event stream.
+///
+/// The byte clock advances by the object's size at each allocation.  An
+/// object born when the clock (including its own size) reads B, with
+/// lifetime L, is freed once the clock reaches B + L — before the first
+/// allocation that would push the clock past that point.  This is exactly
+/// the paper's definition of lifetime as "bytes allocated between the time
+/// the object is allocated and when it is deallocated".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_TRACE_TRACEREPLAYER_H
+#define LIFEPRED_TRACE_TRACEREPLAYER_H
+
+#include "trace/AllocationTrace.h"
+
+#include <cstdint>
+
+namespace lifepred {
+
+/// Receives the interleaved event stream of a trace replay.
+class TraceConsumer {
+public:
+  virtual ~TraceConsumer() = default;
+
+  /// An object is born.  \p ObjectId is its trace index and \p Clock the
+  /// byte clock *after* this allocation.
+  virtual void onAlloc(uint64_t ObjectId, const AllocRecord &Record,
+                       uint64_t Clock) = 0;
+
+  /// An object dies.  \p Clock is the byte clock at the free.
+  virtual void onFree(uint64_t ObjectId, const AllocRecord &Record,
+                      uint64_t Clock) = 0;
+
+  /// The trace ended; \p Clock is the final byte clock.  Objects with
+  /// Lifetime == NeverFreed receive no onFree.  Objects whose death clock
+  /// exceeds the trace length are freed (in death order) before this call.
+  virtual void onEnd(uint64_t Clock) { (void)Clock; }
+};
+
+/// Replays \p Trace into \p Consumer in event order.
+void replayTrace(const AllocationTrace &Trace, TraceConsumer &Consumer);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_TRACE_TRACEREPLAYER_H

@@ -1,0 +1,52 @@
+//===- trace/TraceStats.cpp - Table 2 style trace metrics ------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceStats.h"
+
+#include "trace/TraceReplayer.h"
+
+using namespace lifepred;
+
+namespace {
+
+/// Tracks live objects/bytes during replay and records the peaks.
+class StatsConsumer : public TraceConsumer {
+public:
+  explicit StatsConsumer(TraceStats &Stats) : Stats(Stats) {}
+
+  void onAlloc(uint64_t, const AllocRecord &Record, uint64_t) override {
+    ++Stats.TotalObjects;
+    Stats.TotalBytes += Record.Size;
+    Stats.HeapRefs += Record.Refs;
+    ++LiveObjects;
+    LiveBytes += Record.Size;
+    if (LiveObjects > Stats.MaxLiveObjects)
+      Stats.MaxLiveObjects = LiveObjects;
+    if (LiveBytes > Stats.MaxLiveBytes)
+      Stats.MaxLiveBytes = LiveBytes;
+  }
+
+  void onFree(uint64_t, const AllocRecord &Record, uint64_t) override {
+    --LiveObjects;
+    LiveBytes -= Record.Size;
+  }
+
+private:
+  TraceStats &Stats;
+  uint64_t LiveObjects = 0;
+  uint64_t LiveBytes = 0;
+};
+
+} // namespace
+
+TraceStats lifepred::computeTraceStats(const AllocationTrace &Trace) {
+  TraceStats Stats;
+  Stats.NonHeapRefs = Trace.nonHeapRefs();
+  Stats.DistinctChains = Trace.chainCount();
+  StatsConsumer Consumer(Stats);
+  replayTrace(Trace, Consumer);
+  return Stats;
+}

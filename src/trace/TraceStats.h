@@ -1,0 +1,47 @@
+//===- trace/TraceStats.h - Table 2 style trace metrics ---------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-trace summary statistics corresponding to the paper's Table 2:
+/// total objects/bytes allocated, maximum simultaneously live objects/bytes,
+/// and the fraction of memory references that hit the heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_TRACE_TRACESTATS_H
+#define LIFEPRED_TRACE_TRACESTATS_H
+
+#include "trace/AllocationTrace.h"
+
+#include <cstdint>
+
+namespace lifepred {
+
+/// Summary of one trace.
+struct TraceStats {
+  uint64_t TotalObjects = 0;  ///< Allocation events.
+  uint64_t TotalBytes = 0;    ///< Sum of allocation sizes.
+  uint64_t MaxLiveObjects = 0; ///< Peak simultaneously-live objects.
+  uint64_t MaxLiveBytes = 0;  ///< Peak simultaneously-live bytes.
+  uint64_t HeapRefs = 0;      ///< References to heap objects.
+  uint64_t NonHeapRefs = 0;   ///< References elsewhere (model parameter).
+  size_t DistinctChains = 0;  ///< Distinct complete call-chains.
+
+  /// Percentage of all references that touch the heap (Table 2 "Heap Refs").
+  double heapRefPercent() const {
+    uint64_t Total = HeapRefs + NonHeapRefs;
+    return Total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(HeapRefs) /
+                            static_cast<double>(Total);
+  }
+};
+
+/// Computes summary statistics for \p Trace via replay.
+TraceStats computeTraceStats(const AllocationTrace &Trace);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_TRACE_TRACESTATS_H

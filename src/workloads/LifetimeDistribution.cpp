@@ -1,0 +1,139 @@
+//===- workloads/LifetimeDistribution.cpp - Lifetime sampling --------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/LifetimeDistribution.h"
+
+#include "support/Assert.h"
+#include "trace/AllocationTrace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace lifepred;
+
+LifetimeDistribution LifetimeDistribution::constant(uint64_t Lifetime) {
+  assert(Lifetime >= 1 && "lifetimes are at least one byte");
+  LifetimeDistribution D;
+  D.Kind = KindTy::Constant;
+  D.A = Lifetime;
+  return D;
+}
+
+LifetimeDistribution LifetimeDistribution::uniform(uint64_t Lo, uint64_t Hi) {
+  assert(Lo >= 1 && Lo <= Hi && "invalid uniform range");
+  LifetimeDistribution D;
+  D.Kind = KindTy::Uniform;
+  D.A = Lo;
+  D.B = Hi;
+  return D;
+}
+
+LifetimeDistribution LifetimeDistribution::logUniform(uint64_t Lo,
+                                                      uint64_t Hi) {
+  assert(Lo >= 1 && Lo <= Hi && "invalid log-uniform range");
+  LifetimeDistribution D;
+  D.Kind = KindTy::LogUniform;
+  D.A = Lo;
+  D.B = Hi;
+  return D;
+}
+
+LifetimeDistribution
+LifetimeDistribution::fromQuantiles(std::vector<QuantilePoint> InPoints) {
+  assert(InPoints.size() >= 2 && "need at least two control points");
+  assert(InPoints.front().Probability == 0.0 && "first point must be P=0");
+  assert(InPoints.back().Probability == 1.0 && "last point must be P=1");
+  for (size_t I = 0; I < InPoints.size(); ++I) {
+    assert(InPoints[I].Lifetime >= 1.0 && "lifetimes are at least one byte");
+    assert(I == 0 ||
+           InPoints[I].Probability >= InPoints[I - 1].Probability &&
+               "probabilities must be non-decreasing");
+    assert(I == 0 || InPoints[I].Lifetime >= InPoints[I - 1].Lifetime &&
+                         "lifetimes must be non-decreasing");
+  }
+  LifetimeDistribution D;
+  D.Kind = KindTy::Quantiles;
+  D.Points = std::move(InPoints);
+  return D;
+}
+
+LifetimeDistribution LifetimeDistribution::permanent() {
+  LifetimeDistribution D;
+  D.Kind = KindTy::Permanent;
+  return D;
+}
+
+LifetimeDistribution LifetimeDistribution::mixture(
+    std::vector<std::pair<double, LifetimeDistribution>> InComponents) {
+  assert(!InComponents.empty() && "mixture needs components");
+  LifetimeDistribution D;
+  D.Kind = KindTy::Mixture;
+  for (auto &[Weight, Component] : InComponents) {
+    assert(Weight >= 0 && "negative mixture weight");
+    D.Weights.push_back(Weight);
+    D.Components.push_back(std::move(Component));
+  }
+  return D;
+}
+
+uint64_t LifetimeDistribution::sample(Rng &Random) const {
+  switch (Kind) {
+  case KindTy::Constant:
+    return A;
+  case KindTy::Uniform:
+    return static_cast<uint64_t>(Random.nextInRange(
+        static_cast<int64_t>(A), static_cast<int64_t>(B)));
+  case KindTy::LogUniform: {
+    double LogLo = std::log(static_cast<double>(A));
+    double LogHi = std::log(static_cast<double>(B));
+    double Value = std::exp(LogLo + Random.nextDouble() * (LogHi - LogLo));
+    uint64_t Result = static_cast<uint64_t>(Value + 0.5);
+    return std::clamp<uint64_t>(Result, A, B);
+  }
+  case KindTy::Quantiles: {
+    double U = Random.nextDouble();
+    size_t Hi = 1;
+    while (Hi + 1 < Points.size() && Points[Hi].Probability < U)
+      ++Hi;
+    const QuantilePoint &P0 = Points[Hi - 1];
+    const QuantilePoint &P1 = Points[Hi];
+    double Span = P1.Probability - P0.Probability;
+    double Frac = Span <= 0 ? 0.0 : (U - P0.Probability) / Span;
+    double LogValue = std::log(P0.Lifetime) +
+                      Frac * (std::log(P1.Lifetime) - std::log(P0.Lifetime));
+    double Value = std::exp(LogValue);
+    return std::max<uint64_t>(1, static_cast<uint64_t>(Value + 0.5));
+  }
+  case KindTy::Permanent:
+    return NeverFreed;
+  case KindTy::Mixture:
+    return Components[Random.nextWeighted(Weights)].sample(Random);
+  }
+  LIFEPRED_UNREACHABLE("unknown lifetime distribution kind");
+}
+
+uint64_t LifetimeDistribution::maxValue() const {
+  switch (Kind) {
+  case KindTy::Constant:
+    return A;
+  case KindTy::Uniform:
+  case KindTy::LogUniform:
+    return B;
+  case KindTy::Quantiles:
+    return static_cast<uint64_t>(Points.back().Lifetime + 0.5);
+  case KindTy::Permanent:
+    return NeverFreed;
+  case KindTy::Mixture: {
+    uint64_t Max = 0;
+    for (size_t I = 0; I < Components.size(); ++I)
+      if (Weights[I] > 0)
+        Max = std::max(Max, Components[I].maxValue());
+    return Max;
+  }
+  }
+  LIFEPRED_UNREACHABLE("unknown lifetime distribution kind");
+}

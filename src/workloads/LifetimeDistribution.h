@@ -1,0 +1,87 @@
+//===- workloads/LifetimeDistribution.h - Lifetime sampling -----*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Samplable object-lifetime distributions for the synthetic program models.
+/// Lifetimes are measured in bytes allocated, matching the paper.  The
+/// quantile form interpolates log-linearly through control points, which
+/// lets a model reproduce a published quantile table (the paper's Table 3)
+/// by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_WORKLOADS_LIFETIMEDISTRIBUTION_H
+#define LIFEPRED_WORKLOADS_LIFETIMEDISTRIBUTION_H
+
+#include "support/Random.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lifepred {
+
+/// A (cumulative probability, lifetime-in-bytes) control point.
+struct QuantilePoint {
+  double Probability;
+  double Lifetime;
+};
+
+/// A samplable lifetime distribution.
+class LifetimeDistribution {
+public:
+  /// Default-constructs a degenerate distribution (always 1 byte).
+  LifetimeDistribution() : Kind(KindTy::Constant), A(1) {}
+
+  /// Every object lives exactly \p Lifetime bytes.
+  static LifetimeDistribution constant(uint64_t Lifetime);
+
+  /// Lifetimes uniform in [\p Lo, \p Hi] on a linear scale.
+  static LifetimeDistribution uniform(uint64_t Lo, uint64_t Hi);
+
+  /// Lifetimes uniform in [\p Lo, \p Hi] on a logarithmic scale (each
+  /// decade equally likely) — matches the heavy skew of real lifetimes.
+  static LifetimeDistribution logUniform(uint64_t Lo, uint64_t Hi);
+
+  /// Inverse-CDF sampling through \p Points (log-linear interpolation
+  /// between consecutive control points).  Points must have increasing
+  /// probabilities starting at 0.0 and ending at 1.0, with lifetimes >= 1.
+  static LifetimeDistribution fromQuantiles(std::vector<QuantilePoint> Points);
+
+  /// Objects are never freed (alive at program exit).
+  static LifetimeDistribution permanent();
+
+  /// Mixture: sample component i with probability Weights[i] (normalized).
+  static LifetimeDistribution
+  mixture(std::vector<std::pair<double, LifetimeDistribution>> Components);
+
+  /// Draws one lifetime.  Returns NeverFreed for the permanent kind.
+  uint64_t sample(Rng &Random) const;
+
+  /// Largest value this distribution can produce (NeverFreed for permanent
+  /// or mixtures containing it).  Used by tests and model sanity checks.
+  uint64_t maxValue() const;
+
+  /// True if every sample is strictly below \p Threshold.
+  bool alwaysBelow(uint64_t Threshold) const {
+    return maxValue() < Threshold;
+  }
+
+private:
+  enum class KindTy { Constant, Uniform, LogUniform, Quantiles, Permanent,
+                      Mixture };
+
+  KindTy Kind;
+  uint64_t A = 0; ///< Constant value or range low bound.
+  uint64_t B = 0; ///< Range high bound.
+  std::vector<QuantilePoint> Points;             ///< Quantiles kind.
+  std::vector<double> Weights;                   ///< Mixture kind.
+  std::vector<LifetimeDistribution> Components;  ///< Mixture kind.
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_WORKLOADS_LIFETIMEDISTRIBUTION_H

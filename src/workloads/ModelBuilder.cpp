@@ -1,0 +1,76 @@
+//===- workloads/ModelBuilder.cpp - Site-group model construction ----------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ModelBuilder.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace lifepred;
+
+void lifepred::addGroup(ProgramModel &Model, const GroupSpec &Group) {
+  assert(Group.Count >= 1 && "group needs at least one site");
+  assert(!Group.Sizes.empty() && "group needs at least one size");
+  assert(Group.ByteShare > 0 && "group needs a positive byte share");
+
+  // Zipf weights within the group, normalized so the group's byte share is
+  // split across sites (site byte share = ZipfWeight * Share / ZipfSum).
+  std::vector<double> Zipf(Group.Count);
+  double ZipfSum = 0;
+  for (unsigned I = 0; I < Group.Count; ++I) {
+    Zipf[I] = 1.0 / std::pow(static_cast<double>(I + 1), Group.ZipfExponent);
+    ZipfSum += Zipf[I];
+  }
+
+  for (unsigned I = 0; I < Group.Count; ++I) {
+    SiteSpec Site;
+    Site.Label = Group.BaseName + "_" + std::to_string(I);
+    Site.Path = Group.Prefix;
+    Site.Path.push_back(seg(Site.Label));
+    for (const PathSegment &Segment : Group.Suffix)
+      Site.Path.push_back(Segment);
+    Site.Size = Group.Sizes[I % Group.Sizes.size()];
+    Site.SizeJitter = Group.SizeJitter;
+
+    double SiteByteShare = Group.ByteShare * Zipf[I] / ZipfSum;
+    // The runner samples sites by object count, so convert the byte share
+    // to an object weight by dividing by the site's mean object size.
+    double MeanSize =
+        static_cast<double>(Site.Size) + Group.SizeJitter / 2.0;
+    Site.Weight = SiteByteShare / MeanSize;
+
+    Site.Lifetime = Group.Lifetime;
+    Site.RefsPerByte = Group.RefsPerByte;
+    Site.BurstLength = Group.BurstLength;
+    Site.TypeName = Group.TypeName.empty() ? Group.BaseName
+                                           : Group.TypeName;
+    Site.TestErrorFraction = Group.TestErrorFraction;
+    Site.ErrorLifetime = Group.ErrorLifetime;
+
+    // Spread the train-only sites across the group deterministically (a
+    // hash stripe rather than a prefix, so Zipf-heavy sites are not all
+    // train-only).
+    bool TrainOnly = Group.TrainOnlyFraction > 0 &&
+                     static_cast<double>(hashCombine(I, 0x517e) % 1000u) <
+                         Group.TrainOnlyFraction * 1000.0;
+    Site.TrainOnly = TrainOnly;
+    Model.Sites.push_back(Site);
+
+    if (TrainOnly && Group.MirrorWeightFactor > 0) {
+      // The test input exercises a different code path instead: a twin site
+      // that the trained database has never seen.
+      SiteSpec Twin = Site;
+      Twin.Label += "_t";
+      Twin.Path[Group.Prefix.size()] = seg(Twin.Label);
+      Twin.Weight *= Group.MirrorWeightFactor;
+      Twin.TrainOnly = false;
+      Twin.TestOnly = true;
+      Model.Sites.push_back(Twin);
+    }
+  }
+}

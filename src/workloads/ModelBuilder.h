@@ -1,0 +1,106 @@
+//===- workloads/ModelBuilder.h - Site-group model construction -*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for building program models out of *site groups*: families of
+/// allocation sites that share a wrapper-layer suffix, a size palette, and
+/// a lifetime distribution.  The group abstraction makes the published
+/// calibration targets explicit: a group's ByteShare is its fraction of the
+/// program's allocated bytes, and its distinguishing depth (the length of
+/// its shared suffix plus one) controls at which call-chain length the
+/// paper's Table 6 prediction jump occurs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_WORKLOADS_MODELBUILDER_H
+#define LIFEPRED_WORKLOADS_MODELBUILDER_H
+
+#include "workloads/ProgramModel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lifepred {
+
+/// Parameters for one family of similar allocation sites.
+struct GroupSpec {
+  /// Basis for the per-site unique function names ("cf_pnum" produces
+  /// "cf_pnum_0", "cf_pnum_1", ...).
+  std::string BaseName;
+
+  /// Number of sites in the group.
+  unsigned Count = 1;
+
+  /// Outermost path context (e.g. {main, interp_loop}).
+  std::vector<PathSegment> Prefix;
+
+  /// Shared allocator-wrapper suffix between the site's unique function and
+  /// the allocator.  A group whose suffix (and sizes) it shares with a
+  /// longer-lived group is indistinguishable from it at sub-chain lengths
+  /// <= suffix length, so its sites become predictable only at length
+  /// suffix length + 1 — the paper's layered-design effect.
+  std::vector<PathSegment> Suffix;
+
+  /// Object sizes, cycled across the group's sites.
+  std::vector<uint32_t> Sizes;
+
+  /// The group's fraction of the program's total allocated bytes (relative
+  /// to the other groups' shares).
+  double ByteShare = 0;
+
+  /// Lifetime distribution shared by the group's sites.
+  LifetimeDistribution Lifetime;
+
+  /// Heap references per byte for the group's objects.
+  double RefsPerByte = 1.0;
+
+  /// Zipf exponent skewing per-site weights within the group (0 = equal).
+  double ZipfExponent = 0;
+
+  /// Fraction of sites that occur only in the training input.  For each
+  /// such site a "twin" test-only site is added (modeling the test input
+  /// exercising different code paths), weighted by MirrorWeightFactor.
+  double TrainOnlyFraction = 0;
+
+  /// Weight multiplier for the test-only twins; 0 disables twins.
+  double MirrorWeightFactor = 1.0;
+
+  /// Per-object probability, in test runs, of drawing from ErrorLifetime
+  /// instead of Lifetime (source of prediction-error bytes).
+  double TestErrorFraction = 0;
+
+  /// Lifetime for error objects (typically long-lived).
+  LifetimeDistribution ErrorLifetime;
+
+  /// Uniform extra bytes in [0, SizeJitter] per allocation.
+  uint32_t SizeJitter = 0;
+
+  /// Consecutive objects per site visit (see SiteSpec::BurstLength).
+  unsigned BurstLength = 1;
+
+  /// Type name for all of the group's objects; empty = one type per group
+  /// (named after the group).  Set two groups to the same TypeName to model
+  /// a struct allocated from several sites.
+  std::string TypeName;
+};
+
+/// Appends the group's sites (and any test-only twins) to \p Model.
+void addGroup(ProgramModel &Model, const GroupSpec &Group);
+
+/// Shorthand for a fixed (non-recursive) path segment.
+inline PathSegment seg(std::string Function) {
+  return PathSegment{std::move(Function), 1, 1};
+}
+
+/// Shorthand for a recursive path segment repeated [Min, Max] times.
+inline PathSegment recSeg(std::string Function, unsigned Min, unsigned Max) {
+  return PathSegment{std::move(Function), Min, Max};
+}
+
+} // namespace lifepred
+
+#endif // LIFEPRED_WORKLOADS_MODELBUILDER_H

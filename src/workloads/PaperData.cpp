@@ -1,0 +1,89 @@
+//===- workloads/PaperData.cpp - Published numbers from the paper ----------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/PaperData.h"
+
+using namespace lifepred;
+
+const PaperProgramData lifepred::PaperPrograms[5] = {
+    {
+        "CFRAC",
+        "Factors large integers using the continued fraction method",
+        6000, 1490, 18.4, 65.0, 3.8, 83, 5236, 79,
+        {10, 32, 48, 849, 64994593},
+        134, 100, 110, 79.0, 0.00, 77, 47.3, 3.65,
+        0, 5,
+        {48, 76, 82, 82, 82, 82, 82, 82},
+        {52, 66, 70, 70, 70, 70, 70, 70},
+        2,
+        2.6, 1.8,
+        144, 208, 208,
+        52, 17, 66, 64, 134, 62, 140, 62,
+    },
+    {
+        "ESPRESSO",
+        "PLA logic optimization, version 2.3",
+        15500, 2419, 9.55, 105, 1.7, 254, 4387, 80,
+        {4, 196, 2379, 25530, 104881499},
+        2854, 91, 2291, 41.8, 0.00, 855, 18.1, 0.06,
+        19, 177,
+        {41, 41, 41, 42, 42, 43, 44, 42},
+        {7, 7, 8, 8, 8, 9, 9, 8},
+        1,
+        19.1, 18.2,
+        280, 344, 344,
+        55, 17, 65, 65, 76, 55, 84, 55,
+    },
+    {
+        "GAWK",
+        "GNU AWK interpreter, version 2.11",
+        8500, 2072, 28.7, 167, 4.3, 35, 1384, 47,
+        {2, 29, 257, 1192, 167322377},
+        171, 98, 93, 99.3, 0.00, 91, 99.3, 0.00,
+        5, 64,
+        {72, 78, 99, 99, 99, 99, 99, 99},
+        {26, 29, 43, 43, 43, 43, 43, 43},
+        3,
+        98.2, 99.3,
+        56, 112, 112,
+        54, 17, 56, 64, 29, 11, 29, 11,
+    },
+    {
+        "GHOST",
+        "GhostScript PostScript interpreter, version 2.1 (NODISPLAY)",
+        29500, 1035, 1.21, 89.7, 0.9, 2113, 26467, 69,
+        {16, 4330, 8052, 393531, 89669104},
+        634, 97, 256, 80.9, 0.00, 211, 71.8, 0.00,
+        36, 106,
+        {40, 40, 47, 75, 80, 80, 81, 81},
+        {13, 13, 14, 31, 37, 37, 38, 38},
+        4,
+        81.3, 37.7,
+        5584, 2896, 4048,
+        61, 17, 165, 57, 58, 18, 142, 18,
+    },
+    {
+        "PERL",
+        "Perl 4.10 report extraction and printing language",
+        34500, 894, 23.4, 33.5, 1.5, 62, 1826, 48,
+        {1, 64, 887, 1306, 33528692},
+        305, 99, 74, 91.4, 0.00, 29, 20.4, 1.11,
+        29, 26,
+        {31, 63, 63, 91, 94, 94, 95, 92},
+        {23, 33, 33, 44, 45, 45, 45, 44},
+        4,
+        18.0, 20.5,
+        80, 144, 144,
+        51, 17, 70, 65, 82, 55, 120, 55,
+    },
+};
+
+const PaperProgramData *lifepred::paperData(const std::string &Name) {
+  for (const PaperProgramData &Data : PaperPrograms)
+    if (Name == Data.Name)
+      return &Data;
+  return nullptr;
+}

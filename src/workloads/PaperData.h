@@ -1,0 +1,89 @@
+//===- workloads/PaperData.h - Published numbers from the paper -*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The numbers published in Tables 2-9 of Barrett & Zorn (PLDI 1993).  The
+/// bench harnesses print these beside the measured values so every run is a
+/// direct paper-vs-reproduction comparison, and the integration tests check
+/// that the measured *shape* tracks the published one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_WORKLOADS_PAPERDATA_H
+#define LIFEPRED_WORKLOADS_PAPERDATA_H
+
+#include <cstdint>
+#include <string>
+
+namespace lifepred {
+
+/// All published per-program numbers.
+struct PaperProgramData {
+  const char *Name;
+
+  // Table 1 / Table 2: program description and execution behaviour.
+  const char *Description;
+  unsigned SourceLines;         ///< Lines of C.
+  double InstructionsM;         ///< Instructions executed (millions).
+  double FunctionCallsM;        ///< Function calls (millions).
+  double TotalBytesM;           ///< Bytes allocated (millions).
+  double TotalObjectsM;         ///< Objects allocated (millions).
+  double MaxBytesK;             ///< Peak live bytes (thousands).
+  unsigned MaxObjects;          ///< Peak live objects.
+  unsigned HeapRefsPercent;     ///< % of references to the heap.
+
+  // Table 3: byte-weighted lifetime quantiles (bytes).
+  double LifetimeQuantiles[5]; ///< 0 / 25 / 50 / 75 / 100 %.
+
+  // Table 4: site-and-size prediction (threshold 32 KB).
+  unsigned TotalSites;
+  unsigned ActualShortPercent;
+  unsigned SelfSitesUsed;
+  double SelfPredictedPercent;
+  double SelfErrorPercent;
+  unsigned TrueSitesUsed;
+  double TruePredictedPercent;
+  double TrueErrorPercent;
+
+  // Table 5: size-only prediction (self).
+  unsigned SizeOnlyPredictedPercent;
+  unsigned SizeOnlySitesUsed;
+
+  // Table 6: chain length 1..7 then the complete (pruned) chain.
+  int ChainPredPercent[8];
+  int ChainNewRefPercent[8];
+  /// Chain length at which the paper marks the abrupt improvement.
+  int ChainJumpLength;
+
+  // Table 7: arena fractions under true prediction.
+  double ArenaAllocPercent;
+  double ArenaBytesPercent;
+
+  // Table 8: maximum heap sizes (kilobytes).
+  unsigned FirstFitHeapK;
+  unsigned SelfArenaHeapK;
+  unsigned TrueArenaHeapK;
+
+  // Table 9: instructions per alloc / free.
+  int BsdAlloc, BsdFree;
+  int FirstFitAlloc, FirstFitFree;
+  int ArenaLen4Alloc, ArenaLen4Free;
+  int ArenaCceAlloc, ArenaCceFree;
+};
+
+/// Published data for the five programs, in the paper's order
+/// (CFRAC, ESPRESSO, GAWK, GHOST, PERL).
+extern const PaperProgramData PaperPrograms[5];
+
+/// Number of modeled programs.
+inline constexpr unsigned PaperProgramCount = 5;
+
+/// Looks up published data by program name; nullptr if unknown.
+const PaperProgramData *paperData(const std::string &Name);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_WORKLOADS_PAPERDATA_H

@@ -1,0 +1,127 @@
+//===- workloads/ProgramModel.h - Synthetic program models ------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarative models of allocation-intensive programs.  Each model is a
+/// population of allocation sites: a call path (outermost first, with
+/// optional recursive repetition), an object size, a lifetime distribution,
+/// a relative allocation rate, and a heap-reference density.  Running a
+/// model (WorkloadRunner) produces an AllocationTrace — the stand-in for
+/// the paper's AE-generated traces of cfrac/espresso/gawk/ghostscript/perl.
+///
+/// Train/test divergence (the paper's *true prediction*) is modeled with
+/// per-site presence flags, weight perturbation, and a test-only error
+/// fraction that redirects some objects to a long-lived distribution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_WORKLOADS_PROGRAMMODEL_H
+#define LIFEPRED_WORKLOADS_PROGRAMMODEL_H
+
+#include "workloads/LifetimeDistribution.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lifepred {
+
+/// One element of a call path.  When MaxRepeat > MinRepeat the function is
+/// pushed a random number of times per allocation, modeling recursion: the
+/// raw chain varies with depth while the cycle-pruned chain is constant.
+struct PathSegment {
+  std::string Function;
+  unsigned MinRepeat = 1;
+  unsigned MaxRepeat = 1;
+};
+
+/// One allocation site of a modeled program.
+struct SiteSpec {
+  /// Debug label (also the default innermost-function name basis).
+  std::string Label;
+
+  /// Call path, outermost first; the last segment is the direct caller of
+  /// the allocator.
+  std::vector<PathSegment> Path;
+
+  /// Base object size in bytes.
+  uint32_t Size = 16;
+
+  /// Extra uniformly-random bytes in [0, SizeJitter] added to Size.  Jitter
+  /// within one 4-byte rounding class exercises the paper's size-rounding
+  /// site mapping.
+  uint32_t SizeJitter = 0;
+
+  /// Relative allocation rate (in objects) within the program.
+  double Weight = 1.0;
+
+  /// Lifetime distribution for this site's objects.
+  LifetimeDistribution Lifetime;
+
+  /// Simulated heap references per byte of each object.
+  double RefsPerByte = 1.0;
+
+  /// Site does not occur in test inputs (train-only code path).
+  bool TrainOnly = false;
+
+  /// Site does not occur in training inputs (test-only code path).
+  bool TestOnly = false;
+
+  /// In test runs, this fraction of the site's objects draws from
+  /// ErrorLifetime instead of Lifetime — the source of the paper's
+  /// "Error Bytes" (objects predicted short-lived that live long).
+  double TestErrorFraction = 0.0;
+
+  /// Lifetime used for the error fraction (typically long-lived).
+  LifetimeDistribution ErrorLifetime;
+
+  /// Number of consecutive objects emitted per visit to this site.  Values
+  /// above 1 model phase behaviour (batch construction of tables/caches),
+  /// which clusters the site's objects in address space.  The site's
+  /// long-run allocation share is unchanged.
+  unsigned BurstLength = 1;
+
+  /// The (source-language) type of this site's objects; empty = the site's
+  /// label.  Distinct sites often allocate the same type (a shared node or
+  /// buffer struct), which bounds type-based prediction.
+  std::string TypeName;
+};
+
+/// A complete program model.
+struct ProgramModel {
+  /// Program name as it appears in the paper's tables (e.g. "CFRAC").
+  std::string Name;
+
+  /// One-line description (Table 1 analogue).
+  std::string Description;
+
+  /// Objects allocated per run at scale = 1.0.
+  uint64_t BaseObjects = 100000;
+
+  /// Target percentage of all memory references that touch the heap
+  /// (Table 2 "Heap Refs"); fixes the model's non-heap reference count.
+  double TargetHeapRefPercent = 50.0;
+
+  /// Standard deviation of the per-site log-normal weight perturbation
+  /// applied in test runs.  Larger values model train/test inputs that
+  /// exercise the program differently (e.g. two distinct PERL scripts).
+  double TestWeightSigma = 0.0;
+
+  /// Function calls executed per allocation.  Used by the CPU-cost model to
+  /// amortize call-chain-encryption's per-call overhead per allocation
+  /// (Table 9's "Arena (cce)" column).
+  double CallsPerAlloc = 5.0;
+
+  /// The site population.
+  std::vector<SiteSpec> Sites;
+};
+
+/// Which input dataset a run models.
+enum class RunKind { Train, Test };
+
+} // namespace lifepred
+
+#endif // LIFEPRED_WORKLOADS_PROGRAMMODEL_H

@@ -1,0 +1,178 @@
+//===- workloads/WorkloadRunner.cpp - Model execution ----------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadRunner.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace lifepred;
+
+namespace {
+
+/// A site prepared for fast sampling: pre-interned path ids and a cached
+/// chain index when the site's chain never varies.
+struct PreparedSite {
+  const SiteSpec *Spec = nullptr;
+  std::vector<std::pair<FunctionId, const PathSegment *>> Segments;
+  bool FixedChain = true;
+  uint32_t CachedChainIndex = 0;
+  bool CacheValid = false;
+  double EffectiveWeight = 0;
+  uint32_t TypeId = 0;
+};
+
+bool sitePresent(const SiteSpec &Site, RunKind Kind) {
+  if (Kind == RunKind::Train)
+    return !Site.TestOnly;
+  return !Site.TrainOnly;
+}
+
+} // namespace
+
+AllocationTrace lifepred::runWorkload(const ProgramModel &Model,
+                                      RunOptions Options,
+                                      FunctionRegistry &Registry) {
+  AllocationTrace Trace;
+  bool IsTest = Options.Kind == RunKind::Test;
+
+  // Seed independent streams for weights and events so a model change in
+  // one place does not shift unrelated randomness.
+  uint64_t KindSalt = IsTest ? 0x7e57 : 0x7121;
+  Rng WeightRng(hashCombine(Options.Seed, 0x3e197));
+  Rng EventRng(hashCombine(Options.Seed, KindSalt));
+
+  // Intern type names over the whole model (not just the active sites) so
+  // TypeIds agree between the train and test runs.  Id 0 means "untyped".
+  std::unordered_map<std::string, uint32_t> TypeIds;
+  auto InternType = [&TypeIds](const std::string &Name) -> uint32_t {
+    if (Name.empty())
+      return 0;
+    auto [It, Inserted] =
+        TypeIds.try_emplace(Name, static_cast<uint32_t>(TypeIds.size() + 1));
+    return It->second;
+  };
+  std::vector<uint32_t> SiteTypeIds;
+  SiteTypeIds.reserve(Model.Sites.size());
+  for (const SiteSpec &Spec : Model.Sites)
+    SiteTypeIds.push_back(
+        InternType(Spec.TypeName.empty() ? Spec.Label : Spec.TypeName));
+
+  // Prepare the active sites.
+  std::vector<PreparedSite> Sites;
+  Sites.reserve(Model.Sites.size());
+  size_t SpecIndex = static_cast<size_t>(-1);
+  for (const SiteSpec &Spec : Model.Sites) {
+    ++SpecIndex;
+    // Draw the weight perturbation for every site regardless of presence so
+    // the weight stream stays aligned between train and test runs.
+    double Perturbation = 1.0;
+    if (Model.TestWeightSigma > 0)
+      Perturbation =
+          std::exp(WeightRng.nextGaussian() * Model.TestWeightSigma);
+    if (!sitePresent(Spec, Options.Kind))
+      continue;
+
+    PreparedSite Prepared;
+    Prepared.Spec = &Spec;
+    for (const PathSegment &Segment : Spec.Path) {
+      assert(Segment.MinRepeat >= 1 &&
+             Segment.MinRepeat <= Segment.MaxRepeat &&
+             "invalid path segment repeat bounds");
+      Prepared.Segments.emplace_back(Registry.intern(Segment.Function),
+                                     &Segment);
+      if (Segment.MaxRepeat != Segment.MinRepeat)
+        Prepared.FixedChain = false;
+    }
+    // Each visit to a burst site emits BurstLength objects, so divide the
+    // visit weight accordingly to preserve the site's allocation share.
+    Prepared.EffectiveWeight = Spec.Weight * (IsTest ? Perturbation : 1.0) /
+                               std::max(1u, Spec.BurstLength);
+    Prepared.TypeId = SiteTypeIds[SpecIndex];
+    if (Prepared.EffectiveWeight > 0)
+      Sites.push_back(std::move(Prepared));
+  }
+  assert(!Sites.empty() && "model has no active sites for this run kind");
+
+  // Cumulative weights for O(log n) site sampling.
+  std::vector<double> Cumulative;
+  Cumulative.reserve(Sites.size());
+  double Total = 0;
+  for (const PreparedSite &Site : Sites) {
+    Total += Site.EffectiveWeight;
+    Cumulative.push_back(Total);
+  }
+
+  auto Objects = static_cast<uint64_t>(
+      std::llround(static_cast<double>(Model.BaseObjects) * Options.Scale));
+  uint64_t HeapRefs = 0;
+  CallChain Chain;
+
+  uint64_t Emitted = 0;
+  while (Emitted < Objects) {
+    double Target = EventRng.nextDouble() * Total;
+    size_t Index = static_cast<size_t>(
+        std::lower_bound(Cumulative.begin(), Cumulative.end(), Target) -
+        Cumulative.begin());
+    if (Index >= Sites.size())
+      Index = Sites.size() - 1;
+    PreparedSite &Site = Sites[Index];
+    const SiteSpec &Spec = *Site.Spec;
+
+    uint64_t Burst = std::max(1u, Spec.BurstLength);
+    if (Burst > Objects - Emitted)
+      Burst = Objects - Emitted;
+    for (uint64_t B = 0; B < Burst; ++B) {
+      AllocRecord Record;
+      Record.Size = Spec.Size;
+      if (Spec.SizeJitter > 0)
+        Record.Size += static_cast<uint32_t>(
+            EventRng.nextBelow(Spec.SizeJitter + 1));
+
+      if (Site.FixedChain && Site.CacheValid) {
+        Record.ChainIndex = Site.CachedChainIndex;
+      } else {
+        Chain = CallChain();
+        for (auto &[Id, Segment] : Site.Segments) {
+          unsigned Repeats = Segment->MinRepeat;
+          if (Segment->MaxRepeat > Segment->MinRepeat)
+            Repeats += static_cast<unsigned>(EventRng.nextBelow(
+                Segment->MaxRepeat - Segment->MinRepeat + 1));
+          for (unsigned R = 0; R < Repeats; ++R)
+            Chain.push(Id);
+        }
+        Record.ChainIndex = Trace.internChain(Chain);
+        if (Site.FixedChain) {
+          Site.CachedChainIndex = Record.ChainIndex;
+          Site.CacheValid = true;
+        }
+      }
+
+      bool UseError = IsTest && Spec.TestErrorFraction > 0 &&
+                      EventRng.nextBool(Spec.TestErrorFraction);
+      Record.Lifetime = UseError ? Spec.ErrorLifetime.sample(EventRng)
+                                 : Spec.Lifetime.sample(EventRng);
+
+      Record.TypeId = Site.TypeId;
+      Record.Refs = static_cast<uint32_t>(std::llround(
+          static_cast<double>(Record.Size) * Spec.RefsPerByte));
+      HeapRefs += Record.Refs;
+      Trace.append(Record);
+      ++Emitted;
+    }
+  }
+
+  // Fix the non-heap reference count so the heap-reference percentage hits
+  // the model's target (Table 2's "Heap Refs" column).
+  double P = Model.TargetHeapRefPercent;
+  if (P > 0 && P < 100)
+    Trace.setNonHeapRefs(static_cast<uint64_t>(
+        std::llround(static_cast<double>(HeapRefs) * (100.0 - P) / P)));
+  return Trace;
+}

@@ -1,0 +1,44 @@
+//===- workloads/WorkloadRunner.h - Model execution -------------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a ProgramModel, producing an AllocationTrace.  The runner
+/// maintains a simulated call stack per allocation (so chains, recursion,
+/// and pruning behave as in a real program) and draws sites, sizes, and
+/// lifetimes from the model's distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_WORKLOADS_WORKLOADRUNNER_H
+#define LIFEPRED_WORKLOADS_WORKLOADRUNNER_H
+
+#include "callchain/FunctionRegistry.h"
+#include "trace/AllocationTrace.h"
+#include "workloads/ProgramModel.h"
+
+#include <cstdint>
+
+namespace lifepred {
+
+/// Options controlling a model run.
+struct RunOptions {
+  RunKind Kind = RunKind::Train;
+  /// Object-count multiplier; 1.0 reproduces the model's BaseObjects.
+  double Scale = 1.0;
+  /// Seed for all randomness in the run.  Train and test runs derive
+  /// distinct streams from the same seed.
+  uint64_t Seed = 0x1993;
+};
+
+/// Runs \p Model and returns its allocation trace.  \p Registry interns the
+/// model's function names; pass the same registry for the train and test
+/// runs of one program so FunctionIds agree across runs.
+AllocationTrace runWorkload(const ProgramModel &Model, RunOptions Options,
+                            FunctionRegistry &Registry);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_WORKLOADS_WORKLOADRUNNER_H

@@ -1,0 +1,19 @@
+//===- workloads/models/AllPrograms.cpp - Model roster ---------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Programs.h"
+
+using namespace lifepred;
+
+std::vector<ProgramModel> lifepred::allPrograms() {
+  std::vector<ProgramModel> Models;
+  Models.push_back(cfracModel());
+  Models.push_back(espressoModel());
+  Models.push_back(gawkModel());
+  Models.push_back(ghostModel());
+  Models.push_back(perlModel());
+  return Models;
+}

@@ -1,0 +1,166 @@
+//===- workloads/models/Cfrac.cpp - CFRAC program model --------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Calibration targets (paper values):
+///   Table 2: 3.8M objects, 65.0M bytes (mean ~17 B), peak 83 KB / 5236
+///            objects, 79% heap refs.
+///   Table 3: byte-weighted lifetime quartiles 10 / 32 / 48 / 849, max ~65M.
+///   Table 4: 134 sites; self 110 sites -> 79.0%; true 77 sites -> 47.3%,
+///            3.65% error bytes.
+///   Table 5: size-only prediction ~0% (5 sizes all-short).
+///   Table 6: 48 / 76 / 82 ... (jump at length 2).
+///   Table 7: arena pollution — error objects are *very* long-lived, so the
+///            arenas fill with live objects and the allocator degenerates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ModelBuilder.h"
+#include "workloads/Programs.h"
+
+using namespace lifepred;
+
+ProgramModel lifepred::cfracModel() {
+  ProgramModel Model;
+  Model.Name = "CFRAC";
+  Model.Description =
+      "Factors large integers using the continued fraction method";
+  Model.BaseObjects = 4350000;
+  Model.TargetHeapRefPercent = 79;
+  Model.TestWeightSigma = 0.25;
+  Model.CallsPerAlloc = 5.3; // consistent with Table 9's cce overhead
+
+  std::vector<PathSegment> Loop = {seg("main"), seg("cfrac_loop")};
+
+  // Lifetimes (bytes).  Most cfrac objects are multi-precision digits that
+  // die almost immediately.
+  auto Tiny = LifetimeDistribution::fromQuantiles(
+      {{0, 8}, {0.25, 24}, {0.5, 32}, {0.75, 420}, {1.0, 8000}});
+  auto Mid = LifetimeDistribution::fromQuantiles(
+      {{0, 48}, {0.5, 1200}, {1.0, 25000}});
+  auto Long = LifetimeDistribution::logUniform(48 * 1024, 4 * 1000 * 1000);
+  // Error objects in the test input are extremely long-lived — this is what
+  // pollutes the arenas (paper section 5.2).
+  auto VeryLong =
+      LifetimeDistribution::logUniform(300 * 1000, 4 * 1000 * 1000);
+
+  // G1: digit buffers allocated directly (distinguishable at length 1).
+  {
+    GroupSpec G;
+    G.BaseName = "cf_digit";
+    G.Count = 52;
+    G.Prefix = Loop;
+    G.Sizes = {8, 12, 16, 20, 24};
+    G.ByteShare = 0.47;
+    G.Lifetime = Tiny;
+    G.RefsPerByte = 1.5;
+    G.TrainOnlyFraction = 0.37;
+    G.TestErrorFraction = 0.075;
+    G.ErrorLifetime = VeryLong;
+    addGroup(Model, G);
+  }
+
+  // G2: precision-number objects behind one wrapper layer, spoiled at
+  // length 1 by the mixed group below (same wrapper, same sizes), so they
+  // become predictable at length 2 — the paper's jump.
+  {
+    GroupSpec G;
+    G.BaseName = "cf_pnum";
+    G.TypeName = "pnum";
+    G.Count = 38;
+    G.Prefix = Loop;
+    G.Suffix = {seg("pnum_alloc")};
+    G.Sizes = {12, 16, 20, 28};
+    G.ByteShare = 0.27;
+    G.Lifetime = Tiny;
+    G.RefsPerByte = 1.5;
+    G.TrainOnlyFraction = 0.37;
+    G.TestErrorFraction = 0.075;
+    G.ErrorLifetime = VeryLong;
+    addGroup(Model, G);
+  }
+
+  // G3: residue lists behind two wrapper layers (predictable at length 3;
+  // spoiled below by cf_res_mixed).
+  {
+    GroupSpec G;
+    G.BaseName = "cf_res";
+    G.Count = 13;
+    G.Prefix = Loop;
+    G.Suffix = {seg("xmalloc"), seg("reserve")};
+    G.Sizes = {16, 24};
+    G.ByteShare = 0.05;
+    G.Lifetime = Mid;
+    G.RefsPerByte = 1.5;
+    G.TrainOnlyFraction = 0.37;
+    addGroup(Model, G);
+  }
+
+  // Rare all-short sites with sizes used nowhere else: the only thing
+  // size-only prediction can find (Table 5: ~0% from 5 sites).
+  {
+    GroupSpec G;
+    G.BaseName = "cf_rare";
+    G.Count = 5;
+    G.Prefix = Loop;
+    G.Sizes = {40, 44, 52, 60, 68};
+    G.ByteShare = 0.003;
+    G.Lifetime = Tiny;
+    G.RefsPerByte = 1.5;
+    addGroup(Model, G);
+  }
+
+  // Mixed sites: mostly short but occasionally long-lived, so the training
+  // rule rejects them.  They share pnum_alloc and its sizes, spoiling G2 at
+  // length 1.
+  {
+    GroupSpec G;
+    G.BaseName = "cf_mix";
+    G.TypeName = "pnum"; // Same struct as cf_pnum: type cannot separate.
+    G.Count = 20;
+    G.Prefix = Loop;
+    G.Suffix = {seg("pnum_alloc")};
+    G.Sizes = {8, 12, 16, 20, 24, 28};
+    G.ByteShare = 0.17;
+    G.Lifetime = LifetimeDistribution::mixture(
+        {{0.98, Tiny}, {0.02, Long}});
+    G.RefsPerByte = 0.6;
+    addGroup(Model, G);
+  }
+
+  // A small mixed group sharing G3's wrappers and sizes, so G3 is only
+  // predictable once the chain is deep enough to see past "reserve".
+  {
+    GroupSpec G;
+    G.BaseName = "cf_resmix";
+    G.Count = 4;
+    G.Prefix = Loop;
+    G.Suffix = {seg("xmalloc"), seg("reserve")};
+    G.Sizes = {16, 24};
+    G.ByteShare = 0.035;
+    G.Lifetime = LifetimeDistribution::mixture(
+        {{0.97, Mid}, {0.03, Long}});
+    G.RefsPerByte = 0.6;
+    addGroup(Model, G);
+  }
+
+  // The factor base: ~4800 permanent 12-byte entries = 58 KB live at exit,
+  // which dominates the 83 KB peak heap.
+  {
+    GroupSpec G;
+    G.BaseName = "cf_fbase";
+    G.Count = 2;
+    G.Prefix = Loop;
+    G.Suffix = {seg("pnum_alloc")};
+    G.Sizes = {12};
+    G.ByteShare = 0.001;
+    G.Lifetime = LifetimeDistribution::permanent();
+    G.BurstLength = 256;
+    G.RefsPerByte = 0.3;
+    addGroup(Model, G);
+  }
+
+  return Model;
+}

@@ -1,0 +1,106 @@
+//===- tests/alloc_bsd_test.cpp - BSD/Kingsley allocator tests -------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/BsdAllocator.h"
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+#include <vector>
+
+using namespace lifepred;
+
+TEST(BsdTest, BucketForRoundsToPowerOfTwoWithHeader) {
+  BsdAllocator A;
+  // 8 bytes + 8-byte header = 16 -> bucket 4.
+  EXPECT_EQ(A.bucketFor(8), 4u);
+  EXPECT_EQ(A.bucketFor(9), 5u);  // 17 -> 32.
+  EXPECT_EQ(A.bucketFor(24), 5u); // 32 -> 32.
+  EXPECT_EQ(A.bucketFor(25), 6u); // 33 -> 64.
+  EXPECT_EQ(A.bucketFor(1), 4u);  // Min class.
+}
+
+TEST(BsdTest, FreedBlockReusedLifo) {
+  BsdAllocator A;
+  uint64_t P1 = A.allocate(20);
+  A.free(P1);
+  uint64_t P2 = A.allocate(20);
+  EXPECT_EQ(P1, P2);
+}
+
+TEST(BsdTest, DifferentClassesNeverShareBlocks) {
+  BsdAllocator A;
+  uint64_t P1 = A.allocate(20);
+  A.free(P1);
+  uint64_t P2 = A.allocate(200); // Different class: fresh block.
+  EXPECT_NE(P1, P2);
+}
+
+TEST(BsdTest, PageRefillProducesDistinctBlocks) {
+  BsdAllocator A;
+  std::set<uint64_t> Addrs;
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_TRUE(Addrs.insert(A.allocate(24)).second);
+  EXPECT_EQ(A.counters().PageRefills,
+            1000u * 32 / 8192 + (1000u * 32 % 8192 ? 1 : 0));
+}
+
+TEST(BsdTest, OversizeClassGetsExactBlock) {
+  BsdAllocator A;
+  uint64_t Before = A.heapBytes();
+  A.allocate(20000); // 20008 -> 32768 block.
+  EXPECT_EQ(A.heapBytes() - Before, 32768u);
+}
+
+TEST(BsdTest, HeapNeverShrinksAndTracksPeak) {
+  BsdAllocator A;
+  std::vector<uint64_t> Ptrs;
+  for (int I = 0; I < 100; ++I)
+    Ptrs.push_back(A.allocate(100));
+  uint64_t Peak = A.heapBytes();
+  for (uint64_t P : Ptrs)
+    A.free(P);
+  EXPECT_EQ(A.heapBytes(), Peak); // No decommit in Kingsley malloc.
+  EXPECT_EQ(A.maxHeapBytes(), Peak);
+  EXPECT_EQ(A.liveBytes(), 0u);
+}
+
+TEST(BsdTest, InternalFragmentationExceedsFirstFitStyle) {
+  // 33-byte objects burn 64-byte blocks: heap at least ~1.5x payload.
+  BsdAllocator A;
+  for (int I = 0; I < 1000; ++I)
+    A.allocate(33);
+  EXPECT_GE(A.heapBytes(), 1000u * 64);
+}
+
+TEST(BsdTest, RandomWorkloadNoOverlapWithinClass) {
+  BsdAllocator A;
+  Rng R(3);
+  std::vector<uint64_t> Live;
+  std::set<uint64_t> LiveSet;
+  for (int I = 0; I < 20000; ++I) {
+    if (Live.empty() || R.nextBool(0.55)) {
+      uint64_t P = A.allocate(static_cast<uint32_t>(R.nextInRange(1, 300)));
+      EXPECT_TRUE(LiveSet.insert(P).second) << "address handed out twice";
+      Live.push_back(P);
+    } else {
+      size_t Pick = R.nextBelow(Live.size());
+      LiveSet.erase(Live[Pick]);
+      A.free(Live[Pick]);
+      Live[Pick] = Live.back();
+      Live.pop_back();
+    }
+  }
+}
+
+TEST(BsdTest, CountersTrackBucketBits) {
+  BsdAllocator A;
+  A.allocate(8);  // bucket 4
+  A.allocate(56); // bucket 6
+  EXPECT_EQ(A.counters().Allocs, 2u);
+  EXPECT_EQ(A.counters().BucketBits, 10u);
+}

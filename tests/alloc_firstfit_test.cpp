@@ -1,0 +1,250 @@
+//===- tests/alloc_firstfit_test.cpp - First-fit allocator tests -----------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/FirstFitAllocator.h"
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+#include <vector>
+
+using namespace lifepred;
+
+namespace {
+
+/// Checks that [Addr, Addr+Size) ranges of live allocations never overlap.
+class OverlapChecker {
+public:
+  void add(uint64_t Addr, uint32_t Size) {
+    auto It = Live.upper_bound(Addr);
+    if (It != Live.end()) {
+      EXPECT_LE(Addr + Size, It->first) << "overlaps next block";
+    }
+    if (It != Live.begin()) {
+      auto Prev = std::prev(It);
+      EXPECT_LE(Prev->first + Prev->second, Addr) << "overlaps prev block";
+    }
+    Live[Addr] = Size;
+  }
+  void remove(uint64_t Addr) { Live.erase(Addr); }
+
+private:
+  std::map<uint64_t, uint32_t> Live;
+};
+
+} // namespace
+
+TEST(FirstFitTest, AllocationsDoNotOverlap) {
+  FirstFitAllocator A;
+  OverlapChecker Checker;
+  Rng R(1);
+  std::vector<std::pair<uint64_t, uint32_t>> Live;
+  for (int I = 0; I < 20000; ++I) {
+    if (Live.empty() || R.nextBool(0.55)) {
+      auto Size = static_cast<uint32_t>(R.nextInRange(1, 512));
+      uint64_t Addr = A.allocate(Size);
+      Checker.add(Addr, Size);
+      Live.emplace_back(Addr, Size);
+    } else {
+      size_t Pick = R.nextBelow(Live.size());
+      Checker.remove(Live[Pick].first);
+      A.free(Live[Pick].first);
+      Live[Pick] = Live.back();
+      Live.pop_back();
+    }
+  }
+}
+
+TEST(FirstFitTest, LiveBytesTracksPayload) {
+  FirstFitAllocator A;
+  uint64_t P1 = A.allocate(100);
+  uint64_t P2 = A.allocate(200);
+  EXPECT_EQ(A.liveBytes(), 300u);
+  A.free(P1);
+  EXPECT_EQ(A.liveBytes(), 200u);
+  A.free(P2);
+  EXPECT_EQ(A.liveBytes(), 0u);
+}
+
+TEST(FirstFitTest, HeapGrowsInConfiguredGranularity) {
+  FirstFitAllocator::Config Cfg;
+  Cfg.GrowthGranularity = 8192;
+  FirstFitAllocator A(Cfg);
+  A.allocate(100);
+  EXPECT_EQ(A.heapBytes(), 8192u);
+  EXPECT_EQ(A.maxHeapBytes(), 8192u);
+}
+
+TEST(FirstFitTest, LargeRequestGrowsEnough) {
+  FirstFitAllocator A;
+  uint64_t Addr = A.allocate(100000);
+  EXPECT_GE(A.heapBytes(), 100000u);
+  EXPECT_EQ(A.heapBytes() % 8192, 0u);
+  A.free(Addr);
+}
+
+TEST(FirstFitTest, FreedBlockIsReused) {
+  FirstFitAllocator A;
+  uint64_t P1 = A.allocate(5000);
+  uint64_t HeapAfter = A.heapBytes();
+  A.free(P1);
+  uint64_t P2 = A.allocate(5000);
+  EXPECT_EQ(P1, P2); // Same hole, no growth.
+  EXPECT_EQ(A.heapBytes(), HeapAfter);
+}
+
+TEST(FirstFitTest, CoalescingMergesNeighbours) {
+  FirstFitAllocator A;
+  // Fill one 8 KB extent with three blocks, then free them all: the free
+  // list should collapse to a single block covering the extent.
+  uint64_t P1 = A.allocate(2000);
+  uint64_t P2 = A.allocate(2000);
+  uint64_t P3 = A.allocate(2000);
+  A.free(P1);
+  A.free(P3);
+  EXPECT_GE(A.freeBlockCount(), 2u);
+  A.free(P2); // Middle free merges both sides.
+  EXPECT_EQ(A.freeBlockCount(), 1u);
+  EXPECT_GT(A.counters().Coalesces, 0u);
+}
+
+TEST(FirstFitTest, SplitLeavesUsableRemainder) {
+  FirstFitAllocator A;
+  uint64_t P1 = A.allocate(100);
+  uint64_t P2 = A.allocate(100);
+  // Both came from splitting the initial 8 KB extent.
+  EXPECT_EQ(A.heapBytes(), 8192u);
+  EXPECT_GT(A.counters().Splits, 0u);
+  A.free(P1);
+  A.free(P2);
+}
+
+TEST(FirstFitTest, CountersTrackOperations) {
+  FirstFitAllocator A;
+  uint64_t P = A.allocate(64);
+  A.free(P);
+  EXPECT_EQ(A.counters().Allocs, 1u);
+  EXPECT_EQ(A.counters().Frees, 1u);
+  EXPECT_EQ(A.counters().Grows, 1u);
+}
+
+TEST(FirstFitTest, AddressOrderedModeUsesLowestFit) {
+  FirstFitAllocator::Config Cfg;
+  Cfg.Policy = FitPolicy::AddressOrderedFirstFit;
+  FirstFitAllocator A(Cfg);
+  uint64_t P1 = A.allocate(1000);
+  uint64_t P2 = A.allocate(1000);
+  uint64_t P3 = A.allocate(1000);
+  (void)P2;
+  A.free(P1);
+  A.free(P3);
+  // Address-ordered first fit reuses the lowest hole.
+  EXPECT_EQ(A.allocate(1000), P1);
+}
+
+TEST(FirstFitTest, RovingPointerResumesPastLastAllocation) {
+  FirstFitAllocator::Config Cfg;
+  Cfg.Policy = FitPolicy::RovingFirstFit;
+  FirstFitAllocator A(Cfg);
+  uint64_t P1 = A.allocate(1000);
+  uint64_t P2 = A.allocate(1000);
+  (void)P2;
+  A.free(P1);
+  // The rover sits past P2; the next allocation takes fresh trailing space
+  // rather than wrapping back to P1's hole (address-ordered mode would
+  // return P1 — see AddressOrderedModeUsesLowestFit).
+  uint64_t P3 = A.allocate(1000);
+  EXPECT_NE(P3, P1);
+  EXPECT_GT(P3, P2);
+}
+
+TEST(FirstFitTest, StressRandomWorkloadInvariants) {
+  for (uint64_t Seed : {11u, 22u, 33u}) {
+    FirstFitAllocator A;
+    Rng R(Seed);
+    std::vector<std::pair<uint64_t, uint32_t>> Live;
+    uint64_t ExpectedLive = 0;
+    for (int I = 0; I < 30000; ++I) {
+      if (Live.empty() || R.nextBool(0.5)) {
+        auto Size = static_cast<uint32_t>(R.nextInRange(1, 2048));
+        Live.emplace_back(A.allocate(Size), Size);
+        ExpectedLive += Size;
+      } else {
+        size_t Pick = R.nextBelow(Live.size());
+        A.free(Live[Pick].first);
+        ExpectedLive -= Live[Pick].second;
+        Live[Pick] = Live.back();
+        Live.pop_back();
+      }
+      ASSERT_EQ(A.liveBytes(), ExpectedLive);
+      ASSERT_GE(A.heapBytes(), A.liveBytes());
+    }
+    // Free everything: the heap must coalesce back to one block per region.
+    for (auto &[Addr, Size] : Live)
+      A.free(Addr);
+    EXPECT_EQ(A.liveBytes(), 0u);
+    EXPECT_EQ(A.freeBlockCount(), 1u);
+  }
+}
+
+TEST(FitPolicyTest, BestFitChoosesTightestHole) {
+  FirstFitAllocator::Config Cfg;
+  Cfg.Policy = FitPolicy::BestFit;
+  FirstFitAllocator A(Cfg);
+  // Carve holes of 3000 and 1000 payload bytes with live separators.
+  uint64_t Big = A.allocate(3000);
+  uint64_t Sep1 = A.allocate(64);
+  uint64_t Small = A.allocate(1000);
+  uint64_t Sep2 = A.allocate(64);
+  (void)Sep1;
+  (void)Sep2;
+  A.free(Big);
+  A.free(Small);
+  // A 900-byte request fits both; best fit must take the 1000-byte hole
+  // even though the 3000-byte one comes first in address order.
+  EXPECT_EQ(A.allocate(900), Small);
+}
+
+TEST(FitPolicyTest, BestFitPerfectFitStopsEarly) {
+  FirstFitAllocator::Config Cfg;
+  Cfg.Policy = FitPolicy::BestFit;
+  FirstFitAllocator A(Cfg);
+  uint64_t P1 = A.allocate(1000);
+  uint64_t Sep = A.allocate(64);
+  (void)Sep;
+  A.free(P1);
+  // Same rounded block size: reuses the hole exactly.
+  EXPECT_EQ(A.allocate(1000), P1);
+}
+
+TEST(FitPolicyTest, AllPoliciesKeepInvariantsUnderChurn) {
+  for (FitPolicy Policy :
+       {FitPolicy::RovingFirstFit, FitPolicy::AddressOrderedFirstFit,
+        FitPolicy::BestFit}) {
+    FirstFitAllocator::Config Cfg;
+    Cfg.Policy = Policy;
+    FirstFitAllocator A(Cfg);
+    Rng R(99);
+    std::vector<uint64_t> Live;
+    for (int I = 0; I < 8000; ++I) {
+      if (Live.empty() || R.nextBool(0.5)) {
+        Live.push_back(
+            A.allocate(static_cast<uint32_t>(R.nextInRange(1, 1024))));
+      } else {
+        size_t Pick = R.nextBelow(Live.size());
+        A.free(Live[Pick]);
+        Live[Pick] = Live.back();
+        Live.pop_back();
+      }
+      ASSERT_GE(A.heapBytes(), A.liveBytes());
+    }
+    for (uint64_t P : Live)
+      A.free(P);
+    EXPECT_EQ(A.liveBytes(), 0u);
+    EXPECT_EQ(A.freeBlockCount(), 1u);
+  }
+}

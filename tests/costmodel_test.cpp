@@ -1,0 +1,113 @@
+//===- tests/costmodel_test.cpp - Instruction cost model tests -------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/CostModel.h"
+
+#include "gtest/gtest.h"
+
+using namespace lifepred;
+
+TEST(CostModelTest, FirstFitArithmetic) {
+  CostModel M;
+  FirstFitAllocator::Counters C;
+  C.Allocs = 100;
+  C.Frees = 100;
+  C.SearchSteps = 300; // 3 per alloc.
+  C.Splits = 50;
+  C.Coalesces = 80;
+  C.Grows = 10;
+  InstrPerOp I = M.firstFit(C);
+  EXPECT_DOUBLE_EQ(I.Alloc, M.FirstFitAllocBase + 3 * M.FirstFitSearchStep +
+                                0.5 * M.FirstFitSplit +
+                                0.1 * M.FirstFitGrow);
+  EXPECT_DOUBLE_EQ(I.Free,
+                   M.FirstFitFreeBase + 0.8 * M.FirstFitCoalesce);
+  EXPECT_DOUBLE_EQ(I.total(), I.Alloc + I.Free);
+}
+
+TEST(CostModelTest, BsdArithmetic) {
+  CostModel M;
+  BsdAllocator::Counters C;
+  C.Allocs = 10;
+  C.Frees = 10;
+  C.PageRefills = 1;
+  C.BucketBits = 50; // 5 bits per alloc.
+  InstrPerOp I = M.bsd(C);
+  EXPECT_DOUBLE_EQ(I.Alloc,
+                   M.BsdAllocBase + 5 * M.BsdBucketBit + 0.1 * M.BsdRefill);
+  EXPECT_DOUBLE_EQ(I.Free, M.BsdFreeCost);
+}
+
+TEST(CostModelTest, ZeroOperationsGiveZeroCost) {
+  CostModel M;
+  FirstFitAllocator::Counters FF;
+  EXPECT_DOUBLE_EQ(M.firstFit(FF).Alloc, 0.0);
+  EXPECT_DOUBLE_EQ(M.firstFit(FF).Free, 0.0);
+  BsdAllocator::Counters Bsd;
+  EXPECT_DOUBLE_EQ(M.bsd(Bsd).total(), 0.0);
+}
+
+TEST(CostModelTest, ArenaChargesPredictionOnEveryAlloc) {
+  CostModel M;
+  ArenaAllocator::Counters C;
+  C.ArenaAllocs = 90;
+  C.GeneralAllocs = 10;
+  C.ArenaFrees = 90;
+  C.GeneralFrees = 10;
+  FirstFitAllocator::Counters G;
+  G.Allocs = 10;
+  G.Frees = 10;
+  InstrPerOp I = M.arena(C, G, /*UseCce=*/false, /*CallsPerAlloc=*/5);
+  // 100 predictions at 18 instr + 90 bumps + 10 general allocs at base.
+  double Expected = (100 * M.PredictLen4 + 90 * M.ArenaBump +
+                     10 * M.FirstFitAllocBase) /
+                    100.0;
+  EXPECT_DOUBLE_EQ(I.Alloc, Expected);
+  double ExpectedFree = (90 * M.ArenaFreeCost +
+                         10 * (M.ArenaRangeCheck + M.FirstFitFreeBase)) /
+                        100.0;
+  EXPECT_DOUBLE_EQ(I.Free, ExpectedFree);
+}
+
+TEST(CostModelTest, CceCostScalesWithCallsPerAlloc) {
+  CostModel M;
+  ArenaAllocator::Counters C;
+  C.ArenaAllocs = 100;
+  C.ArenaFrees = 100;
+  FirstFitAllocator::Counters G;
+  InstrPerOp Low = M.arena(C, G, /*UseCce=*/true, 3.0);
+  InstrPerOp High = M.arena(C, G, /*UseCce=*/true, 30.0);
+  EXPECT_DOUBLE_EQ(High.Alloc - Low.Alloc, 27.0 * M.CcePerCall);
+  // Frees are unaffected by the prediction method.
+  EXPECT_DOUBLE_EQ(High.Free, Low.Free);
+}
+
+TEST(CostModelTest, CceCheaperThanLen4WhenFewCallsPerAlloc) {
+  // 8 + 3*c < 18 iff c < 10/3: the paper's space-speed tradeoff.
+  CostModel M;
+  ArenaAllocator::Counters C;
+  C.ArenaAllocs = 100;
+  C.ArenaFrees = 100;
+  FirstFitAllocator::Counters G;
+  EXPECT_LT(M.arena(C, G, true, 3.0).Alloc,
+            M.arena(C, G, false, 3.0).Alloc);
+  EXPECT_GT(M.arena(C, G, true, 4.0).Alloc,
+            M.arena(C, G, false, 4.0).Alloc);
+}
+
+TEST(CostModelTest, ScansAndResetsAreCharged) {
+  CostModel M;
+  ArenaAllocator::Counters C;
+  C.ArenaAllocs = 10;
+  C.ScanSteps = 160;
+  C.Resets = 10;
+  FirstFitAllocator::Counters G;
+  InstrPerOp I = M.arena(C, G, false, 5.0);
+  double Expected = (10 * M.PredictLen4 + 10 * M.ArenaBump +
+                     160 * M.ArenaScanStep + 10 * M.ArenaReset) /
+                    10.0;
+  EXPECT_DOUBLE_EQ(I.Alloc, Expected);
+}

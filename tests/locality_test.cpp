@@ -1,0 +1,156 @@
+//===- tests/locality_test.cpp - Cache simulator tests ---------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Trainer.h"
+#include "locality/CacheSim.h"
+#include "locality/LocalityExperiment.h"
+#include "locality/PageSim.h"
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+using namespace lifepred;
+
+TEST(CacheSimTest, RepeatAccessHits) {
+  CacheSim C;
+  EXPECT_FALSE(C.access(0x1000)); // Cold miss.
+  EXPECT_TRUE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x1010)); // Same 32-byte line.
+  EXPECT_EQ(C.hits(), 2u);
+  EXPECT_EQ(C.misses(), 1u);
+}
+
+TEST(CacheSimTest, DistinctLinesMiss) {
+  CacheSim C;
+  EXPECT_FALSE(C.access(0x1000));
+  EXPECT_FALSE(C.access(0x1020)); // Next line.
+  EXPECT_EQ(C.misses(), 2u);
+}
+
+TEST(CacheSimTest, LruEvictionWithinSet) {
+  CacheSim::Config Cfg;
+  Cfg.CacheBytes = 128; // 2 sets of 2 ways at 32-byte lines.
+  Cfg.LineBytes = 32;
+  Cfg.Ways = 2;
+  CacheSim C(Cfg);
+  // Three lines mapping to set 0 (stride = 2 lines * 32 = 64 bytes).
+  C.access(0);   // Miss; way 0.
+  C.access(64);  // Miss; way 1.
+  C.access(0);   // Hit; 64 becomes LRU.
+  C.access(128); // Miss; evicts 64.
+  EXPECT_TRUE(C.access(0));
+  EXPECT_FALSE(C.access(64)); // Was evicted.
+}
+
+TEST(CacheSimTest, WorkingSetWithinCacheEventuallyAllHits) {
+  CacheSim C; // 64 KB.
+  // A 32 KB working set: after the first sweep everything hits.
+  for (uint64_t Pass = 0; Pass < 3; ++Pass)
+    for (uint64_t Addr = 0; Addr < 32768; Addr += 32)
+      C.access(Addr);
+  // 1024 cold misses out of 3072 accesses.
+  EXPECT_EQ(C.misses(), 1024u);
+  EXPECT_EQ(C.hits(), 2048u);
+}
+
+TEST(CacheSimTest, MissRatePercent) {
+  CacheSim C;
+  C.access(0);
+  C.access(0);
+  EXPECT_DOUBLE_EQ(C.missRatePercent(), 50.0);
+}
+
+TEST(LocalityExperimentTest, ArenaImprovesLocalityOnChurn) {
+  // Short-lived churn mixed with long-lived objects: the paper's claim is
+  // that confining the churn to the 64 KB arena area lowers miss rates.
+  AllocationTrace T;
+  Rng R(11);
+  uint32_t ShortChain = T.internChain(CallChain{1, 2});
+  uint32_t LongChain = T.internChain(CallChain{1, 3});
+  for (int I = 0; I < 60000; ++I) {
+    if (R.nextBool(0.9))
+      T.append({static_cast<uint64_t>(R.nextInRange(32, 3000)), 48,
+                ShortChain, 4});
+    else
+      T.append({static_cast<uint64_t>(R.nextInRange(200000, 2000000)), 64,
+                LongChain, 2});
+  }
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  SiteDatabase DB = trainDatabase(profileTrace(T, Policy), Policy);
+  LocalityResult Result = compareLocality(T, DB);
+  EXPECT_GT(Result.Accesses, 100000u);
+  EXPECT_LT(Result.ArenaMissPercent, Result.FirstFitMissPercent);
+}
+
+TEST(LocalityExperimentTest, EmptyDatabaseGivesComparableStreams) {
+  AllocationTrace T;
+  Rng R(12);
+  uint32_t Chain = T.internChain(CallChain{1});
+  for (int I = 0; I < 5000; ++I)
+    T.append({static_cast<uint64_t>(R.nextInRange(32, 3000)), 48, Chain, 2});
+  SiteDatabase Empty(SiteKeyPolicy::completeChain(), 32768);
+  LocalityResult Result = compareLocality(T, Empty);
+  // Nothing is arena-allocated: both allocators produce first-fit-like
+  // streams, so miss rates are close.
+  EXPECT_NEAR(Result.ArenaMissPercent, Result.FirstFitMissPercent, 2.0);
+}
+
+TEST(PageSimTest, ResidentPagesHitUntilEvicted) {
+  PageSim::Config Cfg;
+  Cfg.PageBytes = 4096;
+  Cfg.MemoryPages = 2;
+  PageSim P(Cfg);
+  EXPECT_TRUE(P.access(0));        // Fault page 0.
+  EXPECT_FALSE(P.access(100));     // Same page: hit.
+  EXPECT_TRUE(P.access(4096));     // Fault page 1.
+  EXPECT_FALSE(P.access(0));       // Still resident.
+  EXPECT_TRUE(P.access(8192));     // Fault page 2: evicts LRU (page 1).
+  EXPECT_TRUE(P.access(4096));     // Page 1 was evicted.
+  EXPECT_EQ(P.faults(), 4u);
+}
+
+TEST(PageSimTest, LruOrderUpdatedOnHit) {
+  PageSim::Config Cfg;
+  Cfg.MemoryPages = 2;
+  PageSim P(Cfg);
+  P.access(0);
+  P.access(4096);
+  P.access(0);        // Page 0 becomes MRU.
+  P.access(8192);     // Evicts page 1, not page 0.
+  EXPECT_FALSE(P.access(0));
+  EXPECT_TRUE(P.access(4096));
+}
+
+TEST(PageSimTest, FaultRatePercent) {
+  PageSim P;
+  P.access(0);
+  P.access(0);
+  P.access(0);
+  P.access(0);
+  EXPECT_DOUBLE_EQ(P.faultRatePercent(), 25.0);
+}
+
+TEST(LocalityExperimentTest, ArenaReducesPageFaultsOnChurn) {
+  AllocationTrace T;
+  Rng R(21);
+  uint32_t ShortChain = T.internChain(CallChain{1, 2});
+  uint32_t LongChain = T.internChain(CallChain{1, 3});
+  for (int I = 0; I < 60000; ++I) {
+    if (R.nextBool(0.9))
+      T.append({static_cast<uint64_t>(R.nextInRange(32, 3000)), 48,
+                ShortChain, 4});
+    else
+      T.append({static_cast<uint64_t>(R.nextInRange(200000, 2000000)), 64,
+                LongChain, 2});
+  }
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  SiteDatabase DB = trainDatabase(profileTrace(T, Policy), Policy);
+  PagingOptions Options;
+  Options.Memory.MemoryPages = 16; // 64 KB resident set.
+  PagingResult Result = comparePaging(T, DB, Options);
+  EXPECT_GT(Result.Accesses, 100000u);
+  EXPECT_LT(Result.ArenaFaultPercent, Result.FirstFitFaultPercent);
+}

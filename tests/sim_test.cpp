@@ -1,0 +1,135 @@
+//===- tests/sim_test.cpp - Trace simulator tests --------------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "sim/TraceSimulator.h"
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+using namespace lifepred;
+
+namespace {
+
+/// A trace of short-lived objects from one site plus rare long-lived ones
+/// from another.
+AllocationTrace churnTrace(uint64_t Seed, size_t Objects) {
+  AllocationTrace T;
+  Rng R(Seed);
+  uint32_t ShortChain = T.internChain(CallChain{1, 2});
+  uint32_t LongChain = T.internChain(CallChain{1, 3});
+  for (size_t I = 0; I < Objects; ++I) {
+    if (R.nextBool(0.95))
+      T.append({static_cast<uint64_t>(R.nextInRange(8, 2000)), 32,
+                ShortChain, 1});
+    else
+      T.append({static_cast<uint64_t>(R.nextInRange(100000, 400000)), 64,
+                LongChain, 1});
+  }
+  return T;
+}
+
+} // namespace
+
+TEST(SimTest, FirstFitBaselineProducesSaneMetrics) {
+  AllocationTrace T = churnTrace(1, 20000);
+  BaselineSimResult R = simulateFirstFit(T);
+  EXPECT_GT(R.MaxHeapBytes, 0u);
+  EXPECT_GE(R.MaxHeapBytes, R.MaxLiveBytes);
+  EXPECT_EQ(R.FirstFit.Allocs, 20000u);
+  EXPECT_EQ(R.FirstFit.Frees, 20000u);
+  EXPECT_GT(R.Instr.Alloc, 0.0);
+  EXPECT_GT(R.Instr.Free, 0.0);
+}
+
+TEST(SimTest, BsdBaselineFasterButFatterThanFirstFit) {
+  AllocationTrace T = churnTrace(2, 20000);
+  BaselineSimResult FF = simulateFirstFit(T);
+  BaselineSimResult Bsd = simulateBsd(T);
+  // The paper's Table 9 relationship: BSD free is far cheaper.
+  EXPECT_LT(Bsd.Instr.Free, FF.Instr.Free);
+  EXPECT_LT(Bsd.Instr.total(), FF.Instr.total());
+}
+
+TEST(SimTest, ArenaWithEmptyDatabaseDegeneratesToFirstFit) {
+  // The paper: "the first-fit algorithm becomes the degenerate case of an
+  // arena allocator that allocates no objects in arenas."
+  AllocationTrace T = churnTrace(3, 20000);
+  SiteDatabase Empty(SiteKeyPolicy::completeChain(), 32768);
+  ArenaSimResult Arena = simulateArena(T, Empty, 5.0);
+  BaselineSimResult FF = simulateFirstFit(T);
+  EXPECT_EQ(Arena.Arena.ArenaAllocs, 0u);
+  EXPECT_EQ(Arena.Arena.GeneralAllocs, 20000u);
+  // Identical general-heap behaviour, plus the 64 KB arena area.
+  EXPECT_EQ(Arena.MaxHeapBytes, FF.MaxHeapBytes + 64 * 1024);
+  EXPECT_EQ(Arena.General.SearchSteps, FF.FirstFit.SearchSteps);
+}
+
+TEST(SimTest, TrainedDatabaseSendsShortLivedToArenas) {
+  AllocationTrace T = churnTrace(4, 40000);
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  SiteDatabase DB = trainDatabase(profileTrace(T, Policy), Policy);
+  ArenaSimResult R = simulateArena(T, DB, 5.0);
+  // ~95% of objects are short-lived and their site qualifies.
+  EXPECT_GT(R.arenaAllocPercent(), 90.0);
+  EXPECT_EQ(R.Arena.ArenaFrees, R.Arena.ArenaAllocs);
+}
+
+TEST(SimTest, ArenaCceCostExceedsLen4ForManyCallsPerAlloc) {
+  AllocationTrace T = churnTrace(5, 20000);
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  SiteDatabase DB = trainDatabase(profileTrace(T, Policy), Policy);
+  ArenaSimResult R = simulateArena(T, DB, /*CallsPerAlloc=*/20.0);
+  EXPECT_GT(R.InstrCce.Alloc, R.InstrLen4.Alloc);
+  EXPECT_DOUBLE_EQ(R.InstrCce.Free, R.InstrLen4.Free);
+}
+
+TEST(SimTest, SuccessfulPredictionBeatsFirstFitCpuCost) {
+  // The paper's GAWK case: near-total prediction makes arena allocation
+  // far cheaper than first fit.
+  AllocationTrace T;
+  uint32_t C = T.internChain(CallChain{1, 2});
+  Rng R(6);
+  for (int I = 0; I < 40000; ++I)
+    T.append({static_cast<uint64_t>(R.nextInRange(8, 2000)), 32, C, 1});
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  SiteDatabase DB = trainDatabase(profileTrace(T, Policy), Policy);
+  ArenaSimResult Arena = simulateArena(T, DB, 5.0);
+  BaselineSimResult FF = simulateFirstFit(T);
+  EXPECT_LT(Arena.InstrLen4.total(), FF.Instr.total());
+  EXPECT_LT(Arena.InstrLen4.Free, 15.0); // Count decrement is cheap.
+}
+
+TEST(SimTest, PollutionDegradesArenaAllocation) {
+  // The paper's CFRAC case: train a site as short-lived, then feed a test
+  // trace where it allocates immortal objects.  The arenas fill with live
+  // objects and the allocator degenerates.
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  AllocationTrace Train;
+  uint32_t C = Train.internChain(CallChain{1, 2});
+  Rng R(7);
+  for (int I = 0; I < 20000; ++I)
+    Train.append({static_cast<uint64_t>(R.nextInRange(8, 2000)), 32, C, 1});
+  SiteDatabase DB = trainDatabase(profileTrace(Train, Policy), Policy);
+
+  AllocationTrace Test;
+  uint32_t C2 = Test.internChain(CallChain{1, 2});
+  for (int I = 0; I < 20000; ++I) {
+    bool Error = R.nextBool(0.05);
+    Test.append({Error ? NeverFreed
+                       : static_cast<uint64_t>(R.nextInRange(8, 2000)),
+                 32, C2, 1});
+  }
+  ArenaSimResult Polluted = simulateArena(Test, DB, 5.0);
+  EXPECT_GT(Polluted.Arena.FallbackAllocs, 10000u);
+  EXPECT_LT(Polluted.arenaAllocPercent(), 20.0);
+}
+
+TEST(SimTest, HeapSizeReportedInGrowthGranularity) {
+  AllocationTrace T = churnTrace(8, 5000);
+  BaselineSimResult R = simulateFirstFit(T);
+  EXPECT_EQ(R.MaxHeapBytes % 8192, 0u);
+}

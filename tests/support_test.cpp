@@ -1,0 +1,203 @@
+//===- tests/support_test.cpp - Support library tests ----------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/Hashing.h"
+#include "support/MathExtras.h"
+#include "support/Random.h"
+#include "support/TableFormatter.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+using namespace lifepred;
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(7);
+  for (int I = 0; I < 10000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng R(9);
+  for (uint64_t Bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int I = 0; I < 1000; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(RngTest, NextBelowCoversSmallRange) {
+  Rng R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(R.nextBelow(5));
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(13);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 5000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng R(17);
+  double Sum = 0, SumSq = 0;
+  const int N = 50000;
+  for (int I = 0; I < N; ++I) {
+    double G = R.nextGaussian();
+    Sum += G;
+    SumSq += G * G;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.0, 0.03);
+  EXPECT_NEAR(Var, 1.0, 0.05);
+}
+
+TEST(RngTest, WeightedSamplingMatchesWeights) {
+  Rng R(19);
+  std::vector<double> Weights = {1.0, 3.0, 6.0};
+  std::vector<int> Counts(3, 0);
+  const int N = 60000;
+  for (int I = 0; I < N; ++I)
+    ++Counts[R.nextWeighted(Weights)];
+  EXPECT_NEAR(Counts[0] / double(N), 0.1, 0.01);
+  EXPECT_NEAR(Counts[1] / double(N), 0.3, 0.015);
+  EXPECT_NEAR(Counts[2] / double(N), 0.6, 0.015);
+}
+
+TEST(RngTest, ZeroWeightNeverSampled) {
+  Rng R(23);
+  std::vector<double> Weights = {0.0, 1.0, 0.0};
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(R.nextWeighted(Weights), 1u);
+}
+
+TEST(RngTest, ForkedStreamsIndependent) {
+  Rng A(31);
+  Rng B = A.fork();
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 2);
+}
+
+TEST(HashingTest, FnvMatchesKnownVector) {
+  // FNV-1a of "a" is a published constant.
+  EXPECT_EQ(hashBytes("a", 1), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(HashingTest, HashBytesDistinguishesContent) {
+  EXPECT_NE(hashBytes("abc", 3), hashBytes("abd", 3));
+  EXPECT_NE(hashBytes("abc", 3), hashBytes("ab", 2));
+}
+
+TEST(HashingTest, HashCombineOrderSensitive) {
+  uint64_t A = hashCombine(hashCombine(FnvOffsetBasis, 1), 2);
+  uint64_t B = hashCombine(hashCombine(FnvOffsetBasis, 2), 1);
+  EXPECT_NE(A, B);
+}
+
+TEST(MathExtrasTest, PowerOfTwo) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(4096));
+  EXPECT_FALSE(isPowerOf2(4097));
+}
+
+TEST(MathExtrasTest, AlignTo) {
+  EXPECT_EQ(alignTo(0, 8), 0u);
+  EXPECT_EQ(alignTo(1, 8), 8u);
+  EXPECT_EQ(alignTo(8, 8), 8u);
+  EXPECT_EQ(alignTo(9, 8), 16u);
+  EXPECT_EQ(alignTo(13, 4), 16u);
+}
+
+TEST(MathExtrasTest, AlignDown) {
+  EXPECT_EQ(alignDown(9, 8), 8u);
+  EXPECT_EQ(alignDown(8, 8), 8u);
+  EXPECT_EQ(alignDown(7, 8), 0u);
+}
+
+TEST(MathExtrasTest, Log2CeilAndNextPowerOf2) {
+  EXPECT_EQ(log2Ceil(1), 0u);
+  EXPECT_EQ(log2Ceil(2), 1u);
+  EXPECT_EQ(log2Ceil(3), 2u);
+  EXPECT_EQ(log2Ceil(4096), 12u);
+  EXPECT_EQ(nextPowerOf2(5), 8u);
+  EXPECT_EQ(nextPowerOf2(8), 8u);
+}
+
+TEST(MathExtrasTest, Percent) {
+  EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+  EXPECT_DOUBLE_EQ(percent(1, 0), 0.0);
+}
+
+TEST(TableFormatterTest, AlignsAndSeparatesThousands) {
+  TableFormatter Table({"Name", "Value"});
+  Table.beginRow();
+  Table.addCell("row");
+  Table.addInt(1234567);
+  std::ostringstream OS;
+  Table.print(OS);
+  EXPECT_NE(OS.str().find("1,234,567"), std::string::npos);
+  EXPECT_NE(OS.str().find("Name"), std::string::npos);
+}
+
+TEST(TableFormatterTest, NegativeNumbers) {
+  EXPECT_EQ(TableFormatter::withThousands(-1234), "-1,234");
+  EXPECT_EQ(TableFormatter::withThousands(0), "0");
+}
+
+TEST(CommandLineTest, ParsesFlagsAndPositional) {
+  const char *Argv[] = {"prog", "--scale=0.5", "--verbose", "input.txt",
+                        "--seed=42"};
+  CommandLine Cl(5, Argv);
+  EXPECT_TRUE(Cl.has("verbose"));
+  EXPECT_FALSE(Cl.has("quiet"));
+  EXPECT_DOUBLE_EQ(Cl.getDouble("scale", 1.0), 0.5);
+  EXPECT_EQ(Cl.getInt("seed", 0), 42);
+  ASSERT_EQ(Cl.positional().size(), 1u);
+  EXPECT_EQ(Cl.positional()[0], "input.txt");
+}
+
+TEST(CommandLineTest, MalformedValuesFallBackToDefault) {
+  const char *Argv[] = {"prog", "--seed=abc"};
+  CommandLine Cl(2, Argv);
+  EXPECT_EQ(Cl.getInt("seed", 7), 7);
+  EXPECT_EQ(Cl.getString("seed", ""), "abc");
+}

@@ -1,0 +1,420 @@
+//===- tests/workloads_test.cpp - Workload model tests ---------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/LifetimeDistribution.h"
+#include "workloads/ModelBuilder.h"
+#include "workloads/PaperData.h"
+#include "workloads/Programs.h"
+#include "workloads/WorkloadRunner.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+using namespace lifepred;
+
+TEST(LifetimeDistributionTest, ConstantAlwaysSame) {
+  auto D = LifetimeDistribution::constant(42);
+  Rng R(1);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(D.sample(R), 42u);
+  EXPECT_EQ(D.maxValue(), 42u);
+  EXPECT_TRUE(D.alwaysBelow(43));
+  EXPECT_FALSE(D.alwaysBelow(42));
+}
+
+TEST(LifetimeDistributionTest, UniformStaysInRange) {
+  auto D = LifetimeDistribution::uniform(10, 20);
+  Rng R(2);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = D.sample(R);
+    EXPECT_GE(V, 10u);
+    EXPECT_LE(V, 20u);
+  }
+}
+
+TEST(LifetimeDistributionTest, LogUniformCoversDecades) {
+  auto D = LifetimeDistribution::logUniform(10, 100000);
+  Rng R(3);
+  int Low = 0, High = 0;
+  for (int I = 0; I < 10000; ++I) {
+    uint64_t V = D.sample(R);
+    EXPECT_GE(V, 10u);
+    EXPECT_LE(V, 100000u);
+    if (V < 1000)
+      ++Low;
+    if (V > 10000)
+      ++High;
+  }
+  // Each decade equally likely: half the samples under 1000 (two of four
+  // decades), a quarter above 10000.
+  EXPECT_NEAR(Low / 10000.0, 0.5, 0.05);
+  EXPECT_NEAR(High / 10000.0, 0.25, 0.05);
+}
+
+TEST(LifetimeDistributionTest, QuantileControlPointsAreRespected) {
+  auto D = LifetimeDistribution::fromQuantiles(
+      {{0, 10}, {0.5, 100}, {1.0, 1000}});
+  Rng R(4);
+  int Below100 = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    uint64_t V = D.sample(R);
+    EXPECT_GE(V, 10u);
+    EXPECT_LE(V, 1000u);
+    if (V <= 100)
+      ++Below100;
+  }
+  EXPECT_NEAR(Below100 / double(N), 0.5, 0.02);
+}
+
+TEST(LifetimeDistributionTest, PermanentSamplesNeverFreed) {
+  auto D = LifetimeDistribution::permanent();
+  Rng R(5);
+  EXPECT_EQ(D.sample(R), NeverFreed);
+  EXPECT_EQ(D.maxValue(), NeverFreed);
+}
+
+TEST(LifetimeDistributionTest, MixtureWeightsComponents) {
+  auto D = LifetimeDistribution::mixture(
+      {{0.8, LifetimeDistribution::constant(1)},
+       {0.2, LifetimeDistribution::constant(1000)}});
+  Rng R(6);
+  int Longs = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    if (D.sample(R) == 1000)
+      ++Longs;
+  EXPECT_NEAR(Longs / double(N), 0.2, 0.02);
+  EXPECT_EQ(D.maxValue(), 1000u);
+}
+
+TEST(LifetimeDistributionTest, MixtureIgnoresZeroWeightInMax) {
+  auto D = LifetimeDistribution::mixture(
+      {{1.0, LifetimeDistribution::constant(5)},
+       {0.0, LifetimeDistribution::permanent()}});
+  EXPECT_EQ(D.maxValue(), 5u);
+}
+
+TEST(ModelBuilderTest, GroupProducesCountSites) {
+  ProgramModel Model;
+  GroupSpec G;
+  G.BaseName = "g";
+  G.Count = 7;
+  G.Prefix = {seg("main")};
+  G.Sizes = {16, 32};
+  G.ByteShare = 0.5;
+  G.Lifetime = LifetimeDistribution::constant(10);
+  addGroup(Model, G);
+  EXPECT_EQ(Model.Sites.size(), 7u);
+  // Sizes cycle.
+  EXPECT_EQ(Model.Sites[0].Size, 16u);
+  EXPECT_EQ(Model.Sites[1].Size, 32u);
+  EXPECT_EQ(Model.Sites[2].Size, 16u);
+}
+
+TEST(ModelBuilderTest, ByteShareSplitsEvenlyWithoutZipf) {
+  ProgramModel Model;
+  GroupSpec G;
+  G.BaseName = "g";
+  G.Count = 4;
+  G.Prefix = {seg("main")};
+  G.Sizes = {16};
+  G.ByteShare = 1.0;
+  G.Lifetime = LifetimeDistribution::constant(10);
+  addGroup(Model, G);
+  for (const SiteSpec &S : Model.Sites)
+    EXPECT_DOUBLE_EQ(S.Weight, 0.25 / 16.0);
+}
+
+TEST(ModelBuilderTest, TrainOnlyGetsTestOnlyTwin) {
+  ProgramModel Model;
+  GroupSpec G;
+  G.BaseName = "g";
+  G.Count = 10;
+  G.Prefix = {seg("main")};
+  G.Sizes = {16};
+  G.ByteShare = 1.0;
+  G.Lifetime = LifetimeDistribution::constant(10);
+  G.TrainOnlyFraction = 0.5;
+  G.MirrorWeightFactor = 2.0;
+  addGroup(Model, G);
+  unsigned TrainOnly = 0, TestOnly = 0;
+  for (const SiteSpec &S : Model.Sites) {
+    TrainOnly += S.TrainOnly;
+    TestOnly += S.TestOnly;
+  }
+  EXPECT_EQ(TrainOnly, TestOnly);
+  EXPECT_GE(TrainOnly, 1u);
+  EXPECT_LE(TrainOnly, 9u);
+}
+
+TEST(WorkloadRunnerTest, DeterministicForSameSeed) {
+  ProgramModel Model = gawkModel();
+  FunctionRegistry RegA, RegB;
+  RunOptions O;
+  O.Scale = 0.002;
+  AllocationTrace A = runWorkload(Model, O, RegA);
+  AllocationTrace B = runWorkload(Model, O, RegB);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A.records()[I].Size, B.records()[I].Size);
+    EXPECT_EQ(A.records()[I].Lifetime, B.records()[I].Lifetime);
+    EXPECT_EQ(A.records()[I].ChainIndex, B.records()[I].ChainIndex);
+  }
+}
+
+TEST(WorkloadRunnerTest, DifferentSeedsDiffer) {
+  ProgramModel Model = gawkModel();
+  FunctionRegistry Reg;
+  RunOptions A;
+  A.Scale = 0.002;
+  A.Seed = 1;
+  RunOptions B = A;
+  B.Seed = 2;
+  AllocationTrace TA = runWorkload(Model, A, Reg);
+  AllocationTrace TB = runWorkload(Model, B, Reg);
+  bool AnyDifferent = TA.size() != TB.size();
+  for (size_t I = 0; !AnyDifferent && I < TA.size(); ++I)
+    AnyDifferent = TA.records()[I].Lifetime != TB.records()[I].Lifetime;
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(WorkloadRunnerTest, ScaleControlsObjectCount) {
+  ProgramModel Model = perlModel();
+  FunctionRegistry Reg;
+  RunOptions O;
+  O.Scale = 0.001;
+  AllocationTrace T = runWorkload(Model, O, Reg);
+  EXPECT_NEAR(static_cast<double>(T.size()),
+              static_cast<double>(Model.BaseObjects) * 0.001, 2.0);
+}
+
+TEST(WorkloadRunnerTest, TrainOnlySitesAbsentFromTestRun) {
+  ProgramModel Model;
+  Model.BaseObjects = 5000;
+  GroupSpec G;
+  G.BaseName = "g";
+  G.Count = 10;
+  G.Prefix = {seg("main")};
+  G.Sizes = {16};
+  G.ByteShare = 1.0;
+  G.Lifetime = LifetimeDistribution::constant(10);
+  G.TrainOnlyFraction = 0.5;
+  addGroup(Model, G);
+
+  FunctionRegistry Reg;
+  RunOptions O;
+  O.Kind = RunKind::Train;
+  AllocationTrace Train = runWorkload(Model, O, Reg);
+  O.Kind = RunKind::Test;
+  AllocationTrace Test = runWorkload(Model, O, Reg);
+
+  auto ChainSet = [](const AllocationTrace &T) {
+    std::set<uint64_t> S;
+    for (size_t I = 0; I < T.chainCount(); ++I)
+      S.insert(T.chain(static_cast<uint32_t>(I)).hash());
+    return S;
+  };
+  std::set<uint64_t> TrainChains = ChainSet(Train);
+  std::set<uint64_t> TestChains = ChainSet(Test);
+  // Some chains in each run are exclusive to it (train-only sites and
+  // their test-only twins).
+  bool TrainExclusive = false, TestExclusive = false;
+  for (uint64_t H : TrainChains)
+    TrainExclusive |= !TestChains.count(H);
+  for (uint64_t H : TestChains)
+    TestExclusive |= !TrainChains.count(H);
+  EXPECT_TRUE(TrainExclusive);
+  EXPECT_TRUE(TestExclusive);
+}
+
+TEST(WorkloadRunnerTest, RecursiveSegmentsVaryRawChains) {
+  ProgramModel Model;
+  Model.BaseObjects = 2000;
+  SiteSpec S;
+  S.Label = "rec";
+  S.Path = {seg("main"), recSeg("eval", 1, 4), seg("leaf")};
+  S.Size = 16;
+  S.Weight = 1.0;
+  S.Lifetime = LifetimeDistribution::constant(10);
+  Model.Sites.push_back(S);
+
+  FunctionRegistry Reg;
+  RunOptions O;
+  AllocationTrace T = runWorkload(Model, O, Reg);
+  EXPECT_GE(T.chainCount(), 3u); // Depths 1..4 produce distinct raw chains.
+  // All of them prune to the same chain.
+  std::set<uint64_t> Pruned;
+  for (size_t I = 0; I < T.chainCount(); ++I)
+    Pruned.insert(T.chain(static_cast<uint32_t>(I)).pruned().hash());
+  EXPECT_EQ(Pruned.size(), 1u);
+}
+
+TEST(WorkloadRunnerTest, BurstSitesPreserveShare) {
+  ProgramModel Model;
+  Model.BaseObjects = 40000;
+  GroupSpec A;
+  A.BaseName = "burst";
+  A.Count = 1;
+  A.Prefix = {seg("main")};
+  A.Sizes = {16};
+  A.ByteShare = 0.5;
+  A.Lifetime = LifetimeDistribution::constant(10);
+  A.BurstLength = 64;
+  addGroup(Model, A);
+  GroupSpec B;
+  B.BaseName = "plain";
+  B.Count = 1;
+  B.Prefix = {seg("main")};
+  B.Sizes = {16};
+  B.ByteShare = 0.5;
+  B.Lifetime = LifetimeDistribution::constant(20);
+  addGroup(Model, B);
+
+  FunctionRegistry Reg;
+  RunOptions O;
+  AllocationTrace T = runWorkload(Model, O, Reg);
+  uint64_t BurstObjects = 0;
+  for (const AllocRecord &R : T.records())
+    if (R.Lifetime == 10)
+      ++BurstObjects;
+  EXPECT_NEAR(static_cast<double>(BurstObjects) / T.size(), 0.5, 0.05);
+}
+
+TEST(WorkloadRunnerTest, NonHeapRefsHitTargetPercent) {
+  ProgramModel Model = cfracModel();
+  FunctionRegistry Reg;
+  RunOptions O;
+  O.Scale = 0.005;
+  AllocationTrace T = runWorkload(Model, O, Reg);
+  uint64_t HeapRefs = 0;
+  for (const AllocRecord &R : T.records())
+    HeapRefs += R.Refs;
+  double Pct = 100.0 * static_cast<double>(HeapRefs) /
+               static_cast<double>(HeapRefs + T.nonHeapRefs());
+  EXPECT_NEAR(Pct, Model.TargetHeapRefPercent, 0.5);
+}
+
+namespace {
+
+class ProgramModelTest : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(ProgramModelTest, ModelIsWellFormed) {
+  ProgramModel Model = allPrograms()[GetParam()];
+  EXPECT_FALSE(Model.Sites.empty());
+  EXPECT_GT(Model.BaseObjects, 100000u);
+  EXPECT_NE(paperData(Model.Name), nullptr);
+  for (const SiteSpec &S : Model.Sites) {
+    EXPECT_FALSE(S.Path.empty());
+    EXPECT_GE(S.Size, 1u);
+    EXPECT_GT(S.Weight, 0.0);
+    EXPECT_FALSE(S.TrainOnly && S.TestOnly);
+  }
+}
+
+TEST_P(ProgramModelTest, SmallRunExercisesBothKinds) {
+  ProgramModel Model = allPrograms()[GetParam()];
+  FunctionRegistry Reg;
+  RunOptions O;
+  O.Scale = 0.003;
+  O.Kind = RunKind::Train;
+  AllocationTrace Train = runWorkload(Model, O, Reg);
+  O.Kind = RunKind::Test;
+  AllocationTrace Test = runWorkload(Model, O, Reg);
+  EXPECT_GT(Train.size(), 1000u);
+  EXPECT_GT(Test.size(), 1000u);
+  EXPECT_GT(Train.chainCount(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, ProgramModelTest, ::testing::Range(0, 5),
+                         [](const ::testing::TestParamInfo<int> &Info) {
+                           return std::string(
+                               PaperPrograms[Info.param].Name);
+                         });
+
+TEST(WorkloadRunnerTest, TypeIdsStableAcrossRunKinds) {
+  ProgramModel Model = gawkModel();
+  FunctionRegistry Reg;
+  RunOptions O;
+  O.Scale = 0.005;
+  O.Kind = RunKind::Train;
+  AllocationTrace Train = runWorkload(Model, O, Reg);
+  O.Kind = RunKind::Test;
+  AllocationTrace Test = runWorkload(Model, O, Reg);
+  // Records from the same chain must carry the same TypeId in both runs.
+  std::map<uint64_t, uint32_t> TrainTypes, TestTypes;
+  for (const AllocRecord &R : Train.records())
+    TrainTypes[Train.chain(R.ChainIndex).hash()] = R.TypeId;
+  for (const AllocRecord &R : Test.records())
+    TestTypes[Test.chain(R.ChainIndex).hash()] = R.TypeId;
+  size_t Compared = 0;
+  for (const auto &[Hash, Type] : TrainTypes) {
+    auto It = TestTypes.find(Hash);
+    if (It == TestTypes.end())
+      continue;
+    EXPECT_EQ(It->second, Type);
+    ++Compared;
+  }
+  EXPECT_GT(Compared, 50u);
+}
+
+TEST(WorkloadRunnerTest, SharedTypeNameSpansGroups) {
+  ProgramModel Model = gawkModel();
+  FunctionRegistry Reg;
+  RunOptions O;
+  O.Scale = 0.01;
+  AllocationTrace T = runWorkload(Model, O, Reg);
+  // gawk_node and gawk_nodemix both declare TypeName "NODE": some records
+  // with distinct chains must share a TypeId.
+  std::map<uint32_t, std::set<uint32_t>> ChainsByType;
+  for (const AllocRecord &R : T.records())
+    ChainsByType[R.TypeId].insert(R.ChainIndex);
+  bool SomeTypeSpansChains = false;
+  for (const auto &[Type, Chains] : ChainsByType)
+    SomeTypeSpansChains |= Chains.size() > 1;
+  EXPECT_TRUE(SomeTypeSpansChains);
+}
+
+TEST(WorkloadRunnerTest, SizeJitterStaysWithinBound) {
+  ProgramModel Model;
+  Model.BaseObjects = 5000;
+  SiteSpec S;
+  S.Label = "jit";
+  S.Path = {seg("main")};
+  S.Size = 40;
+  S.SizeJitter = 3;
+  S.Weight = 1.0;
+  S.Lifetime = LifetimeDistribution::constant(10);
+  Model.Sites.push_back(S);
+  FunctionRegistry Reg;
+  RunOptions O;
+  AllocationTrace T = runWorkload(Model, O, Reg);
+  bool SawJitter = false;
+  for (const AllocRecord &R : T.records()) {
+    EXPECT_GE(R.Size, 40u);
+    EXPECT_LE(R.Size, 43u);
+    SawJitter |= R.Size != 40;
+  }
+  EXPECT_TRUE(SawJitter);
+}
+
+TEST(PaperDataTest, LookupCoversAllPrograms) {
+  for (const ProgramModel &Model : allPrograms()) {
+    const PaperProgramData *Data = paperData(Model.Name);
+    ASSERT_NE(Data, nullptr) << Model.Name;
+    EXPECT_EQ(Model.Name, Data->Name);
+    EXPECT_GT(Data->TotalBytesM, 0.0);
+    // Chain-length tables are monotone up to length 7 in the paper.
+    for (int I = 1; I < 7; ++I)
+      EXPECT_GE(Data->ChainPredPercent[I], Data->ChainPredPercent[I - 1]);
+  }
+  EXPECT_EQ(paperData("NOPE"), nullptr);
+}
