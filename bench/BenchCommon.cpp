@@ -6,7 +6,10 @@
 
 #include "BenchCommon.h"
 
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <string>
 
 using namespace lifepred;
 
@@ -15,6 +18,12 @@ BenchOptions BenchOptions::fromCommandLine(const CommandLine &Cl) {
   Options.Scale = Cl.getDouble("scale", 1.0);
   Options.Seed = static_cast<uint64_t>(Cl.getInt("seed", 0x1993));
   Options.OnlyProgram = Cl.getString("program", "");
+  long Jobs = Cl.getInt("jobs", 1);
+  if (Jobs <= 0) // --jobs=0 means "use every core".
+    Options.Jobs = ThreadPool::defaultThreadCount();
+  else
+    Options.Jobs = static_cast<unsigned>(Jobs);
+  Options.JsonPath = Cl.getString("json", "");
   return Options;
 }
 
@@ -32,22 +41,108 @@ ProgramTraces lifepred::makeTraces(const ProgramModel &Model,
   return Traces;
 }
 
-std::vector<ProgramTraces> lifepred::makeAllTraces(
-    const BenchOptions &Options) {
-  std::vector<ProgramTraces> All;
-  for (const ProgramModel &Model : allPrograms()) {
+std::vector<ProgramTraces>
+lifepred::makeAllTraces(const BenchOptions &Options, ThreadPool &Pool) {
+  std::vector<ProgramModel> Programs = allPrograms();
+  std::vector<const ProgramModel *> Selected;
+  for (const ProgramModel &Model : Programs) {
     if (!Options.OnlyProgram.empty() && Model.Name != Options.OnlyProgram)
       continue;
-    All.push_back(makeTraces(Model, Options));
+    Selected.push_back(&Model);
   }
+  // One task per program; each writes only its own slot, so the result
+  // order matches allPrograms() regardless of completion order.  Train
+  // and test runs share a registry and therefore stay sequential within
+  // a program.
+  std::vector<ProgramTraces> All(Selected.size());
+  parallelForIndex(Pool, Selected.size(), [&](size_t Index) {
+    All[Index] = makeTraces(*Selected[Index], Options);
+  });
   return All;
+}
+
+std::vector<ProgramTraces>
+lifepred::makeAllTraces(const BenchOptions &Options) {
+  ThreadPool Pool(Options.Jobs);
+  return makeAllTraces(Options, Pool);
 }
 
 void lifepred::printBanner(const char *Table, const char *Caption,
                            const BenchOptions &Options) {
   std::printf("== %s: %s ==\n", Table, Caption);
   std::printf("(Barrett & Zorn, PLDI 1993 reproduction; scale=%.2f "
-              "seed=0x%llx; 'paper' columns are the published values)\n\n",
-              Options.Scale,
-              static_cast<unsigned long long>(Options.Seed));
+              "seed=0x%llx jobs=%u; 'paper' columns are the published "
+              "values)\n\n",
+              Options.Scale, static_cast<unsigned long long>(Options.Seed),
+              Options.Jobs);
+}
+
+double lifepred::wallTimeSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+static void appendJsonEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+}
+
+bool JsonReport::write() const {
+  if (Options.JsonPath.empty())
+    return true;
+
+  namespace fs = std::filesystem;
+  fs::path Path(Options.JsonPath);
+  std::error_code Ec;
+  if (fs::is_directory(Path, Ec))
+    Path /= "BENCH_" + BenchName + ".json";
+
+  std::string Out;
+  char Buf[64];
+  Out += "{\n";
+  Out += "  \"bench\": \"";
+  appendJsonEscaped(Out, BenchName);
+  Out += "\",\n";
+  std::snprintf(Buf, sizeof(Buf), "  \"scale\": %.6g,\n", Options.Scale);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"seed\": %llu,\n",
+                static_cast<unsigned long long>(Options.Seed));
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"jobs\": %u,\n", Options.Jobs);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"events\": %llu,\n",
+                static_cast<unsigned long long>(Events));
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"wall_seconds\": %.6f,\n", WallSeconds);
+  Out += Buf;
+  double EventsPerSec =
+      WallSeconds > 0.0 ? static_cast<double>(Events) / WallSeconds : 0.0;
+  std::snprintf(Buf, sizeof(Buf), "  \"events_per_sec\": %.1f,\n",
+                EventsPerSec);
+  Out += Buf;
+  Out += "  \"values\": {";
+  for (size_t I = 0; I < Values.size(); ++I) {
+    Out += I == 0 ? "\n" : ",\n";
+    Out += "    \"";
+    appendJsonEscaped(Out, Values[I].first);
+    std::snprintf(Buf, sizeof(Buf), "\": %.6g", Values[I].second);
+    Out += Buf;
+  }
+  Out += Values.empty() ? "}\n" : "\n  }\n";
+  Out += "}\n";
+
+  std::FILE *File = std::fopen(Path.string().c_str(), "w");
+  if (!File) {
+    std::fprintf(stderr, "warning: cannot write JSON report to %s\n",
+                 Path.string().c_str());
+    return false;
+  }
+  std::fwrite(Out.data(), 1, Out.size(), File);
+  std::fclose(File);
+  std::printf("JSON report written to %s\n", Path.string().c_str());
+  return true;
 }

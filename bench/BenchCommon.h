@@ -6,9 +6,16 @@
 ///
 /// \file
 /// Helpers shared by the table-reproduction bench binaries: workload trace
-/// generation with common flags (--scale, --seed, --program) and printing
-/// conventions.  Every bench prints its measured values beside the paper's
-/// published numbers so the output reads as a direct comparison.
+/// generation with common flags (--scale, --seed, --program, --jobs,
+/// --json) and printing conventions.  Every bench prints its measured
+/// values beside the paper's published numbers so the output reads as a
+/// direct comparison.
+///
+/// Trace generation and per-(program, allocator) simulations fan out over
+/// a ThreadPool sized by --jobs; results are stored into index-addressed
+/// slots so output order (and with --jobs=1, execution order) is
+/// deterministic.  --json=<path> additionally writes the measured values
+/// plus wall-clock and events/sec as a machine-readable report.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,12 +24,14 @@
 
 #include "callchain/FunctionRegistry.h"
 #include "support/CommandLine.h"
+#include "support/ThreadPool.h"
 #include "trace/AllocationTrace.h"
 #include "workloads/PaperData.h"
 #include "workloads/Programs.h"
 #include "workloads/WorkloadRunner.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lifepred {
@@ -41,11 +50,19 @@ struct BenchOptions {
   double Scale = 1.0;
   uint64_t Seed = 0x1993;
   std::string OnlyProgram; ///< Empty = all five.
+  unsigned Jobs = 1;       ///< Worker threads; 1 = serial.
+  std::string JsonPath;    ///< Empty = no JSON report.
 
   static BenchOptions fromCommandLine(const CommandLine &Cl);
 };
 
-/// Generates traces for every selected program.
+/// Generates traces for every selected program, fanning out one task per
+/// program on \p Pool.  Result order matches allPrograms() order
+/// regardless of job count.
+std::vector<ProgramTraces> makeAllTraces(const BenchOptions &Options,
+                                         ThreadPool &Pool);
+
+/// Serial convenience overload.
 std::vector<ProgramTraces> makeAllTraces(const BenchOptions &Options);
 
 /// Generates traces for one model.
@@ -55,6 +72,54 @@ ProgramTraces makeTraces(const ProgramModel &Model,
 /// Prints the standard bench banner naming the table being reproduced.
 void printBanner(const char *Table, const char *Caption,
                  const BenchOptions &Options);
+
+/// Machine-readable bench report, written when --json is set.
+///
+/// Values are kept in insertion order; keys follow the convention
+/// "<program>.<column>".  The report always records the bench name, the
+/// options it ran under, total replayed events, wall-clock seconds, and
+/// the derived events/sec throughput.
+class JsonReport {
+public:
+  JsonReport(std::string BenchName, const BenchOptions &Options)
+      : BenchName(std::move(BenchName)), Options(Options) {}
+
+  /// Records a measured value.
+  void add(const std::string &Key, double Value) {
+    Values.emplace_back(Key, Value);
+  }
+
+  /// Records the replayed-event total and the wall-clock spent replaying.
+  void setThroughput(uint64_t Events, double WallSeconds) {
+    this->Events = Events;
+    this->WallSeconds = WallSeconds;
+  }
+
+  /// Writes the report to Options.JsonPath.  If that names a directory,
+  /// the file becomes <dir>/BENCH_<name>.json.  No-op when --json was not
+  /// given; returns false (after printing a warning) if the file cannot
+  /// be written.
+  bool write() const;
+
+private:
+  std::string BenchName;
+  BenchOptions Options;
+  std::vector<std::pair<std::string, double>> Values;
+  uint64_t Events = 0;
+  double WallSeconds = 0.0;
+};
+
+/// Monotonic wall-clock seconds (for events/sec measurement).
+double wallTimeSeconds();
+
+/// Number of replay events (allocs plus derived frees) in \p Trace.
+inline uint64_t replayEventCount(const AllocationTrace &Trace) {
+  uint64_t Events = Trace.size();
+  for (const AllocRecord &Record : Trace.records())
+    if (Record.Lifetime != NeverFreed)
+      ++Events;
+  return Events;
+}
 
 } // namespace lifepred
 

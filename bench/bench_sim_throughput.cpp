@@ -1,0 +1,206 @@
+//===- bench/bench_sim_throughput.cpp - Simulator hot-path throughput ------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// Measures trace-replay throughput (events/sec, where an event is one
+// alloc or one derived free) of the simulator hot path:
+//
+//   legacy-ff : the original std::map/std::set first-fit block store,
+//               retained as LegacyFirstFitAllocator (the differential
+//               oracle).
+//   flat-ff   : the flat boundary-tag block store that replaced it.
+//   bsd       : the Kingsley power-of-two allocator.
+//   arena     : the lifetime-predicting arena allocator (true database).
+//
+// The flat/legacy pair replays the same traces under the same fit policy
+// (--policy=roving|address|best), so their ratio is the speedup of the
+// block-store rewrite alone.  Per-(program, allocator, repeat) replays
+// fan out on the bench thread pool; each task times only its own replay,
+// and per-allocator throughput aggregates those task-local times, so
+// --jobs only shortens the bench without perturbing the ratio.
+//
+// Flags: the common --scale/--seed/--program/--jobs/--json, plus
+// --policy (default roving) and --repeat=N (default 3) which replays
+// every trace N times to lengthen the timed region.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "alloc/LegacyFirstFitAllocator.h"
+#include "core/Pipeline.h"
+#include "sim/TraceSimulator.h"
+#include "support/TableFormatter.h"
+#include "trace/TraceReplayer.h"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace lifepred;
+
+namespace {
+
+/// Replays \p Trace into a fresh \p Allocator, returning nothing; the
+/// caller times the call.  Mirrors the simulator's BaselineConsumer.
+template <typename AllocatorT>
+void replayBaseline(const AllocationTrace &Trace,
+                    typename AllocatorT::Config Config) {
+  class Consumer : public TraceConsumer {
+  public:
+    Consumer(AllocatorT &Allocator, size_t ObjectCount)
+        : Allocator(Allocator) {
+      Addresses.resize(ObjectCount);
+    }
+    void onAlloc(uint64_t Id, const AllocRecord &Record, uint64_t) override {
+      Addresses[Id] = Allocator.allocate(Record.Size);
+      raisePeak(MaxLive, Allocator.liveBytes());
+    }
+    void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
+      Allocator.free(Addresses[Id]);
+    }
+
+  private:
+    AllocatorT &Allocator;
+    std::vector<uint64_t> Addresses;
+    uint64_t MaxLive = 0;
+  };
+
+  AllocatorT Allocator(Config);
+  Consumer C(Allocator, Trace.size());
+  replayTrace(Trace, C);
+}
+
+constexpr unsigned AllocatorCount = 4;
+const char *const AllocatorNames[AllocatorCount] = {"legacy-ff", "flat-ff",
+                                                    "bsd", "arena"};
+
+struct Cell {
+  uint64_t Events = 0;
+  double Seconds = 0.0;
+  double eventsPerSec() const {
+    return Seconds > 0.0 ? static_cast<double>(Events) / Seconds : 0.0;
+  }
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  std::string PolicyName = Cl.getString("policy", "roving");
+  unsigned Repeat = static_cast<unsigned>(Cl.getInt("repeat", 3));
+  if (Repeat < 1)
+    Repeat = 1;
+
+  FitPolicy Policy = FitPolicy::RovingFirstFit;
+  if (PolicyName == "address")
+    Policy = FitPolicy::AddressOrderedFirstFit;
+  else if (PolicyName == "best")
+    Policy = FitPolicy::BestFit;
+  else if (PolicyName != "roving") {
+    std::fprintf(stderr, "unknown --policy=%s (roving|address|best)\n",
+                 PolicyName.c_str());
+    return 1;
+  }
+
+  printBanner("Throughput", "simulator trace-replay events per second",
+              Options);
+  std::printf("fit policy: %s; repeats per trace: %u\n\n", PolicyName.c_str(),
+              Repeat);
+
+  SiteKeyPolicy KeyPolicy = SiteKeyPolicy::completeChain();
+
+  ThreadPool Pool(Options.Jobs);
+  std::vector<ProgramTraces> All = makeAllTraces(Options, Pool);
+
+  // Train the arena databases up front (outside the timed region).
+  std::vector<SiteDatabase> TrueDBs(All.size());
+  parallelForIndex(Pool, All.size(), [&](size_t Index) {
+    Profile TrainProfile = profileTrace(All[Index].Train, KeyPolicy);
+    TrueDBs[Index] = trainDatabase(TrainProfile, KeyPolicy);
+  });
+
+  FirstFitAllocator::Config FFConfig;
+  FFConfig.Policy = Policy;
+
+  // One task per (program, allocator); each repeats its replay and times
+  // only the replay calls.
+  std::vector<Cell> Cells(All.size() * AllocatorCount);
+  parallelForIndex(Pool, Cells.size(), [&](size_t Task) {
+    size_t ProgramIndex = Task / AllocatorCount;
+    unsigned Allocator = Task % AllocatorCount;
+    const ProgramTraces &Traces = All[ProgramIndex];
+    Cell &C = Cells[Task];
+    C.Events = uint64_t(Repeat) * replayEventCount(Traces.Test);
+    double Start = wallTimeSeconds();
+    for (unsigned R = 0; R < Repeat; ++R) {
+      switch (Allocator) {
+      case 0:
+        replayBaseline<LegacyFirstFitAllocator>(Traces.Test, FFConfig);
+        break;
+      case 1:
+        replayBaseline<FirstFitAllocator>(Traces.Test, FFConfig);
+        break;
+      case 2:
+        replayBaseline<BsdAllocator>(Traces.Test, BsdAllocator::Config());
+        break;
+      case 3:
+        simulateArena(Traces.Test, TrueDBs[ProgramIndex],
+                      Traces.Model.CallsPerAlloc);
+        break;
+      }
+    }
+    C.Seconds = wallTimeSeconds() - Start;
+  });
+
+  TableFormatter Table({"Program", "Allocator", "Events", "Seconds",
+                        "Events/sec", "vs legacy"});
+  JsonReport Report("sim_throughput", Options);
+
+  Cell LegacyTotal, FlatTotal;
+  uint64_t TotalEvents = 0;
+  double TotalSeconds = 0.0;
+  for (size_t I = 0; I < All.size(); ++I) {
+    const Cell &Legacy = Cells[I * AllocatorCount + 0];
+    for (unsigned A = 0; A < AllocatorCount; ++A) {
+      const Cell &C = Cells[I * AllocatorCount + A];
+      TotalEvents += C.Events;
+      TotalSeconds += C.Seconds;
+      Table.beginRow();
+      Table.addCell(A == 0 ? All[I].Model.Name : "");
+      Table.addCell(AllocatorNames[A]);
+      Table.addInt(static_cast<int64_t>(C.Events));
+      Table.addReal(C.Seconds, 3);
+      Table.addInt(static_cast<int64_t>(C.eventsPerSec()));
+      Table.addReal(Legacy.Seconds > 0.0 && C.Seconds > 0.0
+                        ? Legacy.Seconds / C.Seconds
+                        : 0.0,
+                    2);
+      Report.add(std::string(All[I].Model.Name) + "." + AllocatorNames[A] +
+                     ".events_per_sec",
+                 C.eventsPerSec());
+    }
+    LegacyTotal.Events += Legacy.Events;
+    LegacyTotal.Seconds += Legacy.Seconds;
+    FlatTotal.Events += Cells[I * AllocatorCount + 1].Events;
+    FlatTotal.Seconds += Cells[I * AllocatorCount + 1].Seconds;
+  }
+  Table.print(std::cout);
+
+  double Speedup = FlatTotal.Seconds > 0.0
+                       ? LegacyTotal.Seconds / FlatTotal.Seconds
+                       : 0.0;
+  std::printf("\nfirst-fit replay (%s): legacy %.0f events/sec, flat %.0f "
+              "events/sec — speedup %.2fx\n",
+              PolicyName.c_str(), LegacyTotal.eventsPerSec(),
+              FlatTotal.eventsPerSec(), Speedup);
+
+  Report.setThroughput(TotalEvents, TotalSeconds);
+  Report.add("legacy_ff.events_per_sec", LegacyTotal.eventsPerSec());
+  Report.add("flat_ff.events_per_sec", FlatTotal.eventsPerSec());
+  Report.add("flat_vs_legacy_speedup", Speedup);
+  Report.write();
+  return 0;
+}

@@ -9,6 +9,10 @@
 // large-heap program — sees a substantial net reduction because the
 // short-lived objects stop fragmenting the general heap.
 //
+// Each (program, allocator) simulation is an independent task on the
+// bench thread pool (--jobs); rows print in program order afterwards, so
+// the output is identical at any job count.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -21,6 +25,17 @@
 
 using namespace lifepred;
 
+namespace {
+
+/// One program's three simulation results.
+struct Row {
+  BaselineSimResult FF;
+  ArenaSimResult Self;
+  ArenaSimResult True;
+};
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   CommandLine Cl(Argc, Argv);
   BenchOptions Options = BenchOptions::fromCommandLine(Cl);
@@ -28,48 +43,83 @@ int main(int Argc, char **Argv) {
 
   SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
 
+  ThreadPool Pool(Options.Jobs);
+  std::vector<ProgramTraces> All = makeAllTraces(Options, Pool);
+
+  // Fan out one task per (program, allocator).  Database training rides
+  // inside the task that consumes it.
+  std::vector<Row> Rows(All.size());
+  uint64_t Events = 0;
+  for (const ProgramTraces &Traces : All)
+    Events += 3 * replayEventCount(Traces.Test);
+  double Start = wallTimeSeconds();
+  parallelForIndex(Pool, All.size() * 3, [&](size_t Task) {
+    const ProgramTraces &Traces = All[Task / 3];
+    Row &R = Rows[Task / 3];
+    switch (Task % 3) {
+    case 0:
+      R.FF = simulateFirstFit(Traces.Test);
+      break;
+    case 1: {
+      // The paper sizes heaps on the *test* (performance) input; the
+      // self database is trained on that same input.
+      Profile SelfProfile = profileTrace(Traces.Test, Policy);
+      SiteDatabase SelfDB = trainDatabase(SelfProfile, Policy);
+      R.Self = simulateArena(Traces.Test, SelfDB, Traces.Model.CallsPerAlloc);
+      break;
+    }
+    case 2: {
+      // ...the true database on the training input.
+      Profile TrainProfile = profileTrace(Traces.Train, Policy);
+      SiteDatabase TrueDB = trainDatabase(TrainProfile, Policy);
+      R.True = simulateArena(Traces.Test, TrueDB, Traces.Model.CallsPerAlloc);
+      break;
+    }
+    }
+  });
+  double Wall = wallTimeSeconds() - Start;
+
   TableFormatter Table({"Program", "FirstFit(K)", "paper", "SelfArena(K)",
                         "paper", "Self/FF%", "paper", "TrueArena(K)",
                         "paper", "True/FF%", "paper"});
+  JsonReport Report("table8_heap_size", Options);
+  Report.setThroughput(Events, Wall);
 
-  for (const ProgramTraces &Traces : makeAllTraces(Options)) {
+  for (size_t I = 0; I < All.size(); ++I) {
+    const ProgramTraces &Traces = All[I];
+    const Row &R = Rows[I];
     const PaperProgramData *Paper = paperData(Traces.Model.Name);
-
-    // The paper sizes heaps on the *test* (performance) input; the self
-    // database is trained on that same input, the true database on the
-    // training input.
-    Profile SelfProfile = profileTrace(Traces.Test, Policy);
-    SiteDatabase SelfDB = trainDatabase(SelfProfile, Policy);
-    Profile TrainProfile = profileTrace(Traces.Train, Policy);
-    SiteDatabase TrueDB = trainDatabase(TrainProfile, Policy);
-
-    BaselineSimResult FF = simulateFirstFit(Traces.Test);
-    ArenaSimResult Self =
-        simulateArena(Traces.Test, SelfDB, Traces.Model.CallsPerAlloc);
-    ArenaSimResult True =
-        simulateArena(Traces.Test, TrueDB, Traces.Model.CallsPerAlloc);
 
     auto Kb = [](uint64_t Bytes) {
       return static_cast<int64_t>(Bytes / 1024);
     };
     Table.beginRow();
     Table.addCell(Traces.Model.Name);
-    Table.addInt(Kb(FF.MaxHeapBytes));
+    Table.addInt(Kb(R.FF.MaxHeapBytes));
     Table.addInt(Paper->FirstFitHeapK);
-    Table.addInt(Kb(Self.MaxHeapBytes));
+    Table.addInt(Kb(R.Self.MaxHeapBytes));
     Table.addInt(Paper->SelfArenaHeapK);
-    Table.addPercent(100.0 * static_cast<double>(Self.MaxHeapBytes) /
-                         static_cast<double>(FF.MaxHeapBytes),
+    Table.addPercent(100.0 * static_cast<double>(R.Self.MaxHeapBytes) /
+                         static_cast<double>(R.FF.MaxHeapBytes),
                      1);
     Table.addReal(100.0 * Paper->SelfArenaHeapK / Paper->FirstFitHeapK, 1);
-    Table.addInt(Kb(True.MaxHeapBytes));
+    Table.addInt(Kb(R.True.MaxHeapBytes));
     Table.addInt(Paper->TrueArenaHeapK);
-    Table.addPercent(100.0 * static_cast<double>(True.MaxHeapBytes) /
-                         static_cast<double>(FF.MaxHeapBytes),
+    Table.addPercent(100.0 * static_cast<double>(R.True.MaxHeapBytes) /
+                         static_cast<double>(R.FF.MaxHeapBytes),
                      1);
     Table.addReal(100.0 * Paper->TrueArenaHeapK / Paper->FirstFitHeapK, 1);
+
+    std::string Name = Traces.Model.Name;
+    Report.add(Name + ".firstfit_heap_k",
+               static_cast<double>(Kb(R.FF.MaxHeapBytes)));
+    Report.add(Name + ".self_arena_heap_k",
+               static_cast<double>(Kb(R.Self.MaxHeapBytes)));
+    Report.add(Name + ".true_arena_heap_k",
+               static_cast<double>(Kb(R.True.MaxHeapBytes)));
   }
 
   Table.print(std::cout);
+  Report.write();
   return 0;
 }

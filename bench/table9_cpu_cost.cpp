@@ -8,6 +8,10 @@
 // true prediction).  Arena costs are operation counts times per-operation
 // estimates, exactly the paper's method.
 //
+// Each (program, allocator) simulation is an independent task on the
+// bench thread pool (--jobs); rows print in program order afterwards, so
+// the output is identical at any job count.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -20,6 +24,17 @@
 
 using namespace lifepred;
 
+namespace {
+
+/// One program's simulation results across the table's allocators.
+struct Row {
+  BaselineSimResult Bsd;
+  BaselineSimResult FF;
+  ArenaSimResult Arena;
+};
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   CommandLine Cl(Argc, Argv);
   BenchOptions Options = BenchOptions::fromCommandLine(Cl);
@@ -28,19 +43,44 @@ int main(int Argc, char **Argv) {
   SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
   CostModel Costs;
 
+  ThreadPool Pool(Options.Jobs);
+  std::vector<ProgramTraces> All = makeAllTraces(Options, Pool);
+
+  std::vector<Row> Rows(All.size());
+  uint64_t Events = 0;
+  for (const ProgramTraces &Traces : All)
+    Events += 3 * replayEventCount(Traces.Test);
+  double Start = wallTimeSeconds();
+  parallelForIndex(Pool, All.size() * 3, [&](size_t Task) {
+    const ProgramTraces &Traces = All[Task / 3];
+    Row &R = Rows[Task / 3];
+    switch (Task % 3) {
+    case 0:
+      R.Bsd = simulateBsd(Traces.Test, Costs);
+      break;
+    case 1:
+      R.FF = simulateFirstFit(Traces.Test, Costs);
+      break;
+    case 2: {
+      Profile TrainProfile = profileTrace(Traces.Train, Policy);
+      SiteDatabase DB = trainDatabase(TrainProfile, Policy);
+      R.Arena =
+          simulateArena(Traces.Test, DB, Traces.Model.CallsPerAlloc, Costs);
+      break;
+    }
+    }
+  });
+  double Wall = wallTimeSeconds() - Start;
+
   TableFormatter Table({"Program", "Alg", "alloc", "paper", "free", "paper",
                         "a+f", "paper"});
+  JsonReport Report("table9_cpu_cost", Options);
+  Report.setThroughput(Events, Wall);
 
-  for (const ProgramTraces &Traces : makeAllTraces(Options)) {
+  for (size_t I = 0; I < All.size(); ++I) {
+    const ProgramTraces &Traces = All[I];
+    const Row &R = Rows[I];
     const PaperProgramData *Paper = paperData(Traces.Model.Name);
-
-    Profile TrainProfile = profileTrace(Traces.Train, Policy);
-    SiteDatabase DB = trainDatabase(TrainProfile, Policy);
-
-    BaselineSimResult Bsd = simulateBsd(Traces.Test, Costs);
-    BaselineSimResult FF = simulateFirstFit(Traces.Test, Costs);
-    ArenaSimResult Arena =
-        simulateArena(Traces.Test, DB, Traces.Model.CallsPerAlloc, Costs);
 
     auto AddRow = [&](const char *Alg, const InstrPerOp &Instr,
                       int PaperAlloc, int PaperFree, bool First) {
@@ -53,16 +93,20 @@ int main(int Argc, char **Argv) {
       Table.addInt(PaperFree);
       Table.addReal(Instr.total(), 0);
       Table.addInt(PaperAlloc + PaperFree);
+      std::string Name = Traces.Model.Name;
+      Report.add(Name + "." + Alg + ".alloc", Instr.Alloc);
+      Report.add(Name + "." + Alg + ".free", Instr.Free);
     };
-    AddRow("BSD", Bsd.Instr, Paper->BsdAlloc, Paper->BsdFree, true);
-    AddRow("First-fit", FF.Instr, Paper->FirstFitAlloc, Paper->FirstFitFree,
-           false);
-    AddRow("Arena(len4)", Arena.InstrLen4, Paper->ArenaLen4Alloc,
+    AddRow("BSD", R.Bsd.Instr, Paper->BsdAlloc, Paper->BsdFree, true);
+    AddRow("First-fit", R.FF.Instr, Paper->FirstFitAlloc,
+           Paper->FirstFitFree, false);
+    AddRow("Arena(len4)", R.Arena.InstrLen4, Paper->ArenaLen4Alloc,
            Paper->ArenaLen4Free, false);
-    AddRow("Arena(cce)", Arena.InstrCce, Paper->ArenaCceAlloc,
+    AddRow("Arena(cce)", R.Arena.InstrCce, Paper->ArenaCceAlloc,
            Paper->ArenaCceFree, false);
   }
 
   Table.print(std::cout);
+  Report.write();
   return 0;
 }

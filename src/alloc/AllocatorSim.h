@@ -20,6 +20,15 @@
 
 namespace lifepred {
 
+/// Raises the high-water mark \p Peak to \p Current when exceeded.  Every
+/// allocator and trace consumer tracks its MaxHeap / MaxLive peaks through
+/// this one helper so the update can never be duplicated along one
+/// bookkeeping path (or drift between implementations).
+inline void raisePeak(uint64_t &Peak, uint64_t Current) {
+  if (Current > Peak)
+    Peak = Current;
+}
+
 /// Abstract allocator simulator.
 class AllocatorSim {
 public:

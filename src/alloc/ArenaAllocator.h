@@ -26,6 +26,7 @@
 #include "alloc/FirstFitAllocator.h"
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 namespace lifepred {

@@ -43,8 +43,7 @@ uint64_t BsdAllocator::allocate(uint32_t Size) {
         BlockBytes >= Cfg.PageBytes ? BlockBytes : Cfg.PageBytes;
     uint64_t Page = HeapEnd;
     HeapEnd += Extent;
-    if (heapBytes() > MaxHeap)
-      MaxHeap = heapBytes();
+    raisePeak(MaxHeap, heapBytes());
     // Push in reverse so the lowest address pops first.
     for (uint64_t Offset = Extent; Offset >= BlockBytes;
          Offset -= BlockBytes)

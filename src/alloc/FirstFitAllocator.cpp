@@ -2,6 +2,21 @@
 //
 // Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
 //
+// Flat block-store implementation.  Invariants:
+//
+//  * Blocks tile [BaseAddress, HeapEnd) contiguously; the address list
+//    (Head/Tail, AddrPrev/AddrNext) is sorted by address.
+//  * The free list (FreeHead/FreeTail, FreePrev/FreeNext) holds exactly the
+//    free blocks, sorted by address — the legacy std::set in link form.
+//  * Immediate coalescing means two free blocks are never address-adjacent
+//    once free() returns.
+//  * RoverNode is the first free block with Addr >= Rover (lower_bound),
+//    maintained incrementally across every free-list mutation.
+//
+// Every placement decision, counter, and peak is bit-identical to
+// LegacyFirstFitAllocator; tests/blockstore_test.cpp enforces this
+// differentially over randomized traces for all three fit policies.
+//
 //===----------------------------------------------------------------------===//
 
 #include "alloc/FirstFitAllocator.h"
@@ -9,6 +24,7 @@
 #include "support/Assert.h"
 #include "support/MathExtras.h"
 
+#include <bit>
 #include <cassert>
 
 using namespace lifepred;
@@ -20,6 +36,8 @@ FirstFitAllocator::FirstFitAllocator() : FirstFitAllocator(Config()) {}
 FirstFitAllocator::FirstFitAllocator(Config Config)
     : Cfg(Config), HeapEnd(Config.BaseAddress) {
   assert(isPowerOf2(Cfg.GrowthGranularity) && "growth must be a power of 2");
+  Bins.fill(Nil);
+  Nodes.reserve(256);
 }
 
 uint64_t FirstFitAllocator::blockNeed(uint32_t Size) const {
@@ -27,67 +45,280 @@ uint64_t FirstFitAllocator::blockNeed(uint32_t Size) const {
   return Need < Cfg.MinBlockBytes ? Cfg.MinBlockBytes : Need;
 }
 
+uint32_t FirstFitAllocator::newNode() {
+  if (!FreeNodes.empty()) {
+    uint32_t N = FreeNodes.back();
+    FreeNodes.pop_back();
+    Nodes[N] = BlockNode();
+    return N;
+  }
+  Nodes.emplace_back();
+  return static_cast<uint32_t>(Nodes.size() - 1);
+}
+
+void FirstFitAllocator::releaseNode(uint32_t N) { FreeNodes.push_back(N); }
+
+uint32_t FirstFitAllocator::nodeAt(uint64_t Address) const {
+  uint64_t Slot = (Address - Cfg.BaseAddress) >> 3;
+  return Slot < AddrMap.size() ? AddrMap[Slot] : Nil;
+}
+
+void FirstFitAllocator::mapAddress(uint64_t Address, uint32_t N) {
+  AddrMap[(Address - Cfg.BaseAddress) >> 3] = N;
+}
+
+//===----------------------------------------------------------------------===//
+// BestFit size-class bins (opt-in fast path).
+//===----------------------------------------------------------------------===//
+
+unsigned FirstFitAllocator::binIndex(uint64_t Size) const {
+  unsigned B = std::bit_width(Size) - 1; // floor(log2(Size)), Size >= 1.
+  return B < BinCount ? B : BinCount - 1;
+}
+
+void FirstFitAllocator::binInsert(uint32_t N) {
+  unsigned B = binIndex(Nodes[N].Size);
+  Nodes[N].BinPrev = Nil;
+  Nodes[N].BinNext = Bins[B];
+  if (Bins[B] != Nil)
+    Nodes[Bins[B]].BinPrev = N;
+  Bins[B] = N;
+}
+
+void FirstFitAllocator::binRemove(uint32_t N) {
+  unsigned B = binIndex(Nodes[N].Size);
+  if (Nodes[N].BinPrev != Nil)
+    Nodes[Nodes[N].BinPrev].BinNext = Nodes[N].BinNext;
+  else
+    Bins[B] = Nodes[N].BinNext;
+  if (Nodes[N].BinNext != Nil)
+    Nodes[Nodes[N].BinNext].BinPrev = Nodes[N].BinPrev;
+  Nodes[N].BinPrev = Nodes[N].BinNext = Nil;
+}
+
+void FirstFitAllocator::binResize(uint32_t N, uint64_t NewSize) {
+  bool UseBins = Cfg.Policy == FitPolicy::BestFit && Cfg.BestFitBins &&
+                 Nodes[N].Free;
+  if (UseBins)
+    binRemove(N);
+  Nodes[N].Size = NewSize;
+  if (UseBins)
+    binInsert(N);
+}
+
+uint32_t FirstFitAllocator::binnedBestFit(uint64_t Need) {
+  uint32_t Best = Nil;
+  uint64_t BestSize = ~uint64_t(0);
+  auto Consider = [&](uint32_t I) {
+    uint64_t S = Nodes[I].Size;
+    if (S < BestSize || (S == BestSize && Best != Nil &&
+                         Nodes[I].Addr < Nodes[Best].Addr)) {
+      Best = I;
+      BestSize = S;
+    }
+  };
+  // The home bin mixes sizes above and below Need; filter explicitly.
+  unsigned B0 = binIndex(Need);
+  for (uint32_t I = Bins[B0]; I != Nil; I = Nodes[I].BinNext) {
+    ++Stats.SearchSteps;
+    if (Nodes[I].Size >= Need)
+      Consider(I);
+  }
+  if (Best != Nil)
+    return Best;
+  // Every block in a later bin is larger than any block in an earlier one,
+  // so the first non-empty bin contains the global best fit.
+  for (unsigned B = B0 + 1; B < BinCount; ++B) {
+    for (uint32_t I = Bins[B]; I != Nil; I = Nodes[I].BinNext) {
+      ++Stats.SearchSteps;
+      Consider(I);
+    }
+    if (Best != Nil)
+      return Best;
+  }
+  return Nil;
+}
+
+//===----------------------------------------------------------------------===//
+// Free-list primitives.
+//===----------------------------------------------------------------------===//
+
+void FirstFitAllocator::freeListInsertBetween(uint32_t Prev, uint32_t Next,
+                                              uint32_t N) {
+  Nodes[N].FreePrev = Prev;
+  Nodes[N].FreeNext = Next;
+  if (Prev != Nil)
+    Nodes[Prev].FreeNext = N;
+  else
+    FreeHead = N;
+  if (Next != Nil)
+    Nodes[Next].FreePrev = N;
+  else
+    FreeTail = N;
+  ++FreeCount;
+  if (Cfg.Policy == FitPolicy::BestFit && Cfg.BestFitBins)
+    binInsert(N);
+  // A new free block below the current lower_bound(Rover) becomes it.
+  if (Nodes[N].Addr >= Rover &&
+      (RoverNode == Nil || Nodes[N].Addr < Nodes[RoverNode].Addr))
+    RoverNode = N;
+}
+
+void FirstFitAllocator::freeListInsertByAddress(uint32_t N) {
+  // Immediate coalescing failed in both directions, so the nearest free
+  // block must be found by walking the boundary tags outward.  The walk is
+  // bidirectional: whichever side reaches a free block first identifies the
+  // insert position (the free predecessor and successor are adjacent on the
+  // free list, so either neighbour determines it).
+  uint32_t P = Nodes[N].AddrPrev;
+  uint32_t Q = Nodes[N].AddrNext;
+  for (;;) {
+    if (P == Nil && Q == Nil) {
+      freeListInsertBetween(Nil, Nil, N);
+      return;
+    }
+    if (P != Nil) {
+      if (Nodes[P].Free) {
+        freeListInsertBetween(P, Nodes[P].FreeNext, N);
+        return;
+      }
+      P = Nodes[P].AddrPrev;
+    }
+    if (Q != Nil) {
+      if (Nodes[Q].Free) {
+        freeListInsertBetween(Nodes[Q].FreePrev, Q, N);
+        return;
+      }
+      Q = Nodes[Q].AddrNext;
+    }
+  }
+}
+
+void FirstFitAllocator::freeListRemove(uint32_t N) {
+  if (RoverNode == N)
+    RoverNode = Nodes[N].FreeNext;
+  if (Cfg.Policy == FitPolicy::BestFit && Cfg.BestFitBins)
+    binRemove(N);
+  uint32_t P = Nodes[N].FreePrev;
+  uint32_t Q = Nodes[N].FreeNext;
+  if (P != Nil)
+    Nodes[P].FreeNext = Q;
+  else
+    FreeHead = Q;
+  if (Q != Nil)
+    Nodes[Q].FreePrev = P;
+  else
+    FreeTail = P;
+  Nodes[N].FreePrev = Nodes[N].FreeNext = Nil;
+  --FreeCount;
+}
+
+void FirstFitAllocator::freeListReplace(uint32_t Old, uint32_t N) {
+  if (Cfg.Policy == FitPolicy::BestFit && Cfg.BestFitBins) {
+    binRemove(Old);
+    binInsert(N);
+  }
+  uint32_t P = Nodes[Old].FreePrev;
+  uint32_t Q = Nodes[Old].FreeNext;
+  Nodes[N].FreePrev = P;
+  Nodes[N].FreeNext = Q;
+  if (P != Nil)
+    Nodes[P].FreeNext = N;
+  else
+    FreeHead = N;
+  if (Q != Nil)
+    Nodes[Q].FreePrev = N;
+  else
+    FreeTail = N;
+  Nodes[Old].FreePrev = Nodes[Old].FreeNext = Nil;
+}
+
+//===----------------------------------------------------------------------===//
+// Heap growth.
+//===----------------------------------------------------------------------===//
+
 void FirstFitAllocator::grow(uint64_t AtLeast) {
   uint64_t Extent = alignTo(AtLeast, Cfg.GrowthGranularity);
   ++Stats.Grows;
   uint64_t NewAddr = HeapEnd;
   HeapEnd += Extent;
-  if (heapBytes() > MaxHeap)
-    MaxHeap = heapBytes();
+  raisePeak(MaxHeap, heapBytes());
+  AddrMap.resize((HeapEnd - Cfg.BaseAddress) >> 3, Nil);
 
   // Coalesce the fresh extent with a trailing free block, if any.
-  if (!Blocks.empty()) {
-    auto Last = std::prev(Blocks.end());
-    if (Last->second.Free && Last->first + Last->second.Size == NewAddr) {
-      Last->second.Size += Extent;
-      return;
-    }
+  if (Tail != Nil && Nodes[Tail].Free &&
+      Nodes[Tail].Addr + Nodes[Tail].Size == NewAddr) {
+    binResize(Tail, Nodes[Tail].Size + Extent);
+    return;
   }
-  Blocks[NewAddr] = {Extent, /*Free=*/true};
-  FreeBlocks.insert(NewAddr);
+  uint32_t N = newNode();
+  Nodes[N].Addr = NewAddr;
+  Nodes[N].Size = Extent;
+  Nodes[N].Free = true;
+  Nodes[N].AddrPrev = Tail;
+  if (Tail != Nil)
+    Nodes[Tail].AddrNext = N;
+  else
+    Head = N;
+  Tail = N;
+  mapAddress(NewAddr, N);
+  freeListInsertBetween(FreeTail, Nil, N); // Highest address: list tail.
 }
+
+//===----------------------------------------------------------------------===//
+// Allocation and free.
+//===----------------------------------------------------------------------===//
 
 uint64_t FirstFitAllocator::allocate(uint32_t Size) {
   ++Stats.Allocs;
   uint64_t Need = blockNeed(Size);
 
   // Search the free list per the configured policy.
-  auto Fit = Blocks.end();
-  auto ScanFrom = [&](std::set<uint64_t>::iterator Begin,
-                      std::set<uint64_t>::iterator End) {
-    for (auto It = Begin; It != End; ++It) {
-      ++Stats.SearchSteps;
-      auto BlockIt = Blocks.find(*It);
-      assert(BlockIt != Blocks.end() && "free list out of sync");
-      if (BlockIt->second.Size >= Need) {
-        Fit = BlockIt;
-        return true;
-      }
-    }
-    return false;
-  };
+  uint32_t Fit = Nil;
   switch (Cfg.Policy) {
   case FitPolicy::RovingFirstFit: {
-    auto Start = FreeBlocks.lower_bound(Rover);
-    if (!ScanFrom(Start, FreeBlocks.end()))
-      ScanFrom(FreeBlocks.begin(), Start);
+    uint32_t Start = RoverNode; // lower_bound(Rover) on the free list.
+    for (uint32_t I = Start; I != Nil; I = Nodes[I].FreeNext) {
+      ++Stats.SearchSteps;
+      if (Nodes[I].Size >= Need) {
+        Fit = I;
+        break;
+      }
+    }
+    if (Fit == Nil) {
+      for (uint32_t I = FreeHead; I != Start; I = Nodes[I].FreeNext) {
+        ++Stats.SearchSteps;
+        if (Nodes[I].Size >= Need) {
+          Fit = I;
+          break;
+        }
+      }
+    }
     break;
   }
   case FitPolicy::AddressOrderedFirstFit:
-    ScanFrom(FreeBlocks.begin(), FreeBlocks.end());
+    for (uint32_t I = FreeHead; I != Nil; I = Nodes[I].FreeNext) {
+      ++Stats.SearchSteps;
+      if (Nodes[I].Size >= Need) {
+        Fit = I;
+        break;
+      }
+    }
     break;
   case FitPolicy::BestFit: {
+    if (Cfg.BestFitBins) {
+      Fit = binnedBestFit(Need);
+      break;
+    }
     // Scan everything, keeping the tightest fit (ties to lowest address).
     uint64_t BestSize = ~uint64_t(0);
-    for (uint64_t Addr : FreeBlocks) {
+    for (uint32_t I = FreeHead; I != Nil; I = Nodes[I].FreeNext) {
       ++Stats.SearchSteps;
-      auto BlockIt = Blocks.find(Addr);
-      assert(BlockIt != Blocks.end() && "free list out of sync");
-      uint64_t Size = BlockIt->second.Size;
-      if (Size >= Need && Size < BestSize) {
-        BestSize = Size;
-        Fit = BlockIt;
-        if (Size == Need)
+      uint64_t BlockSize = Nodes[I].Size;
+      if (BlockSize >= Need && BlockSize < BestSize) {
+        BestSize = BlockSize;
+        Fit = I;
+        if (BlockSize == Need)
           break; // Perfect fit.
       }
     }
@@ -95,70 +326,101 @@ uint64_t FirstFitAllocator::allocate(uint32_t Size) {
   }
   }
 
-  if (Fit == Blocks.end()) {
+  if (Fit == Nil) {
     grow(Need);
-    // After growth the trailing block always fits; rescan from the back.
-    auto Last = std::prev(Blocks.end());
-    assert(Last->second.Free && Last->second.Size >= Need &&
+    // After growth the trailing block always fits; take it directly.
+    assert(Tail != Nil && Nodes[Tail].Free && Nodes[Tail].Size >= Need &&
            "heap growth failed to produce a fitting block");
-    Fit = Last;
-    FreeBlocks.insert(Last->first); // No-op if already present.
+    Fit = Tail;
   }
 
-  uint64_t Addr = Fit->first;
-  uint64_t BlockSize = Fit->second.Size;
-  FreeBlocks.erase(Addr);
+  uint64_t Addr = Nodes[Fit].Addr;
+  uint64_t BlockSize = Nodes[Fit].Size;
+  uint32_t NextFree = Nodes[Fit].FreeNext; // Captured for the rover.
+  uint32_t PrevFree = Nodes[Fit].FreePrev;
+  freeListRemove(Fit);
   Rover = Addr + Need; // Next search resumes past this allocation.
 
   if (BlockSize >= Need + Cfg.MinBlockBytes) {
     // Split: the allocation takes the front, the remainder stays free.
     ++Stats.Splits;
-    Fit->second.Size = Need;
-    Fit->second.Free = false;
-    uint64_t RestAddr = Addr + Need;
-    Blocks[RestAddr] = {BlockSize - Need, /*Free=*/true};
-    FreeBlocks.insert(RestAddr);
+    Nodes[Fit].Size = Need;
+    Nodes[Fit].Free = false;
+    uint32_t Rest = newNode();
+    Nodes[Rest].Addr = Addr + Need;
+    Nodes[Rest].Size = BlockSize - Need;
+    Nodes[Rest].Free = true;
+    // Splice into the address list right after the allocation.
+    Nodes[Rest].AddrPrev = Fit;
+    Nodes[Rest].AddrNext = Nodes[Fit].AddrNext;
+    if (Nodes[Rest].AddrNext != Nil)
+      Nodes[Nodes[Rest].AddrNext].AddrPrev = Rest;
+    else
+      Tail = Rest;
+    Nodes[Fit].AddrNext = Rest;
+    mapAddress(Nodes[Rest].Addr, Rest);
+    // The remainder takes the fit block's old free-list position.
+    freeListInsertBetween(PrevFree, NextFree, Rest);
+    RoverNode = Rest; // Remainder address == Rover exactly.
   } else {
-    Fit->second.Free = false;
+    Nodes[Fit].Free = false;
+    RoverNode = NextFree; // First free block past the allocation.
   }
 
-  Payload[Addr] = Size;
+  Nodes[Fit].Payload = Size;
   LiveBytes += Size;
   return Addr;
 }
 
 void FirstFitAllocator::free(uint64_t Address) {
   ++Stats.Frees;
-  auto PayloadIt = Payload.find(Address);
-  assert(PayloadIt != Payload.end() && "free of unallocated address");
-  LiveBytes -= PayloadIt->second;
-  Payload.erase(PayloadIt);
+  uint32_t N = nodeAt(Address);
+  assert(N != Nil && Nodes[N].Addr == Address && !Nodes[N].Free &&
+         "free of unallocated address");
+  LiveBytes -= Nodes[N].Payload;
+  Nodes[N].Free = true;
 
-  auto It = Blocks.find(Address);
-  assert(It != Blocks.end() && !It->second.Free && "free of a free block");
-  It->second.Free = true;
-
-  // Coalesce with the following block.
-  auto Next = std::next(It);
-  if (Next != Blocks.end() && Next->second.Free &&
-      It->first + It->second.Size == Next->first) {
+  // Coalesce with the following block.  The merged block inherits the
+  // following block's free-list position (no free block can sit between
+  // two address-adjacent blocks).
+  bool InFreeList = false;
+  uint32_t Next = Nodes[N].AddrNext;
+  if (Next != Nil && Nodes[Next].Free &&
+      Nodes[N].Addr + Nodes[N].Size == Nodes[Next].Addr) {
     ++Stats.Coalesces;
-    It->second.Size += Next->second.Size;
-    FreeBlocks.erase(Next->first);
-    Blocks.erase(Next);
+    Nodes[N].Size += Nodes[Next].Size;
+    freeListReplace(Next, N);
+    if (RoverNode == Next)
+      RoverNode = Nodes[N].Addr >= Rover ? N : Nodes[N].FreeNext;
+    else if (Nodes[N].Addr >= Rover &&
+             (RoverNode == Nil || Nodes[N].Addr < Nodes[RoverNode].Addr))
+      RoverNode = N;
+    // Unlink the absorbed block from the address list.
+    Nodes[N].AddrNext = Nodes[Next].AddrNext;
+    if (Nodes[N].AddrNext != Nil)
+      Nodes[Nodes[N].AddrNext].AddrPrev = N;
+    else
+      Tail = N;
+    releaseNode(Next);
+    InFreeList = true;
   }
 
-  // Coalesce with the preceding block.
-  if (It != Blocks.begin()) {
-    auto Prev = std::prev(It);
-    if (Prev->second.Free &&
-        Prev->first + Prev->second.Size == It->first) {
-      ++Stats.Coalesces;
-      Prev->second.Size += It->second.Size;
-      Blocks.erase(It);
-      FreeBlocks.insert(Prev->first); // Already present; keeps invariants.
-      return;
-    }
+  // Coalesce with the preceding block (already on the free list).
+  uint32_t Prev = Nodes[N].AddrPrev;
+  if (Prev != Nil && Nodes[Prev].Free &&
+      Nodes[Prev].Addr + Nodes[Prev].Size == Nodes[N].Addr) {
+    ++Stats.Coalesces;
+    if (InFreeList)
+      freeListRemove(N);
+    binResize(Prev, Nodes[Prev].Size + Nodes[N].Size);
+    Nodes[Prev].AddrNext = Nodes[N].AddrNext;
+    if (Nodes[N].AddrNext != Nil)
+      Nodes[Nodes[N].AddrNext].AddrPrev = Prev;
+    else
+      Tail = Prev;
+    releaseNode(N);
+    return;
   }
-  FreeBlocks.insert(Address);
+  if (!InFreeList)
+    freeListInsertByAddress(N);
 }

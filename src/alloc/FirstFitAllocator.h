@@ -11,6 +11,14 @@
 /// blocks and block splitting.  The heap grows in 8 KB increments, matching
 /// the granularity of the paper's reported heap sizes.
 ///
+/// The implementation is a flat block store: every block lives in one
+/// contiguous node arena and carries intrusive prev/next-by-address links
+/// (the simulation analogue of boundary tags) plus free-list links, so
+/// neighbour lookup and free-list traversal are index arithmetic instead of
+/// red-black-tree walks.  LegacyFirstFitAllocator keeps the original
+/// map-based implementation as the differential-testing oracle; the two are
+/// bit-identical in counters, placements, and heap peaks.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LIFEPRED_ALLOC_FIRSTFITALLOCATOR_H
@@ -18,11 +26,10 @@
 
 #include "alloc/AllocatorSim.h"
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
-#include <map>
-#include <set>
-#include <unordered_map>
+#include <vector>
 
 namespace lifepred {
 
@@ -48,6 +55,13 @@ public:
     uint64_t MinBlockBytes = 16;       ///< Smallest splittable remainder.
     uint64_t BaseAddress = uint64_t(1) << 40; ///< Simulated heap start.
     FitPolicy Policy = FitPolicy::RovingFirstFit;
+    /// Opt-in fast path for BestFit: segregated power-of-two size-class
+    /// bins replace the full free-list scan.  Placement (and therefore
+    /// heaps and addresses) is identical to the scanning best fit, but
+    /// SearchSteps counts blocks inspected in the bins, which is fewer
+    /// than the legacy full-list count — leave off when reproducing the
+    /// paper's instruction-cost tables.
+    bool BestFitBins = false;
   };
 
   /// Operation counts for the instruction cost model.
@@ -73,28 +87,72 @@ public:
   const Config &config() const { return Cfg; }
 
   /// Number of blocks on the free list (test support).
-  size_t freeBlockCount() const { return FreeBlocks.size(); }
+  size_t freeBlockCount() const { return FreeCount; }
 
 private:
-  struct Block {
-    uint64_t Size = 0; ///< Total block size including header.
+  /// Node-index sentinel (no block).
+  static constexpr uint32_t Nil = ~uint32_t(0);
+  /// Size-class count for the BestFit bins (indices are log2 of size).
+  static constexpr unsigned BinCount = 48;
+
+  /// One block of the simulated heap.  Blocks tile [BaseAddress, HeapEnd)
+  /// contiguously; AddrPrev/AddrNext are the boundary tags, FreePrev /
+  /// FreeNext thread the free blocks in address order, BinPrev/BinNext
+  /// thread the (optional) size-class bin of a free block.
+  struct BlockNode {
+    uint64_t Addr = 0;
+    uint64_t Size = 0;     ///< Total block size including header.
+    uint32_t Payload = 0;  ///< Requested bytes while allocated.
     bool Free = false;
+    uint32_t AddrPrev = Nil;
+    uint32_t AddrNext = Nil;
+    uint32_t FreePrev = Nil;
+    uint32_t FreeNext = Nil;
+    uint32_t BinPrev = Nil;
+    uint32_t BinNext = Nil;
   };
 
   uint64_t blockNeed(uint32_t Size) const;
   void grow(uint64_t AtLeast);
+  uint32_t newNode();
+  void releaseNode(uint32_t N);
+  uint32_t nodeAt(uint64_t Address) const;
+  void mapAddress(uint64_t Address, uint32_t N);
+
+  void freeListInsertBetween(uint32_t Prev, uint32_t Next, uint32_t N);
+  void freeListInsertByAddress(uint32_t N);
+  void freeListRemove(uint32_t N);
+  void freeListReplace(uint32_t Old, uint32_t N);
+
+  unsigned binIndex(uint64_t Size) const;
+  void binInsert(uint32_t N);
+  void binRemove(uint32_t N);
+  void binResize(uint32_t N, uint64_t NewSize);
+  uint32_t binnedBestFit(uint64_t Need);
 
   Config Cfg;
   Counters Stats;
-  /// All blocks keyed by address; adjacency = map neighbours (the
-  /// simulation analogue of boundary tags).
-  std::map<uint64_t, Block> Blocks;
-  /// Addresses of free blocks, in address order (first fit scans this).
-  std::set<uint64_t> FreeBlocks;
-  /// Payload size by allocated address (for liveBytes accounting).
-  std::unordered_map<uint64_t, uint32_t> Payload;
+  /// The block store: all nodes, live and recycled.
+  std::vector<BlockNode> Nodes;
+  /// Indices of recycled (merged-away) nodes available for reuse.
+  std::vector<uint32_t> FreeNodes;
+  /// Node index by (Address - BaseAddress) / 8.  Block addresses are always
+  /// 8-aligned, so this resolves free(Address) with one vector load instead
+  /// of a hash probe; entries are only read for live addresses.
+  std::vector<uint32_t> AddrMap;
+  uint32_t Head = Nil;     ///< Lowest-addressed block.
+  uint32_t Tail = Nil;     ///< Highest-addressed block.
+  uint32_t FreeHead = Nil; ///< Lowest-addressed free block.
+  uint32_t FreeTail = Nil; ///< Highest-addressed free block.
+  size_t FreeCount = 0;
+  /// Heads of the BestFit size-class bins (only maintained when
+  /// Cfg.Policy == BestFit and Cfg.BestFitBins).
+  std::array<uint32_t, BinCount> Bins;
   uint64_t HeapEnd;
   uint64_t Rover = 0; ///< Next-fit scan resume address.
+  /// First free block with Addr >= Rover (the free-list analogue of the
+  /// legacy set's lower_bound(Rover)); Nil when no such block exists.
+  uint32_t RoverNode = Nil;
   uint64_t MaxHeap = 0;
   uint64_t LiveBytes = 0;
 };

@@ -1,0 +1,166 @@
+//===- alloc/LegacyFirstFitAllocator.cpp - Map-based first fit -------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// This file is the pre-rewrite FirstFitAllocator implementation, kept
+// byte-for-byte in behaviour (only renamed) so the differential tests can
+// prove the flat block store preserves the simulation semantics exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/LegacyFirstFitAllocator.h"
+
+#include "support/Assert.h"
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace lifepred;
+
+LegacyFirstFitAllocator::LegacyFirstFitAllocator()
+    : LegacyFirstFitAllocator(Config()) {}
+
+LegacyFirstFitAllocator::LegacyFirstFitAllocator(Config Config)
+    : Cfg(Config), HeapEnd(Config.BaseAddress) {
+  assert(isPowerOf2(Cfg.GrowthGranularity) && "growth must be a power of 2");
+}
+
+uint64_t LegacyFirstFitAllocator::blockNeed(uint32_t Size) const {
+  uint64_t Need = alignTo(Size + Cfg.HeaderBytes, 8);
+  return Need < Cfg.MinBlockBytes ? Cfg.MinBlockBytes : Need;
+}
+
+void LegacyFirstFitAllocator::grow(uint64_t AtLeast) {
+  uint64_t Extent = alignTo(AtLeast, Cfg.GrowthGranularity);
+  ++Stats.Grows;
+  uint64_t NewAddr = HeapEnd;
+  HeapEnd += Extent;
+  raisePeak(MaxHeap, heapBytes());
+
+  // Coalesce the fresh extent with a trailing free block, if any.
+  if (!Blocks.empty()) {
+    auto Last = std::prev(Blocks.end());
+    if (Last->second.Free && Last->first + Last->second.Size == NewAddr) {
+      Last->second.Size += Extent;
+      return;
+    }
+  }
+  Blocks[NewAddr] = {Extent, /*Free=*/true};
+  FreeBlocks.insert(NewAddr);
+}
+
+uint64_t LegacyFirstFitAllocator::allocate(uint32_t Size) {
+  ++Stats.Allocs;
+  uint64_t Need = blockNeed(Size);
+
+  // Search the free list per the configured policy.
+  auto Fit = Blocks.end();
+  auto ScanFrom = [&](std::set<uint64_t>::iterator Begin,
+                      std::set<uint64_t>::iterator End) {
+    for (auto It = Begin; It != End; ++It) {
+      ++Stats.SearchSteps;
+      auto BlockIt = Blocks.find(*It);
+      assert(BlockIt != Blocks.end() && "free list out of sync");
+      if (BlockIt->second.Size >= Need) {
+        Fit = BlockIt;
+        return true;
+      }
+    }
+    return false;
+  };
+  switch (Cfg.Policy) {
+  case FitPolicy::RovingFirstFit: {
+    auto Start = FreeBlocks.lower_bound(Rover);
+    if (!ScanFrom(Start, FreeBlocks.end()))
+      ScanFrom(FreeBlocks.begin(), Start);
+    break;
+  }
+  case FitPolicy::AddressOrderedFirstFit:
+    ScanFrom(FreeBlocks.begin(), FreeBlocks.end());
+    break;
+  case FitPolicy::BestFit: {
+    // Scan everything, keeping the tightest fit (ties to lowest address).
+    uint64_t BestSize = ~uint64_t(0);
+    for (uint64_t Addr : FreeBlocks) {
+      ++Stats.SearchSteps;
+      auto BlockIt = Blocks.find(Addr);
+      assert(BlockIt != Blocks.end() && "free list out of sync");
+      uint64_t Size = BlockIt->second.Size;
+      if (Size >= Need && Size < BestSize) {
+        BestSize = Size;
+        Fit = BlockIt;
+        if (Size == Need)
+          break; // Perfect fit.
+      }
+    }
+    break;
+  }
+  }
+
+  if (Fit == Blocks.end()) {
+    grow(Need);
+    // After growth the trailing block always fits; rescan from the back.
+    auto Last = std::prev(Blocks.end());
+    assert(Last->second.Free && Last->second.Size >= Need &&
+           "heap growth failed to produce a fitting block");
+    Fit = Last;
+    FreeBlocks.insert(Last->first); // No-op if already present.
+  }
+
+  uint64_t Addr = Fit->first;
+  uint64_t BlockSize = Fit->second.Size;
+  FreeBlocks.erase(Addr);
+  Rover = Addr + Need; // Next search resumes past this allocation.
+
+  if (BlockSize >= Need + Cfg.MinBlockBytes) {
+    // Split: the allocation takes the front, the remainder stays free.
+    ++Stats.Splits;
+    Fit->second.Size = Need;
+    Fit->second.Free = false;
+    uint64_t RestAddr = Addr + Need;
+    Blocks[RestAddr] = {BlockSize - Need, /*Free=*/true};
+    FreeBlocks.insert(RestAddr);
+  } else {
+    Fit->second.Free = false;
+  }
+
+  Payload[Addr] = Size;
+  LiveBytes += Size;
+  return Addr;
+}
+
+void LegacyFirstFitAllocator::free(uint64_t Address) {
+  ++Stats.Frees;
+  auto PayloadIt = Payload.find(Address);
+  assert(PayloadIt != Payload.end() && "free of unallocated address");
+  LiveBytes -= PayloadIt->second;
+  Payload.erase(PayloadIt);
+
+  auto It = Blocks.find(Address);
+  assert(It != Blocks.end() && !It->second.Free && "free of a free block");
+  It->second.Free = true;
+
+  // Coalesce with the following block.
+  auto Next = std::next(It);
+  if (Next != Blocks.end() && Next->second.Free &&
+      It->first + It->second.Size == Next->first) {
+    ++Stats.Coalesces;
+    It->second.Size += Next->second.Size;
+    FreeBlocks.erase(Next->first);
+    Blocks.erase(Next);
+  }
+
+  // Coalesce with the preceding block.
+  if (It != Blocks.begin()) {
+    auto Prev = std::prev(It);
+    if (Prev->second.Free &&
+        Prev->first + Prev->second.Size == It->first) {
+      ++Stats.Coalesces;
+      Prev->second.Size += It->second.Size;
+      Blocks.erase(It);
+      FreeBlocks.insert(Prev->first); // Already present; keeps invariants.
+      return;
+    }
+  }
+  FreeBlocks.insert(Address);
+}

@@ -1,0 +1,78 @@
+//===- alloc/LegacyFirstFitAllocator.h - Map-based first fit ----*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The original node-based implementation of the first-fit simulator: blocks
+/// in a std::map keyed by address, free addresses in a std::set, payload
+/// sizes in a separate hash map.  Retained verbatim as the differential
+/// oracle for the flat block-store rewrite (FirstFitAllocator) — the two
+/// must produce bit-identical counters, placements, and heap peaks for all
+/// three FitPolicy modes.  Not used on any hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_ALLOC_LEGACYFIRSTFITALLOCATOR_H
+#define LIFEPRED_ALLOC_LEGACYFIRSTFITALLOCATOR_H
+
+#include "alloc/FirstFitAllocator.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace lifepred {
+
+/// Reference free-list allocator simulator (see FirstFitAllocator for the
+/// production flat-store implementation).
+class LegacyFirstFitAllocator : public AllocatorSim {
+public:
+  using Config = FirstFitAllocator::Config;
+  using Counters = FirstFitAllocator::Counters;
+
+  LegacyFirstFitAllocator();
+  explicit LegacyFirstFitAllocator(Config C);
+
+  uint64_t allocate(uint32_t Size) override;
+  void free(uint64_t Address) override;
+  uint64_t heapBytes() const override { return HeapEnd - Cfg.BaseAddress; }
+  uint64_t maxHeapBytes() const override { return MaxHeap; }
+  uint64_t liveBytes() const override { return LiveBytes; }
+
+  const Counters &counters() const { return Stats; }
+  const Config &config() const { return Cfg; }
+
+  /// Number of blocks on the free list (test support).
+  size_t freeBlockCount() const { return FreeBlocks.size(); }
+
+private:
+  struct Block {
+    uint64_t Size = 0; ///< Total block size including header.
+    bool Free = false;
+  };
+
+  uint64_t blockNeed(uint32_t Size) const;
+  void grow(uint64_t AtLeast);
+
+  Config Cfg;
+  Counters Stats;
+  /// All blocks keyed by address; adjacency = map neighbours (the
+  /// simulation analogue of boundary tags).
+  std::map<uint64_t, Block> Blocks;
+  /// Addresses of free blocks, in address order (first fit scans this).
+  std::set<uint64_t> FreeBlocks;
+  /// Payload size by allocated address (for liveBytes accounting).
+  std::unordered_map<uint64_t, uint32_t> Payload;
+  uint64_t HeapEnd;
+  uint64_t Rover = 0; ///< Next-fit scan resume address.
+  uint64_t MaxHeap = 0;
+  uint64_t LiveBytes = 0;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_ALLOC_LEGACYFIRSTFITALLOCATOR_H

@@ -6,6 +6,7 @@
 
 #include "sim/MultiArenaSimulator.h"
 
+#include "sim/SiteKeyCache.h"
 #include "trace/TraceReplayer.h"
 
 using namespace lifepred;
@@ -16,20 +17,14 @@ class MultiArenaConsumer : public TraceConsumer {
 public:
   MultiArenaConsumer(MultiArenaAllocator &Allocator,
                      const AllocationTrace &Trace, const ClassDatabase &DB)
-      : Allocator(Allocator), DB(DB) {
+      : Allocator(Allocator), DB(DB), Keys(DB.policy(), Trace) {
     Addresses.resize(Trace.size());
-    const SiteKeyPolicy &Policy = DB.policy();
-    ChainParts.resize(Trace.chainCount());
-    for (uint32_t I = 0; I < Trace.chainCount(); ++I)
-      ChainParts[I] = chainKeyPart(Policy, Trace.chain(I));
   }
 
   void onAlloc(uint64_t Id, const AllocRecord &Record, uint64_t) override {
-    SiteKey Key = siteKeyForRecord(DB.policy(),
-                                   ChainParts[Record.ChainIndex], Record);
-    Addresses[Id] = Allocator.allocate(Record.Size, DB.classify(Key));
-    if (Allocator.liveBytes() > MaxLive)
-      MaxLive = Allocator.liveBytes();
+    Addresses[Id] =
+        Allocator.allocate(Record.Size, DB.classify(Keys.keyFor(Id)));
+    raisePeak(MaxLive, Allocator.liveBytes());
   }
 
   void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
@@ -41,7 +36,7 @@ public:
 private:
   MultiArenaAllocator &Allocator;
   const ClassDatabase &DB;
-  std::vector<uint64_t> ChainParts;
+  SiteKeyCache Keys;
   std::vector<uint64_t> Addresses;
   uint64_t MaxLive = 0;
 };

@@ -1,0 +1,78 @@
+//===- sim/SiteKeyCache.h - Per-trace site-key memoization ------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoizes the *full* SiteKey of every trace record ahead of replay.  The
+/// chain-dependent key part is hoisted per distinct chain (as before), and
+/// on top of that the finished key is memoized per (ChainIndex, rounded
+/// size) — the pair that uniquely determines it for the chain-based
+/// policies — so the simulation hot loop performs exactly one site-table
+/// probe per allocation and re-derives nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_SIM_SITEKEYCACHE_H
+#define LIFEPRED_SIM_SITEKEYCACHE_H
+
+#include "core/SiteKey.h"
+#include "trace/AllocationTrace.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lifepred {
+
+/// Precomputed SiteKey per trace record.
+class SiteKeyCache {
+public:
+  SiteKeyCache(const SiteKeyPolicy &Policy, const AllocationTrace &Trace) {
+    RecordKeys.reserve(Trace.size());
+    if (Policy.usesType()) {
+      // Type-based keys ignore the chain; derive directly (cheap).
+      for (const AllocRecord &Record : Trace.records())
+        RecordKeys.push_back(siteKeyForRecord(Policy, 0, Record));
+      return;
+    }
+    // Hoist the chain hashing per distinct chain.
+    std::vector<uint64_t> ChainParts(Trace.chainCount());
+    for (uint32_t I = 0; I < Trace.chainCount(); ++I)
+      ChainParts[I] = chainKeyPart(Policy, Trace.chain(I));
+    // Memoize the finished key per (ChainIndex, rounded size).  A chain
+    // allocates very few distinct sizes, so a short per-chain list beats
+    // any hash map.
+    std::vector<std::vector<std::pair<uint32_t, SiteKey>>> PerChain(
+        Trace.chainCount());
+    for (const AllocRecord &Record : Trace.records()) {
+      uint32_t Rounded = roundSize(Policy, Record.Size);
+      auto &Memo = PerChain[Record.ChainIndex];
+      SiteKey Key = 0;
+      bool Found = false;
+      for (const auto &[Size, Cached] : Memo) {
+        if (Size == Rounded) {
+          Key = Cached;
+          Found = true;
+          break;
+        }
+      }
+      if (!Found) {
+        Key = hashCombine(ChainParts[Record.ChainIndex], Rounded);
+        Memo.emplace_back(Rounded, Key);
+      }
+      RecordKeys.push_back(Key);
+    }
+  }
+
+  /// The key of record \p Id (its trace index).
+  SiteKey keyFor(uint64_t Id) const { return RecordKeys[Id]; }
+
+private:
+  std::vector<SiteKey> RecordKeys;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_SIM_SITEKEYCACHE_H

@@ -6,6 +6,7 @@
 
 #include "sim/TraceSimulator.h"
 
+#include "sim/SiteKeyCache.h"
 #include "trace/TraceReplayer.h"
 
 #include <vector>
@@ -24,8 +25,7 @@ public:
 
   void onAlloc(uint64_t Id, const AllocRecord &Record, uint64_t) override {
     Addresses[Id] = Allocator.allocate(Record.Size);
-    if (Allocator.liveBytes() > MaxLive)
-      MaxLive = Allocator.liveBytes();
+    raisePeak(MaxLive, Allocator.liveBytes());
   }
 
   void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
@@ -45,24 +45,16 @@ class ArenaConsumer : public TraceConsumer {
 public:
   ArenaConsumer(ArenaAllocator &Allocator, const AllocationTrace &Trace,
                 const SiteDatabase &DB)
-      : Allocator(Allocator) {
+      : Allocator(Allocator), DB(DB), Keys(DB.policy(), Trace) {
     Addresses.resize(Trace.size());
-    // Prediction depends only on (chain, rounded size); memoize per chain
-    // so the hot loop avoids re-hashing chains.
-    const SiteKeyPolicy &Policy = DB.policy();
-    ChainParts.resize(Trace.chainCount());
-    for (uint32_t I = 0; I < Trace.chainCount(); ++I)
-      ChainParts[I] = chainKeyPart(Policy, Trace.chain(I));
-    this->DB = &DB;
   }
 
   void onAlloc(uint64_t Id, const AllocRecord &Record, uint64_t) override {
-    SiteKey Key = siteKeyForRecord(DB->policy(),
-                                   ChainParts[Record.ChainIndex], Record);
-    bool Predicted = DB->contains(Key);
+    // The full key is memoized per (chain, rounded size) in Keys; the only
+    // per-event table work left is the database probe itself.
+    bool Predicted = DB.contains(Keys.keyFor(Id));
     Addresses[Id] = Allocator.allocate(Record.Size, Predicted);
-    if (Allocator.liveBytes() > MaxLive)
-      MaxLive = Allocator.liveBytes();
+    raisePeak(MaxLive, Allocator.liveBytes());
   }
 
   void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
@@ -73,8 +65,8 @@ public:
 
 private:
   ArenaAllocator &Allocator;
-  const SiteDatabase *DB = nullptr;
-  std::vector<uint64_t> ChainParts;
+  const SiteDatabase &DB;
+  SiteKeyCache Keys;
   std::vector<uint64_t> Addresses;
   uint64_t MaxLive = 0;
 };

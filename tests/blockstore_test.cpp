@@ -1,0 +1,207 @@
+//===- tests/blockstore_test.cpp - Flat vs legacy block store --------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// Lockstep differential tests for the flat boundary-tag block store:
+// random traces of more than one hundred thousand replay events drive the
+// flat FirstFitAllocator and the retained map-based
+// LegacyFirstFitAllocator through identical operation sequences, asserting
+// byte-identical behaviour — every returned address, every counter, and
+// every heap statistic — under all three fit policies.  The opt-in binned
+// best fit is checked for placement identity (addresses and heaps) with
+// its own SearchSteps accounting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/LegacyFirstFitAllocator.h"
+#include "support/Random.h"
+#include "trace/TraceReplayer.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace lifepred;
+
+namespace {
+
+/// A random trace with several sites of varied size and lifetime (same
+/// shape as differential_test's generator, sized for >=100k events).
+AllocationTrace randomTrace(uint64_t Seed, size_t Objects) {
+  Rng R(Seed);
+  AllocationTrace T;
+  struct Site {
+    uint32_t Chain;
+    uint32_t Size;
+    uint64_t LifeLo, LifeHi;
+  };
+  std::vector<Site> Sites;
+  unsigned SiteCount = 3 + static_cast<unsigned>(R.nextBelow(10));
+  for (unsigned I = 0; I < SiteCount; ++I) {
+    CallChain Chain;
+    Chain.push(static_cast<FunctionId>(I));
+    uint64_t Lo = 1 + R.nextBelow(1000);
+    uint64_t Hi = Lo + R.nextBelow(200000);
+    Sites.push_back({T.internChain(Chain),
+                     static_cast<uint32_t>(8 + R.nextBelow(6000)), Lo, Hi});
+  }
+  for (size_t I = 0; I < Objects; ++I) {
+    const Site &S = Sites[R.nextBelow(Sites.size())];
+    AllocRecord Record;
+    Record.Size = S.Size;
+    Record.ChainIndex = S.Chain;
+    Record.Lifetime = R.nextBool(0.02)
+                          ? NeverFreed
+                          : static_cast<uint64_t>(R.nextInRange(
+                                static_cast<int64_t>(S.LifeLo),
+                                static_cast<int64_t>(S.LifeHi)));
+    T.append(Record);
+  }
+  return T;
+}
+
+/// Drives the flat and legacy allocators in lockstep, asserting equal
+/// addresses and equal running statistics at every event.
+class LockstepConsumer : public TraceConsumer {
+public:
+  LockstepConsumer(FirstFitAllocator &Flat, LegacyFirstFitAllocator &Legacy,
+                   size_t ObjectCount, bool ExpectEqualCounters)
+      : Flat(Flat), Legacy(Legacy),
+        ExpectEqualCounters(ExpectEqualCounters) {
+    Addresses.resize(ObjectCount);
+  }
+
+  void onAlloc(uint64_t Id, const AllocRecord &Record, uint64_t) override {
+    uint64_t FlatAddr = Flat.allocate(Record.Size);
+    uint64_t LegacyAddr = Legacy.allocate(Record.Size);
+    ASSERT_EQ(FlatAddr, LegacyAddr) << "placement diverged at alloc " << Id;
+    Addresses[Id] = FlatAddr;
+    checkStats(Id);
+  }
+
+  void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
+    Flat.free(Addresses[Id]);
+    Legacy.free(Addresses[Id]);
+    checkStats(Id);
+  }
+
+private:
+  void checkStats(uint64_t Id) {
+    ASSERT_EQ(Flat.heapBytes(), Legacy.heapBytes()) << "at event " << Id;
+    ASSERT_EQ(Flat.liveBytes(), Legacy.liveBytes()) << "at event " << Id;
+    ASSERT_EQ(Flat.freeBlockCount(), Legacy.freeBlockCount())
+        << "at event " << Id;
+    if (ExpectEqualCounters) {
+      ASSERT_EQ(Flat.counters().SearchSteps, Legacy.counters().SearchSteps)
+          << "at event " << Id;
+    }
+  }
+
+  FirstFitAllocator &Flat;
+  LegacyFirstFitAllocator &Legacy;
+  bool ExpectEqualCounters;
+  std::vector<uint64_t> Addresses;
+};
+
+/// Replay events in \p T (allocs plus derived frees).
+uint64_t eventCount(const AllocationTrace &T) {
+  uint64_t Events = T.size();
+  for (const AllocRecord &R : T.records())
+    if (R.Lifetime != NeverFreed)
+      ++Events;
+  return Events;
+}
+
+class BlockStoreDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, FitPolicy>> {};
+
+const char *policyName(FitPolicy Policy) {
+  switch (Policy) {
+  case FitPolicy::RovingFirstFit:
+    return "Roving";
+  case FitPolicy::AddressOrderedFirstFit:
+    return "Address";
+  case FitPolicy::BestFit:
+    return "Best";
+  }
+  return "?";
+}
+
+} // namespace
+
+TEST_P(BlockStoreDifferentialTest, FlatMatchesLegacyBitForBit) {
+  auto [Seed, Policy] = GetParam();
+  AllocationTrace T = randomTrace(Seed, 60000);
+  ASSERT_GE(eventCount(T), 100000u) << "trace too small to be meaningful";
+
+  FirstFitAllocator::Config Config;
+  Config.Policy = Policy;
+  FirstFitAllocator Flat(Config);
+  LegacyFirstFitAllocator Legacy(Config);
+
+  LockstepConsumer Consumer(Flat, Legacy, T.size(),
+                            /*ExpectEqualCounters=*/true);
+  replayTrace(T, Consumer);
+
+  EXPECT_EQ(Flat.maxHeapBytes(), Legacy.maxHeapBytes());
+  EXPECT_EQ(Flat.heapBytes(), Legacy.heapBytes());
+  EXPECT_EQ(Flat.liveBytes(), Legacy.liveBytes());
+  EXPECT_EQ(Flat.freeBlockCount(), Legacy.freeBlockCount());
+  EXPECT_EQ(Flat.counters().Allocs, Legacy.counters().Allocs);
+  EXPECT_EQ(Flat.counters().Frees, Legacy.counters().Frees);
+  EXPECT_EQ(Flat.counters().SearchSteps, Legacy.counters().SearchSteps);
+  EXPECT_EQ(Flat.counters().Splits, Legacy.counters().Splits);
+  EXPECT_EQ(Flat.counters().Coalesces, Legacy.counters().Coalesces);
+  EXPECT_EQ(Flat.counters().Grows, Legacy.counters().Grows);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPolicies, BlockStoreDifferentialTest,
+    ::testing::Combine(::testing::Values(11u, 22u, 33u, 44u),
+                       ::testing::Values(FitPolicy::RovingFirstFit,
+                                         FitPolicy::AddressOrderedFirstFit,
+                                         FitPolicy::BestFit)),
+    [](const ::testing::TestParamInfo<std::tuple<uint64_t, FitPolicy>>
+           &Info) {
+      return std::string(policyName(std::get<1>(Info.param))) + "_seed" +
+             std::to_string(std::get<0>(Info.param));
+    });
+
+namespace {
+
+class BinnedBestFitTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+// The binned best fit is a different search with identical placement:
+// addresses, heaps, splits, and coalesces all match the scanning legacy
+// best fit; only SearchSteps (blocks inspected) differs.
+TEST_P(BinnedBestFitTest, PlacementMatchesScanningBestFit) {
+  AllocationTrace T = randomTrace(GetParam() ^ 0xb135, 60000);
+
+  FirstFitAllocator::Config Config;
+  Config.Policy = FitPolicy::BestFit;
+  Config.BestFitBins = true;
+  FirstFitAllocator Flat(Config);
+  LegacyFirstFitAllocator Legacy(Config);
+
+  LockstepConsumer Consumer(Flat, Legacy, T.size(),
+                            /*ExpectEqualCounters=*/false);
+  replayTrace(T, Consumer);
+
+  EXPECT_EQ(Flat.maxHeapBytes(), Legacy.maxHeapBytes());
+  EXPECT_EQ(Flat.counters().Splits, Legacy.counters().Splits);
+  EXPECT_EQ(Flat.counters().Coalesces, Legacy.counters().Coalesces);
+  EXPECT_EQ(Flat.counters().Grows, Legacy.counters().Grows);
+  // The bins exist to inspect fewer blocks; on these traces the scan
+  // count must not exceed the full-list scan's.
+  EXPECT_LE(Flat.counters().SearchSteps, Legacy.counters().SearchSteps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinnedBestFitTest,
+                         ::testing::Values(7u, 8u, 9u),
+                         [](const ::testing::TestParamInfo<uint64_t> &Info) {
+                           return "seed" + std::to_string(Info.param);
+                         });
