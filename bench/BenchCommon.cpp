@@ -6,10 +6,24 @@
 
 #include "BenchCommon.h"
 
+#include "support/Json.h"
+#include "telemetry/HeapTimeline.h"
+#include "telemetry/StatsRegistry.h"
+#include "telemetry/TraceEventWriter.h"
+
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+
+// Build provenance for the run manifest; the bench CMakeLists defines both
+// from the configure-time git state.
+#ifndef LIFEPRED_GIT_SHA
+#define LIFEPRED_GIT_SHA "unknown"
+#endif
+#ifndef LIFEPRED_BUILD_TYPE
+#define LIFEPRED_BUILD_TYPE "unspecified"
+#endif
 
 using namespace lifepred;
 
@@ -24,7 +38,35 @@ BenchOptions BenchOptions::fromCommandLine(const CommandLine &Cl) {
   else
     Options.Jobs = static_cast<unsigned>(Jobs);
   Options.JsonPath = Cl.getString("json", "");
+  Options.TraceOutPath = Cl.getString("trace-out", "");
+  long Stride = Cl.getInt("timeline-stride", 0);
+  Options.TimelineStride = Stride <= 0 ? 0 : static_cast<uint64_t>(Stride);
   return Options;
+}
+
+RunManifest RunManifest::current(const BenchOptions &Options) {
+  RunManifest Manifest;
+  Manifest.GitSha = LIFEPRED_GIT_SHA;
+  Manifest.BuildType = LIFEPRED_BUILD_TYPE;
+#if defined(__clang__)
+  Manifest.Compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+  Manifest.Compiler = "gcc " __VERSION__;
+#else
+  Manifest.Compiler = "unknown";
+#endif
+  Manifest.Jobs = Options.Jobs;
+  Manifest.Seed = Options.Seed;
+  Manifest.Scale = Options.Scale;
+  Manifest.Program = Options.OnlyProgram;
+  return Manifest;
+}
+
+std::unique_ptr<TraceEventWriter>
+lifepred::makeTraceWriter(const BenchOptions &Options) {
+  if (Options.TraceOutPath.empty())
+    return nullptr;
+  return std::make_unique<TraceEventWriter>(Options.TraceOutPath);
 }
 
 ProgramTraces lifepred::makeTraces(const ProgramModel &Model,
@@ -83,14 +125,6 @@ double lifepred::wallTimeSeconds() {
       .count();
 }
 
-static void appendJsonEscaped(std::string &Out, const std::string &S) {
-  for (char C : S) {
-    if (C == '"' || C == '\\')
-      Out += '\\';
-    Out += C;
-  }
-}
-
 bool JsonReport::write() const {
   if (Options.JsonPath.empty())
     return true;
@@ -102,18 +136,31 @@ bool JsonReport::write() const {
     Path /= "BENCH_" + BenchName + ".json";
 
   std::string Out;
-  char Buf[64];
+  char Buf[128];
   Out += "{\n";
+  std::snprintf(Buf, sizeof(Buf), "  \"schema_version\": %d,\n",
+                SchemaVersion);
+  Out += Buf;
   Out += "  \"bench\": \"";
   appendJsonEscaped(Out, BenchName);
   Out += "\",\n";
-  std::snprintf(Buf, sizeof(Buf), "  \"scale\": %.6g,\n", Options.Scale);
+  Out += "  \"manifest\": {\n    \"git_sha\": \"";
+  appendJsonEscaped(Out, Manifest.GitSha);
+  Out += "\",\n    \"build_type\": \"";
+  appendJsonEscaped(Out, Manifest.BuildType);
+  Out += "\",\n    \"compiler\": \"";
+  appendJsonEscaped(Out, Manifest.Compiler);
+  Out += "\",\n";
+  std::snprintf(Buf, sizeof(Buf), "    \"jobs\": %u,\n", Manifest.Jobs);
   Out += Buf;
-  std::snprintf(Buf, sizeof(Buf), "  \"seed\": %llu,\n",
-                static_cast<unsigned long long>(Options.Seed));
+  std::snprintf(Buf, sizeof(Buf), "    \"seed\": %llu,\n",
+                static_cast<unsigned long long>(Manifest.Seed));
   Out += Buf;
-  std::snprintf(Buf, sizeof(Buf), "  \"jobs\": %u,\n", Options.Jobs);
+  std::snprintf(Buf, sizeof(Buf), "    \"scale\": %.6g,\n", Manifest.Scale);
   Out += Buf;
+  Out += "    \"program\": \"";
+  appendJsonEscaped(Out, Manifest.Program);
+  Out += "\"\n  },\n";
   std::snprintf(Buf, sizeof(Buf), "  \"events\": %llu,\n",
                 static_cast<unsigned long long>(Events));
   Out += Buf;
@@ -132,8 +179,16 @@ bool JsonReport::write() const {
     std::snprintf(Buf, sizeof(Buf), "\": %.6g", Values[I].second);
     Out += Buf;
   }
-  Out += Values.empty() ? "}\n" : "\n  }\n";
-  Out += "}\n";
+  Out += Values.empty() ? "}" : "\n  }";
+  if (Telemetry) {
+    Out += ",\n  \"telemetry\": ";
+    Telemetry->writeJson(Out, "  ");
+  }
+  if (Timeline) {
+    Out += ",\n  \"timeline\": ";
+    Timeline->writeJson(Out, "  ");
+  }
+  Out += "\n}\n";
 
   std::FILE *File = std::fopen(Path.string().c_str(), "w");
   if (!File) {

@@ -30,11 +30,16 @@
 #include "workloads/Programs.h"
 #include "workloads/WorkloadRunner.h"
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace lifepred {
+
+class StatsRegistry;
+class HeapTimeline;
+class TraceEventWriter;
 
 /// A program's train and test traces generated under one registry (so
 /// FunctionIds agree across the two runs).
@@ -49,11 +54,32 @@ struct ProgramTraces {
 struct BenchOptions {
   double Scale = 1.0;
   uint64_t Seed = 0x1993;
-  std::string OnlyProgram; ///< Empty = all five.
-  unsigned Jobs = 1;       ///< Worker threads; 1 = serial.
-  std::string JsonPath;    ///< Empty = no JSON report.
+  std::string OnlyProgram;  ///< Empty = all five.
+  unsigned Jobs = 1;        ///< Worker threads; 1 = serial.
+  std::string JsonPath;     ///< Empty = no JSON report.
+  std::string TraceOutPath; ///< --trace-out: chrome://tracing span file.
+  /// --timeline-stride: byte-clock sampling stride for the heap timeline
+  /// section of the JSON report (0 = no timeline).
+  uint64_t TimelineStride = 0;
 
   static BenchOptions fromCommandLine(const CommandLine &Cl);
+};
+
+/// Provenance of one bench run, recorded in every JSON report so that two
+/// reports can always answer "were these the same code and configuration?"
+/// before their numbers are compared.
+struct RunManifest {
+  std::string GitSha;    ///< Short commit hash the binary was built from.
+  std::string BuildType; ///< CMAKE_BUILD_TYPE.
+  std::string Compiler;  ///< Compiler id and version.
+  unsigned Jobs = 1;
+  uint64_t Seed = 0;
+  double Scale = 1.0;
+  std::string Program; ///< --program filter; empty = all.
+
+  /// The manifest of this build and \p Options (the one constructor every
+  /// bench uses, so no field can be recorded inconsistently).
+  static RunManifest current(const BenchOptions &Options);
 };
 
 /// Generates traces for every selected program, fanning out one task per
@@ -76,13 +102,19 @@ void printBanner(const char *Table, const char *Caption,
 /// Machine-readable bench report, written when --json is set.
 ///
 /// Values are kept in insertion order; keys follow the convention
-/// "<program>.<column>".  The report always records the bench name, the
-/// options it ran under, total replayed events, wall-clock seconds, and
-/// the derived events/sec throughput.
+/// "<program>.<column>".  The report (schema version 2) always records the
+/// bench name, a RunManifest, total replayed events, wall-clock seconds,
+/// and the derived events/sec throughput; attachTelemetry() and
+/// attachTimeline() add the corresponding sections.
 class JsonReport {
 public:
+  /// The report schema emitted by write(); bench_compare notes a mismatch
+  /// before comparing two reports.
+  static constexpr int SchemaVersion = 2;
+
   JsonReport(std::string BenchName, const BenchOptions &Options)
-      : BenchName(std::move(BenchName)), Options(Options) {}
+      : BenchName(std::move(BenchName)), Options(Options),
+        Manifest(RunManifest::current(Options)) {}
 
   /// Records a measured value.
   void add(const std::string &Key, double Value) {
@@ -95,6 +127,18 @@ public:
     this->WallSeconds = WallSeconds;
   }
 
+  /// Adds \p Registry's metrics as the report's "telemetry" section.  The
+  /// registry must outlive write(); nullptr detaches.
+  void attachTelemetry(const StatsRegistry *Registry) {
+    Telemetry = Registry;
+  }
+
+  /// Adds \p Timeline's samples as the report's "timeline" section.  The
+  /// timeline must outlive write(); nullptr detaches.
+  void attachTimeline(const HeapTimeline *Timeline) {
+    this->Timeline = Timeline;
+  }
+
   /// Writes the report to Options.JsonPath.  If that names a directory,
   /// the file becomes <dir>/BENCH_<name>.json.  No-op when --json was not
   /// given; returns false (after printing a warning) if the file cannot
@@ -104,10 +148,18 @@ public:
 private:
   std::string BenchName;
   BenchOptions Options;
+  RunManifest Manifest;
   std::vector<std::pair<std::string, double>> Values;
   uint64_t Events = 0;
   double WallSeconds = 0.0;
+  const StatsRegistry *Telemetry = nullptr;
+  const HeapTimeline *Timeline = nullptr;
 };
+
+/// A TraceEventWriter for Options.TraceOutPath, or nullptr when --trace-out
+/// was not given.  TraceSpan's null-writer behaviour makes the result
+/// usable unconditionally.
+std::unique_ptr<TraceEventWriter> makeTraceWriter(const BenchOptions &Options);
 
 /// Monotonic wall-clock seconds (for events/sec measurement).
 double wallTimeSeconds();

@@ -1,0 +1,24 @@
+//===- bench/bench_compare.cpp - Bench report regression diff --------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diffs two BENCH_*.json reports written by the --json flag of any bench:
+/// value metrics (simulation results, telemetry counters) against one
+/// tolerance, timing metrics (wall_seconds, events_per_sec) against
+/// another, with a non-zero exit on regression.  Also reachable as
+/// `trace_tool report`; all logic lives in telemetry/ReportDiff.
+///
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/ReportDiff.h"
+
+#include <string>
+#include <vector>
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  return lifepred::runBenchCompare(Args);
+}

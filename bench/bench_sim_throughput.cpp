@@ -5,12 +5,13 @@
 // Measures trace-replay throughput (events/sec, where an event is one
 // alloc or one derived free) of the simulator hot path:
 //
-//   legacy-ff : the original std::map/std::set first-fit block store,
-//               retained as LegacyFirstFitAllocator (the differential
-//               oracle).
-//   flat-ff   : the flat boundary-tag block store that replaced it.
-//   bsd       : the Kingsley power-of-two allocator.
-//   arena     : the lifetime-predicting arena allocator (true database).
+//   legacy-ff  : the original std::map/std::set first-fit block store,
+//                retained as LegacyFirstFitAllocator (the differential
+//                oracle).
+//   flat-ff    : the flat boundary-tag block store that replaced it.
+//   bsd        : the Kingsley power-of-two allocator.
+//   arena      : the lifetime-predicting arena allocator (true database).
+//   multiarena : the two-band arena allocator (trained class database).
 //
 // The flat/legacy pair replays the same traces under the same fit policy
 // (--policy=roving|address|best), so their ratio is the speedup of the
@@ -19,9 +20,19 @@
 // and per-allocator throughput aggregates those task-local times, so
 // --jobs only shortens the bench without perturbing the ratio.
 //
-// Flags: the common --scale/--seed/--program/--jobs/--json, plus
-// --policy (default roving) and --repeat=N (default 3) which replays
-// every trace N times to lengthen the timed region.
+// With --json (or --trace-out) the bench additionally runs one *untimed*
+// instrumented replay per (program, allocator family) after the timed
+// region, collecting allocator counters, per-allocation histograms, and
+// prediction outcomes into a StatsRegistry — one registry per program,
+// merged in program order, so the telemetry section is identical at any
+// --jobs.  --timeline-stride=N adds byte-clock heap samples of the first
+// program's first-fit replay; --trace-out=<file> writes chrome://tracing
+// spans for the run's phases.
+//
+// Flags: the common --scale/--seed/--program/--jobs/--json/--trace-out/
+// --timeline-stride, plus --policy (default roving) and --repeat=N
+// (default 3) which replays every trace N times to lengthen the timed
+// region.
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,8 +40,11 @@
 
 #include "alloc/LegacyFirstFitAllocator.h"
 #include "core/Pipeline.h"
+#include "sim/MultiArenaSimulator.h"
+#include "sim/SimTelemetry.h"
 #include "sim/TraceSimulator.h"
 #include "support/TableFormatter.h"
+#include "telemetry/TraceEventWriter.h"
 #include "trace/TraceReplayer.h"
 
 #include <cstdio>
@@ -72,9 +86,19 @@ void replayBaseline(const AllocationTrace &Trace,
   replayTrace(Trace, C);
 }
 
-constexpr unsigned AllocatorCount = 4;
-const char *const AllocatorNames[AllocatorCount] = {"legacy-ff", "flat-ff",
-                                                    "bsd", "arena"};
+constexpr unsigned AllocatorCount = 5;
+const char *const AllocatorNames[AllocatorCount] = {
+    "legacy-ff", "flat-ff", "bsd", "arena", "multiarena"};
+
+/// The two-band geometry of ablation_multi_arena's "2 bands" case: same
+/// total area as the paper's single band, split.
+const std::vector<uint64_t> MultiArenaThresholds = {16 * 1024, 32 * 1024};
+
+MultiArenaAllocator::Config multiArenaConfig() {
+  MultiArenaAllocator::Config Config;
+  Config.Bands = {{32 * 1024, 8}, {32 * 1024, 8}};
+  return Config;
+}
 
 struct Cell {
   uint64_t Events = 0;
@@ -111,16 +135,27 @@ int main(int Argc, char **Argv) {
               Repeat);
 
   SiteKeyPolicy KeyPolicy = SiteKeyPolicy::completeChain();
+  std::unique_ptr<TraceEventWriter> TraceWriter = makeTraceWriter(Options);
 
   ThreadPool Pool(Options.Jobs);
-  std::vector<ProgramTraces> All = makeAllTraces(Options, Pool);
+  std::vector<ProgramTraces> All;
+  {
+    TraceSpan Span(TraceWriter.get(), "generate-traces");
+    All = makeAllTraces(Options, Pool);
+  }
 
   // Train the arena databases up front (outside the timed region).
   std::vector<SiteDatabase> TrueDBs(All.size());
-  parallelForIndex(Pool, All.size(), [&](size_t Index) {
-    Profile TrainProfile = profileTrace(All[Index].Train, KeyPolicy);
-    TrueDBs[Index] = trainDatabase(TrainProfile, KeyPolicy);
-  });
+  std::vector<ClassDatabase> ClassDBs(All.size());
+  {
+    TraceSpan Span(TraceWriter.get(), "train");
+    parallelForIndex(Pool, All.size(), [&](size_t Index) {
+      Profile TrainProfile = profileTrace(All[Index].Train, KeyPolicy);
+      TrueDBs[Index] = trainDatabase(TrainProfile, KeyPolicy);
+      ClassDBs[Index] =
+          trainClassDatabase(TrainProfile, KeyPolicy, MultiArenaThresholds);
+    });
+  }
 
   FirstFitAllocator::Config FFConfig;
   FFConfig.Policy = Policy;
@@ -128,32 +163,39 @@ int main(int Argc, char **Argv) {
   // One task per (program, allocator); each repeats its replay and times
   // only the replay calls.
   std::vector<Cell> Cells(All.size() * AllocatorCount);
-  parallelForIndex(Pool, Cells.size(), [&](size_t Task) {
-    size_t ProgramIndex = Task / AllocatorCount;
-    unsigned Allocator = Task % AllocatorCount;
-    const ProgramTraces &Traces = All[ProgramIndex];
-    Cell &C = Cells[Task];
-    C.Events = uint64_t(Repeat) * replayEventCount(Traces.Test);
-    double Start = wallTimeSeconds();
-    for (unsigned R = 0; R < Repeat; ++R) {
-      switch (Allocator) {
-      case 0:
-        replayBaseline<LegacyFirstFitAllocator>(Traces.Test, FFConfig);
-        break;
-      case 1:
-        replayBaseline<FirstFitAllocator>(Traces.Test, FFConfig);
-        break;
-      case 2:
-        replayBaseline<BsdAllocator>(Traces.Test, BsdAllocator::Config());
-        break;
-      case 3:
-        simulateArena(Traces.Test, TrueDBs[ProgramIndex],
-                      Traces.Model.CallsPerAlloc);
-        break;
+  {
+    TraceSpan Span(TraceWriter.get(), "timed-replays");
+    parallelForIndex(Pool, Cells.size(), [&](size_t Task) {
+      size_t ProgramIndex = Task / AllocatorCount;
+      unsigned Allocator = Task % AllocatorCount;
+      const ProgramTraces &Traces = All[ProgramIndex];
+      Cell &C = Cells[Task];
+      C.Events = uint64_t(Repeat) * replayEventCount(Traces.Test);
+      double Start = wallTimeSeconds();
+      for (unsigned R = 0; R < Repeat; ++R) {
+        switch (Allocator) {
+        case 0:
+          replayBaseline<LegacyFirstFitAllocator>(Traces.Test, FFConfig);
+          break;
+        case 1:
+          replayBaseline<FirstFitAllocator>(Traces.Test, FFConfig);
+          break;
+        case 2:
+          replayBaseline<BsdAllocator>(Traces.Test, BsdAllocator::Config());
+          break;
+        case 3:
+          simulateArena(Traces.Test, TrueDBs[ProgramIndex],
+                        Traces.Model.CallsPerAlloc);
+          break;
+        case 4:
+          simulateMultiArena(Traces.Test, ClassDBs[ProgramIndex],
+                             multiArenaConfig());
+          break;
+        }
       }
-    }
-    C.Seconds = wallTimeSeconds() - Start;
-  });
+      C.Seconds = wallTimeSeconds() - Start;
+    });
+  }
 
   TableFormatter Table({"Program", "Allocator", "Events", "Seconds",
                         "Events/sec", "vs legacy"});
@@ -201,6 +243,52 @@ int main(int Argc, char **Argv) {
   Report.add("legacy_ff.events_per_sec", LegacyTotal.eventsPerSec());
   Report.add("flat_ff.events_per_sec", FlatTotal.eventsPerSec());
   Report.add("flat_vs_legacy_speedup", Speedup);
+
+  // Untimed instrumented replays: allocator counters, histograms, and
+  // prediction outcomes for the JSON report's telemetry section.  One
+  // registry per program, merged in program order — deterministic at any
+  // --jobs.  Runs after the timed region so it cannot perturb it.
+  StatsRegistry Telemetry;
+  HeapTimeline Timeline(Options.TimelineStride);
+  if (!Options.JsonPath.empty() || TraceWriter) {
+    TraceSpan Span(TraceWriter.get(), "instrumented-replays");
+    std::vector<StatsRegistry> PerProgram(All.size());
+    std::vector<PredictionCounts> ArenaOutcomes(All.size());
+    parallelForIndex(Pool, All.size(), [&](size_t Index) {
+      TraceSpan ProgramSpan(TraceWriter.get(), All[Index].Model.Name,
+                            "replay");
+      const AllocationTrace &Test = All[Index].Test;
+      SimTelemetry FF;
+      FF.Registry = &PerProgram[Index];
+      if (Index == 0 && Options.TimelineStride > 0)
+        FF.Timeline = &Timeline;
+      simulateFirstFit(Test, CostModel(), FFConfig, &FF);
+      SimTelemetry Bsd;
+      Bsd.Registry = &PerProgram[Index];
+      simulateBsd(Test, CostModel(), BsdAllocator::Config(), &Bsd);
+      SimTelemetry Arena;
+      Arena.Registry = &PerProgram[Index];
+      simulateArena(Test, TrueDBs[Index], All[Index].Model.CallsPerAlloc,
+                    CostModel(), ArenaAllocator::Config(), &Arena);
+      ArenaOutcomes[Index] = Arena.Outcomes;
+      SimTelemetry Multi;
+      Multi.Registry = &PerProgram[Index];
+      simulateMultiArena(Test, ClassDBs[Index], multiArenaConfig(), &Multi);
+    });
+    for (size_t I = 0; I < All.size(); ++I) {
+      Telemetry.merge(PerProgram[I]);
+      Report.add(std::string(All[I].Model.Name) + ".arena.pred_accuracy_pct",
+                 ArenaOutcomes[I].accuracyPercent());
+    }
+    if (Options.TimelineStride > 0) {
+      Timeline.exportTelemetry(Telemetry, "timeline.");
+      Report.attachTimeline(&Timeline);
+    }
+    Report.attachTelemetry(&Telemetry);
+  }
+
   Report.write();
+  if (TraceWriter)
+    TraceWriter->close();
   return 0;
 }

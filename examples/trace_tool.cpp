@@ -16,12 +16,16 @@
 //   trace_tool emit-header <in.sitedb> <out.h>
 //       Emit the database as a linkable C++ header (constexpr key table
 //       plus an isPredictedShortLived() predicate).
+//   trace_tool report <old.json> <new.json> [--tol=R] [--time-tol=R]
+//       Diff two --json bench reports (same engine as bench_compare);
+//       non-zero exit on regression.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/GeneratedAllocator.h"
 #include "core/Pipeline.h"
 #include "support/CommandLine.h"
+#include "telemetry/ReportDiff.h"
 #include "trace/TraceBinaryIO.h"
 #include "trace/TraceIO.h"
 #include "trace/TraceStats.h"
@@ -45,7 +49,9 @@ int usage() {
                "       trace_tool train <in.trace> <out.sitedb> "
                "[--threshold=T]\n"
                "       trace_tool predict <in.trace> <in.sitedb>\n"
-               "       trace_tool emit-header <in.sitedb> <out.h>\n");
+               "       trace_tool emit-header <in.sitedb> <out.h>\n"
+               "       trace_tool report <old.json> <new.json> [--tol=R] "
+               "[--time-tol=R] [--quiet]\n");
   return 1;
 }
 
@@ -72,6 +78,11 @@ std::optional<AllocationTrace> loadTrace(const std::string &Path) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // The report subcommand forwards its raw arguments (including --tol=
+  // flags) to the bench_compare engine before CommandLine sees them.
+  if (Argc >= 2 && std::string(Argv[1]) == "report")
+    return runBenchCompare(std::vector<std::string>(Argv + 2, Argv + Argc));
+
   CommandLine Cl(Argc, Argv);
   const auto &Args = Cl.positional();
   if (Args.empty())

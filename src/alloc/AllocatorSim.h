@@ -16,6 +16,7 @@
 #ifndef LIFEPRED_ALLOC_ALLOCATORSIM_H
 #define LIFEPRED_ALLOC_ALLOCATORSIM_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace lifepred {
@@ -48,6 +49,11 @@ public:
 
   /// Bytes currently allocated to live objects (payload, not headers).
   virtual uint64_t liveBytes() const = 0;
+
+  /// Blocks currently on the allocator's free list(s); 0 where the concept
+  /// does not apply.  Only consulted at telemetry sampling points, never on
+  /// the per-event path.
+  virtual size_t freeBlockCount() const { return 0; }
 };
 
 } // namespace lifepred

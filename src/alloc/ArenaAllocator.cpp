@@ -7,6 +7,7 @@
 #include "alloc/ArenaAllocator.h"
 
 #include "support/MathExtras.h"
+#include "telemetry/StatsRegistry.h"
 
 #include <cassert>
 
@@ -36,6 +37,7 @@ uint64_t ArenaAllocator::bumpAllocate(uint32_t Size, uint64_t Need) {
   Stats.ArenaBytes += Size;
   ArenaPayload[Addr] = Size;
   ArenaLiveBytes += Size;
+  raisePeak(MaxArenaLiveBytes, ArenaLiveBytes);
   return Addr;
 }
 
@@ -97,4 +99,32 @@ void ArenaAllocator::free(uint64_t Address) {
   }
   ++Stats.GeneralFrees;
   General.free(Address);
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+void ArenaAllocator::attachTelemetry(StatsRegistry &Registry,
+                                     const std::string &Prefix) {
+  General.attachTelemetry(Registry, Prefix + "general.");
+}
+
+void ArenaAllocator::exportTelemetry(StatsRegistry &Registry,
+                                     const std::string &Prefix) const {
+  Registry.counter(Prefix + "arena_allocs") += Stats.ArenaAllocs;
+  Registry.counter(Prefix + "arena_bytes") += Stats.ArenaBytes;
+  Registry.counter(Prefix + "general_allocs") += Stats.GeneralAllocs;
+  Registry.counter(Prefix + "general_bytes") += Stats.GeneralBytes;
+  Registry.counter(Prefix + "unpredicted_allocs") += Stats.UnpredictedAllocs;
+  Registry.counter(Prefix + "oversize_allocs") += Stats.OversizeAllocs;
+  Registry.counter(Prefix + "fallback_allocs") += Stats.FallbackAllocs;
+  Registry.counter(Prefix + "scan_steps") += Stats.ScanSteps;
+  Registry.counter(Prefix + "resets") += Stats.Resets;
+  Registry.counter(Prefix + "arena_frees") += Stats.ArenaFrees;
+  Registry.counter(Prefix + "general_frees") += Stats.GeneralFrees;
+  raisePeak(Registry.gauge(Prefix + "max_arena_live_bytes"),
+            MaxArenaLiveBytes);
+  raisePeak(Registry.gauge(Prefix + "max_heap_bytes"), maxHeapBytes());
+  General.exportTelemetry(Registry, Prefix + "general.");
 }

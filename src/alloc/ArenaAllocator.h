@@ -26,6 +26,7 @@
 #include "alloc/FirstFitAllocator.h"
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -55,6 +56,8 @@ public:
     uint64_t Resets = 0;          ///< Arena reuses (count hit zero).
     uint64_t ArenaFrees = 0;
     uint64_t GeneralFrees = 0;
+
+    bool operator==(const Counters &Other) const = default;
   };
 
   ArenaAllocator();
@@ -95,6 +98,24 @@ public:
     return Arenas[Index].LiveCount;
   }
 
+  /// Payload bytes currently live inside the arena area.
+  uint64_t arenaLiveBytes() const { return ArenaLiveBytes; }
+
+  /// High-water mark of arenaLiveBytes().
+  uint64_t maxArenaLiveBytes() const { return MaxArenaLiveBytes; }
+
+  /// The arena area keeps no free lists; only the general heap does.
+  size_t freeBlockCount() const override { return General.freeBlockCount(); }
+
+  /// Forwards to the general heap's histograms under "<Prefix>general.".
+  void attachTelemetry(StatsRegistry &Registry, const std::string &Prefix);
+
+  /// Copies arena counters ("<Prefix>arena_allocs", "<Prefix>resets",
+  /// "<Prefix>fallback_allocs", ...) and the embedded general heap's
+  /// telemetry ("<Prefix>general.*") into \p Registry — read-only.
+  void exportTelemetry(StatsRegistry &Registry,
+                       const std::string &Prefix) const;
+
 private:
   /// Per-arena state: exactly the paper's alloc pointer and live count.
   struct Arena {
@@ -114,6 +135,7 @@ private:
   /// modeled allocator stores nothing per object).
   std::unordered_map<uint64_t, uint32_t> ArenaPayload;
   uint64_t ArenaLiveBytes = 0;
+  uint64_t MaxArenaLiveBytes = 0;
 };
 
 } // namespace lifepred

@@ -7,6 +7,7 @@
 #include "alloc/BsdAllocator.h"
 
 #include "support/MathExtras.h"
+#include "telemetry/StatsRegistry.h"
 
 #include <cassert>
 
@@ -54,6 +55,8 @@ uint64_t BsdAllocator::allocate(uint32_t Size) {
   FreeList.pop_back();
   Live[Addr] = Size;
   LiveBytes += Size;
+  if (ClassBytesHist)
+    ClassBytesHist->record(uint64_t(1) << Bucket);
   return Addr;
 }
 
@@ -65,4 +68,32 @@ void BsdAllocator::free(uint64_t Address) {
   LiveBytes -= It->second;
   Live.erase(It);
   Buckets[Bucket].push_back(Address);
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+size_t BsdAllocator::freeBlockCount() const {
+  size_t Count = 0;
+  for (const std::vector<uint64_t> &FreeList : Buckets)
+    Count += FreeList.size();
+  return Count;
+}
+
+void BsdAllocator::attachTelemetry(StatsRegistry &Registry,
+                                   const std::string &Prefix) {
+  ClassBytesHist = &Registry.histogram(Prefix + "class_bytes");
+}
+
+void BsdAllocator::exportTelemetry(StatsRegistry &Registry,
+                                   const std::string &Prefix) const {
+  Registry.counter(Prefix + "allocs") += Stats.Allocs;
+  Registry.counter(Prefix + "frees") += Stats.Frees;
+  Registry.counter(Prefix + "page_refills") += Stats.PageRefills;
+  Registry.counter(Prefix + "bucket_bits") += Stats.BucketBits;
+  raisePeak(Registry.gauge(Prefix + "heap_bytes"), heapBytes());
+  raisePeak(Registry.gauge(Prefix + "max_heap_bytes"), maxHeapBytes());
+  raisePeak(Registry.gauge(Prefix + "live_bytes"), liveBytes());
+  raisePeak(Registry.gauge(Prefix + "free_blocks"), freeBlockCount());
 }

@@ -18,10 +18,14 @@
 #include "alloc/AllocatorSim.h"
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace lifepred {
+
+class StatsRegistry;
+class Log2Histogram;
 
 /// Kingsley-style power-of-two segregated-storage simulator.
 class BsdAllocator : public AllocatorSim {
@@ -40,6 +44,8 @@ public:
     uint64_t Frees = 0;
     uint64_t PageRefills = 0; ///< Pages carved into a size class.
     uint64_t BucketBits = 0;  ///< Sum of size-class indexes (shift loops).
+
+    bool operator==(const Counters &Other) const = default;
   };
 
   BsdAllocator();
@@ -56,9 +62,24 @@ public:
   /// The size class (bucket index) serving \p Size (test support).
   unsigned bucketFor(uint32_t Size) const;
 
+  /// Blocks parked across all size-class free lists.
+  size_t freeBlockCount() const override;
+
+  /// Resolves the "<Prefix>class_bytes" histogram in \p Registry (rounded
+  /// block size per allocation — the bucket distribution) and records into
+  /// it on every subsequent allocate().
+  void attachTelemetry(StatsRegistry &Registry, const std::string &Prefix);
+
+  /// Copies the operation counters and heap state into \p Registry as
+  /// "<Prefix>allocs", "<Prefix>page_refills", ... — read-only.
+  void exportTelemetry(StatsRegistry &Registry,
+                       const std::string &Prefix) const;
+
 private:
   Config Cfg;
   Counters Stats;
+  /// Telemetry sink; null until attachTelemetry().
+  Log2Histogram *ClassBytesHist = nullptr;
   /// Per-bucket LIFO free lists of addresses.
   std::vector<std::vector<uint64_t>> Buckets;
   /// Bucket index by allocated address.

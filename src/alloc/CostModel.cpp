@@ -17,8 +17,11 @@ double perOp(double TotalInstr, uint64_t Ops) {
 } // namespace
 
 InstrPerOp CostModel::firstFit(const FirstFitAllocator::Counters &C) const {
+  // Bin probes (BestFitBins only) inspect a block just as a list scan step
+  // does, so both are charged at FirstFitSearchStep.
   double AllocInstr = static_cast<double>(C.Allocs) * FirstFitAllocBase +
-                      static_cast<double>(C.SearchSteps) * FirstFitSearchStep +
+                      static_cast<double>(C.SearchSteps + C.BinProbes) *
+                          FirstFitSearchStep +
                       static_cast<double>(C.Splits) * FirstFitSplit +
                       static_cast<double>(C.Grows) * FirstFitGrow;
   double FreeInstr = static_cast<double>(C.Frees) * FirstFitFreeBase +

@@ -23,6 +23,7 @@
 
 #include "support/Assert.h"
 #include "support/MathExtras.h"
+#include "telemetry/StatsRegistry.h"
 
 #include <bit>
 #include <cassert>
@@ -120,7 +121,7 @@ uint32_t FirstFitAllocator::binnedBestFit(uint64_t Need) {
   // The home bin mixes sizes above and below Need; filter explicitly.
   unsigned B0 = binIndex(Need);
   for (uint32_t I = Bins[B0]; I != Nil; I = Nodes[I].BinNext) {
-    ++Stats.SearchSteps;
+    ++Stats.BinProbes;
     if (Nodes[I].Size >= Need)
       Consider(I);
   }
@@ -130,7 +131,7 @@ uint32_t FirstFitAllocator::binnedBestFit(uint64_t Need) {
   // so the first non-empty bin contains the global best fit.
   for (unsigned B = B0 + 1; B < BinCount; ++B) {
     for (uint32_t I = Bins[B]; I != Nil; I = Nodes[I].BinNext) {
-      ++Stats.SearchSteps;
+      ++Stats.BinProbes;
       Consider(I);
     }
     if (Best != Nil)
@@ -272,6 +273,8 @@ void FirstFitAllocator::grow(uint64_t AtLeast) {
 uint64_t FirstFitAllocator::allocate(uint32_t Size) {
   ++Stats.Allocs;
   uint64_t Need = blockNeed(Size);
+  uint64_t StepsBefore = Stats.SearchSteps;
+  uint64_t ProbesBefore = Stats.BinProbes;
 
   // Search the free list per the configured policy.
   uint32_t Fit = Nil;
@@ -369,7 +372,37 @@ uint64_t FirstFitAllocator::allocate(uint32_t Size) {
 
   Nodes[Fit].Payload = Size;
   LiveBytes += Size;
+  if (ScanLenHist)
+    ScanLenHist->record(Stats.SearchSteps - StepsBefore);
+  if (BinProbeHist)
+    BinProbeHist->record(Stats.BinProbes - ProbesBefore);
   return Addr;
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry.
+//===----------------------------------------------------------------------===//
+
+void FirstFitAllocator::attachTelemetry(StatsRegistry &Registry,
+                                        const std::string &Prefix) {
+  ScanLenHist = &Registry.histogram(Prefix + "scan_len");
+  if (Cfg.Policy == FitPolicy::BestFit && Cfg.BestFitBins)
+    BinProbeHist = &Registry.histogram(Prefix + "bin_probe_len");
+}
+
+void FirstFitAllocator::exportTelemetry(StatsRegistry &Registry,
+                                        const std::string &Prefix) const {
+  Registry.counter(Prefix + "allocs") += Stats.Allocs;
+  Registry.counter(Prefix + "frees") += Stats.Frees;
+  Registry.counter(Prefix + "search_steps") += Stats.SearchSteps;
+  Registry.counter(Prefix + "bin_probes") += Stats.BinProbes;
+  Registry.counter(Prefix + "splits") += Stats.Splits;
+  Registry.counter(Prefix + "coalesces") += Stats.Coalesces;
+  Registry.counter(Prefix + "grows") += Stats.Grows;
+  raisePeak(Registry.gauge(Prefix + "heap_bytes"), heapBytes());
+  raisePeak(Registry.gauge(Prefix + "max_heap_bytes"), MaxHeap);
+  raisePeak(Registry.gauge(Prefix + "live_bytes"), LiveBytes);
+  raisePeak(Registry.gauge(Prefix + "free_blocks"), FreeCount);
 }
 
 void FirstFitAllocator::free(uint64_t Address) {

@@ -29,9 +29,13 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace lifepred {
+
+class StatsRegistry;
+class Log2Histogram;
 
 /// How the free list is searched.
 enum class FitPolicy {
@@ -58,9 +62,9 @@ public:
     /// Opt-in fast path for BestFit: segregated power-of-two size-class
     /// bins replace the full free-list scan.  Placement (and therefore
     /// heaps and addresses) is identical to the scanning best fit, but
-    /// SearchSteps counts blocks inspected in the bins, which is fewer
-    /// than the legacy full-list count — leave off when reproducing the
-    /// paper's instruction-cost tables.
+    /// inspections happen in the bins and are counted as BinProbes instead
+    /// of SearchSteps (and are fewer than the legacy full-list count) —
+    /// leave off when reproducing the paper's instruction-cost tables.
     bool BestFitBins = false;
   };
 
@@ -68,10 +72,13 @@ public:
   struct Counters {
     uint64_t Allocs = 0;
     uint64_t Frees = 0;
-    uint64_t SearchSteps = 0; ///< Free blocks inspected during searches.
+    uint64_t SearchSteps = 0; ///< Free blocks inspected by list scans.
+    uint64_t BinProbes = 0;   ///< Blocks inspected in BestFitBins bins.
     uint64_t Splits = 0;
     uint64_t Coalesces = 0;   ///< Merges performed at free time.
     uint64_t Grows = 0;       ///< Heap extensions.
+
+    bool operator==(const Counters &Other) const = default;
   };
 
   FirstFitAllocator();
@@ -86,8 +93,20 @@ public:
   const Counters &counters() const { return Stats; }
   const Config &config() const { return Cfg; }
 
-  /// Number of blocks on the free list (test support).
-  size_t freeBlockCount() const { return FreeCount; }
+  /// Number of blocks on the free list.
+  size_t freeBlockCount() const override { return FreeCount; }
+
+  /// Resolves per-allocation distribution histograms in \p Registry
+  /// ("<Prefix>scan_len", and "<Prefix>bin_probe_len" under BestFitBins)
+  /// and records into them on every subsequent allocate().  Detached (the
+  /// default) the hot path pays one untaken branch.
+  void attachTelemetry(StatsRegistry &Registry, const std::string &Prefix);
+
+  /// Copies the operation counters and heap state into \p Registry as
+  /// "<Prefix>allocs", "<Prefix>heap_bytes", ... — read-only, callable at
+  /// any point.
+  void exportTelemetry(StatsRegistry &Registry,
+                       const std::string &Prefix) const;
 
 private:
   /// Node-index sentinel (no block).
@@ -132,6 +151,9 @@ private:
 
   Config Cfg;
   Counters Stats;
+  /// Telemetry sinks; null until attachTelemetry().
+  Log2Histogram *ScanLenHist = nullptr;
+  Log2Histogram *BinProbeHist = nullptr;
   /// The block store: all nodes, live and recycled.
   std::vector<BlockNode> Nodes;
   /// Indices of recycled (merged-away) nodes available for reuse.

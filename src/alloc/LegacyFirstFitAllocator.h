@@ -47,7 +47,7 @@ public:
   const Config &config() const { return Cfg; }
 
   /// Number of blocks on the free list (test support).
-  size_t freeBlockCount() const { return FreeBlocks.size(); }
+  size_t freeBlockCount() const override { return FreeBlocks.size(); }
 
 private:
   struct Block {

@@ -7,6 +7,7 @@
 #include "alloc/MultiArenaAllocator.h"
 
 #include "support/MathExtras.h"
+#include "telemetry/StatsRegistry.h"
 
 #include <cassert>
 
@@ -46,6 +47,7 @@ uint64_t MultiArenaAllocator::bumpAllocate(BandState &Band, uint32_t Size,
   Band.Stats.Bytes += Size;
   ArenaPayload[Addr] = Size;
   ArenaLiveBytes += Size;
+  raisePeak(MaxArenaLiveBytes, ArenaLiveBytes);
   return Addr;
 }
 
@@ -108,4 +110,33 @@ uint64_t MultiArenaAllocator::maxHeapBytes() const {
 
 uint64_t MultiArenaAllocator::liveBytes() const {
   return ArenaLiveBytes + General.liveBytes();
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+void MultiArenaAllocator::attachTelemetry(StatsRegistry &Registry,
+                                          const std::string &Prefix) {
+  General.attachTelemetry(Registry, Prefix + "general.");
+}
+
+void MultiArenaAllocator::exportTelemetry(StatsRegistry &Registry,
+                                          const std::string &Prefix) const {
+  for (size_t I = 0; I < BandStates.size(); ++I) {
+    const BandCounters &C = BandStates[I].Stats;
+    std::string BandPrefix = Prefix + "band" + std::to_string(I) + ".";
+    Registry.counter(BandPrefix + "allocs") += C.Allocs;
+    Registry.counter(BandPrefix + "bytes") += C.Bytes;
+    Registry.counter(BandPrefix + "frees") += C.Frees;
+    Registry.counter(BandPrefix + "scan_steps") += C.ScanSteps;
+    Registry.counter(BandPrefix + "resets") += C.Resets;
+    Registry.counter(BandPrefix + "fallbacks") += C.Fallbacks;
+  }
+  Registry.counter(Prefix + "general_allocs") += GeneralAllocs;
+  Registry.counter(Prefix + "general_bytes") += GeneralBytes;
+  raisePeak(Registry.gauge(Prefix + "max_arena_live_bytes"),
+            MaxArenaLiveBytes);
+  raisePeak(Registry.gauge(Prefix + "max_heap_bytes"), maxHeapBytes());
+  General.exportTelemetry(Registry, Prefix + "general.");
 }

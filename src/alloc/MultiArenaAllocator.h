@@ -23,6 +23,7 @@
 #include "alloc/FirstFitAllocator.h"
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -90,6 +91,24 @@ public:
 
   const FirstFitAllocator &general() const { return General; }
 
+  /// Payload bytes currently live across all band areas.
+  uint64_t arenaLiveBytes() const { return ArenaLiveBytes; }
+
+  /// High-water mark of arenaLiveBytes().
+  uint64_t maxArenaLiveBytes() const { return MaxArenaLiveBytes; }
+
+  /// Band areas keep no free lists; only the general heap does.
+  size_t freeBlockCount() const override { return General.freeBlockCount(); }
+
+  /// Forwards to the general heap's histograms under "<Prefix>general.".
+  void attachTelemetry(StatsRegistry &Registry, const std::string &Prefix);
+
+  /// Copies per-band counters ("<Prefix>band<i>.allocs", ...), the general
+  /// routing totals, and the embedded general heap's telemetry
+  /// ("<Prefix>general.*") into \p Registry — read-only.
+  void exportTelemetry(StatsRegistry &Registry,
+                       const std::string &Prefix) const;
+
 private:
   struct Arena {
     uint64_t AllocPtr = 0;
@@ -116,6 +135,7 @@ private:
   /// Payload sizes of arena-held objects (simulation bookkeeping only).
   std::unordered_map<uint64_t, uint32_t> ArenaPayload;
   uint64_t ArenaLiveBytes = 0;
+  uint64_t MaxArenaLiveBytes = 0;
 };
 
 } // namespace lifepred

@@ -8,6 +8,7 @@
 
 #include "callchain/ShadowStack.h"
 #include "support/MathExtras.h"
+#include "telemetry/StatsRegistry.h"
 
 #include <cassert>
 #include <new>
@@ -91,4 +92,14 @@ void PredictingHeap::deallocate(void *Ptr) {
     return;
   }
   ::operator delete(Ptr);
+}
+
+void PredictingHeap::exportTelemetry(StatsRegistry &Registry,
+                                     const std::string &Prefix) const {
+  Registry.counter(Prefix + "arena_allocs") += Counters.ArenaAllocs;
+  Registry.counter(Prefix + "general_allocs") += Counters.GeneralAllocs;
+  Registry.counter(Prefix + "arena_bytes") += Counters.ArenaBytes;
+  Registry.counter(Prefix + "general_bytes") += Counters.GeneralBytes;
+  Registry.counter(Prefix + "resets") += Counters.Resets;
+  Registry.counter(Prefix + "fallbacks") += Counters.Fallbacks;
 }

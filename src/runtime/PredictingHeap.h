@@ -24,9 +24,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace lifepred {
+
+class StatsRegistry;
 
 /// Profile-driven two-strategy heap.
 class PredictingHeap {
@@ -70,6 +73,11 @@ public:
 
   /// True if \p Ptr lies inside the arena area (test support).
   bool isArenaPointer(const void *Ptr) const;
+
+  /// Copies the allocation statistics into \p Registry as
+  /// "<Prefix>arena_allocs", "<Prefix>resets", ... — read-only.
+  void exportTelemetry(StatsRegistry &Registry,
+                       const std::string &Prefix) const;
 
 private:
   struct Arena {

@@ -6,6 +6,7 @@
 
 #include "sim/MultiArenaSimulator.h"
 
+#include "sim/SimTelemetry.h"
 #include "sim/SiteKeyCache.h"
 #include "trace/TraceReplayer.h"
 
@@ -16,15 +17,30 @@ namespace {
 class MultiArenaConsumer : public TraceConsumer {
 public:
   MultiArenaConsumer(MultiArenaAllocator &Allocator,
-                     const AllocationTrace &Trace, const ClassDatabase &DB)
-      : Allocator(Allocator), DB(DB), Keys(DB.policy(), Trace) {
+                     const AllocationTrace &Trace, const ClassDatabase &DB,
+                     SimTelemetry *Telemetry)
+      : Allocator(Allocator), DB(DB), Keys(DB.policy(), Trace),
+        Telemetry(Telemetry) {
     Addresses.resize(Trace.size());
   }
 
-  void onAlloc(uint64_t Id, const AllocRecord &Record, uint64_t) override {
-    Addresses[Id] =
-        Allocator.allocate(Record.Size, DB.classify(Keys.keyFor(Id)));
+  void onAlloc(uint64_t Id, const AllocRecord &Record,
+               uint64_t Clock) override {
+    LifetimeClass Band = DB.classify(Keys.keyFor(Id));
+    Addresses[Id] = Allocator.allocate(Record.Size, Band);
     raisePeak(MaxLive, Allocator.liveBytes());
+    if (Telemetry) {
+      recordOutcome(Record, Band);
+      if (Telemetry->Timeline && Telemetry->Timeline->due(Clock)) {
+        HeapSample Sample;
+        Sample.Clock = Clock;
+        Sample.HeapBytes = Allocator.heapBytes();
+        Sample.LiveBytes = Allocator.liveBytes();
+        Sample.ArenaBytes = Allocator.arenaLiveBytes();
+        Sample.FreeBlocks = Allocator.freeBlockCount();
+        Telemetry->Timeline->record(Sample);
+      }
+    }
   }
 
   void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
@@ -34,9 +50,25 @@ public:
   uint64_t maxLiveBytes() const { return MaxLive; }
 
 private:
+  void recordOutcome(const AllocRecord &Record, LifetimeClass Band) {
+    const std::vector<uint64_t> &Thresholds = DB.thresholds();
+    bool PredictedBanded = Band < Thresholds.size();
+    // A banded prediction is right when the object died within its band's
+    // threshold; an unclassified one is a miss when the widest band would
+    // have covered the object.
+    bool Correct = PredictedBanded
+                       ? Record.Lifetime <= Thresholds[Band]
+                       : Thresholds.empty() ||
+                             Record.Lifetime > Thresholds.back();
+    bool ActuallyShort = PredictedBanded ? Correct : !Correct;
+    Telemetry->Outcomes.add(PredictedBanded, ActuallyShort);
+    Telemetry->PerSite[Record.ChainIndex].add(PredictedBanded, ActuallyShort);
+  }
+
   MultiArenaAllocator &Allocator;
   const ClassDatabase &DB;
   SiteKeyCache Keys;
+  SimTelemetry *Telemetry;
   std::vector<uint64_t> Addresses;
   uint64_t MaxLive = 0;
 };
@@ -46,10 +78,20 @@ private:
 MultiArenaSimResult
 lifepred::simulateMultiArena(const AllocationTrace &Trace,
                              const ClassDatabase &DB,
-                             MultiArenaAllocator::Config Config) {
+                             MultiArenaAllocator::Config Config,
+                             SimTelemetry *Telemetry) {
   MultiArenaAllocator Allocator(Config);
-  MultiArenaConsumer Consumer(Allocator, Trace, DB);
+  if (Telemetry && Telemetry->Registry)
+    Allocator.attachTelemetry(*Telemetry->Registry, "multiarena.");
+  MultiArenaConsumer Consumer(Allocator, Trace, DB, Telemetry);
   replayTrace(Trace, Consumer);
+  if (Telemetry && Telemetry->Registry) {
+    Allocator.exportTelemetry(*Telemetry->Registry, "multiarena.");
+    Telemetry->Outcomes.exportTelemetry(*Telemetry->Registry,
+                                        "multiarena.pred.");
+    raisePeak(Telemetry->Registry->gauge("multiarena.pred.sites"),
+              Telemetry->PerSite.size());
+  }
 
   MultiArenaSimResult Result;
   Result.MaxHeapBytes = Allocator.maxHeapBytes();

@@ -21,6 +21,8 @@
 
 namespace lifepred {
 
+struct SimTelemetry;
+
 /// Results of a banded-arena simulation.
 struct MultiArenaSimResult {
   uint64_t MaxHeapBytes = 0;
@@ -42,11 +44,16 @@ struct MultiArenaSimResult {
 };
 
 /// Simulates \p Trace over a banded arena allocator configured by
-/// \p Config, with \p DB classifying each allocation.
+/// \p Config, with \p DB classifying each allocation.  A non-null
+/// \p Telemetry collects metrics under "multiarena." plus prediction
+/// outcomes: an allocation predicted into band B counts as a true short
+/// when its lifetime is within B's threshold, and an unclassified one as a
+/// missed short when any band's threshold would have covered it.
 MultiArenaSimResult
 simulateMultiArena(const AllocationTrace &Trace, const ClassDatabase &DB,
                    MultiArenaAllocator::Config Config =
-                       MultiArenaAllocator::Config());
+                       MultiArenaAllocator::Config(),
+                   SimTelemetry *Telemetry = nullptr);
 
 } // namespace lifepred
 

@@ -1,0 +1,88 @@
+//===- sim/SimTelemetry.h - Simulation observability hooks ------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optional observability sinks for the trace simulators.  A SimTelemetry
+/// passed to simulateFirstFit / simulateBsd / simulateArena /
+/// simulateMultiArena turns on metric collection for that run: allocator
+/// counters and per-allocation histograms land in the StatsRegistry,
+/// byte-clock heap samples in the HeapTimeline, and (for the predicting
+/// allocators) prediction outcomes are classified per event and per site.
+/// Passing nullptr — the default everywhere — leaves the simulation
+/// untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_SIM_SIMTELEMETRY_H
+#define LIFEPRED_SIM_SIMTELEMETRY_H
+
+#include "telemetry/HeapTimeline.h"
+#include "telemetry/StatsRegistry.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace lifepred {
+
+/// Confusion-matrix counts for lifetime prediction, using the paper's
+/// terminology: an object is *actually* short-lived when its traced
+/// lifetime is within the training threshold.
+struct PredictionCounts {
+  uint64_t TrueShort = 0;   ///< Predicted short, died within threshold.
+  uint64_t FalseShort = 0;  ///< Predicted short, outlived the threshold.
+  uint64_t MissedShort = 0; ///< Predicted long, died within threshold.
+  uint64_t TrueLong = 0;    ///< Predicted long, outlived the threshold.
+
+  uint64_t total() const {
+    return TrueShort + FalseShort + MissedShort + TrueLong;
+  }
+
+  /// Fraction of all events predicted correctly, in percent.
+  double accuracyPercent() const {
+    uint64_t Total = total();
+    return Total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(TrueShort + TrueLong) /
+                            static_cast<double>(Total);
+  }
+
+  void add(bool PredictedShort, bool ActuallyShort) {
+    if (PredictedShort)
+      ++(ActuallyShort ? TrueShort : FalseShort);
+    else
+      ++(ActuallyShort ? MissedShort : TrueLong);
+  }
+
+  /// Exports the four cells as counters "<Prefix>true_short", ... .
+  void exportTelemetry(StatsRegistry &Registry,
+                       const std::string &Prefix) const {
+    Registry.counter(Prefix + "true_short") += TrueShort;
+    Registry.counter(Prefix + "false_short") += FalseShort;
+    Registry.counter(Prefix + "missed_short") += MissedShort;
+    Registry.counter(Prefix + "true_long") += TrueLong;
+  }
+
+  bool operator==(const PredictionCounts &Other) const = default;
+};
+
+/// Sinks for one instrumented simulation.  Null members disable the
+/// corresponding collection; the struct itself is passed by pointer with a
+/// nullptr default, so uninstrumented runs never touch any of this.
+struct SimTelemetry {
+  /// Counters, gauges, and histograms accumulate here.
+  StatsRegistry *Registry = nullptr;
+  /// Byte-clock heap samples accumulate here.
+  HeapTimeline *Timeline = nullptr;
+  /// Aggregate prediction outcomes (predicting simulators only).
+  PredictionCounts Outcomes;
+  /// Prediction outcomes keyed by allocation site (the trace's chain-table
+  /// index), for hit/miss/false-short rates per site.
+  std::unordered_map<uint32_t, PredictionCounts> PerSite;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_SIM_SIMTELEMETRY_H

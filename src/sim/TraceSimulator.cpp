@@ -6,6 +6,7 @@
 
 #include "sim/TraceSimulator.h"
 
+#include "sim/SimTelemetry.h"
 #include "sim/SiteKeyCache.h"
 #include "trace/TraceReplayer.h"
 
@@ -15,17 +16,36 @@ using namespace lifepred;
 
 namespace {
 
+/// Records a byte-clock sample of \p Allocator if one is due.  \p ArenaBytes
+/// is supplied by the caller because only the arena allocators have the
+/// concept.
+void sampleTimeline(SimTelemetry *Telemetry, uint64_t Clock,
+                    const AllocatorSim &Allocator, uint64_t ArenaBytes) {
+  if (!Telemetry || !Telemetry->Timeline || !Telemetry->Timeline->due(Clock))
+    return;
+  HeapSample Sample;
+  Sample.Clock = Clock;
+  Sample.HeapBytes = Allocator.heapBytes();
+  Sample.LiveBytes = Allocator.liveBytes();
+  Sample.ArenaBytes = ArenaBytes;
+  Sample.FreeBlocks = Allocator.freeBlockCount();
+  Telemetry->Timeline->record(Sample);
+}
+
 /// Replays a trace into any AllocatorSim, tracking peaks.
 class BaselineConsumer : public TraceConsumer {
 public:
-  BaselineConsumer(AllocatorSim &Allocator, size_t ObjectCount)
-      : Allocator(Allocator) {
+  BaselineConsumer(AllocatorSim &Allocator, size_t ObjectCount,
+                   SimTelemetry *Telemetry)
+      : Allocator(Allocator), Telemetry(Telemetry) {
     Addresses.resize(ObjectCount);
   }
 
-  void onAlloc(uint64_t Id, const AllocRecord &Record, uint64_t) override {
+  void onAlloc(uint64_t Id, const AllocRecord &Record,
+               uint64_t Clock) override {
     Addresses[Id] = Allocator.allocate(Record.Size);
     raisePeak(MaxLive, Allocator.liveBytes());
+    sampleTimeline(Telemetry, Clock, Allocator, /*ArenaBytes=*/0);
   }
 
   void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
@@ -36,6 +56,7 @@ public:
 
 private:
   AllocatorSim &Allocator;
+  SimTelemetry *Telemetry;
   std::vector<uint64_t> Addresses;
   uint64_t MaxLive = 0;
 };
@@ -44,17 +65,28 @@ private:
 class ArenaConsumer : public TraceConsumer {
 public:
   ArenaConsumer(ArenaAllocator &Allocator, const AllocationTrace &Trace,
-                const SiteDatabase &DB)
-      : Allocator(Allocator), DB(DB), Keys(DB.policy(), Trace) {
+                const SiteDatabase &DB, SimTelemetry *Telemetry)
+      : Allocator(Allocator), DB(DB), Keys(DB.policy(), Trace),
+        Telemetry(Telemetry) {
     Addresses.resize(Trace.size());
   }
 
-  void onAlloc(uint64_t Id, const AllocRecord &Record, uint64_t) override {
+  void onAlloc(uint64_t Id, const AllocRecord &Record,
+               uint64_t Clock) override {
     // The full key is memoized per (chain, rounded size) in Keys; the only
     // per-event table work left is the database probe itself.
     bool Predicted = DB.contains(Keys.keyFor(Id));
     Addresses[Id] = Allocator.allocate(Record.Size, Predicted);
     raisePeak(MaxLive, Allocator.liveBytes());
+    if (Telemetry) {
+      // NeverFreed is the maximal lifetime, so never-freed objects always
+      // classify as actually long-lived.
+      bool ActuallyShort = Record.Lifetime <= DB.threshold();
+      Telemetry->Outcomes.add(Predicted, ActuallyShort);
+      Telemetry->PerSite[Record.ChainIndex].add(Predicted, ActuallyShort);
+      sampleTimeline(Telemetry, Clock, Allocator,
+                     Allocator.arenaLiveBytes());
+    }
   }
 
   void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
@@ -67,6 +99,7 @@ private:
   ArenaAllocator &Allocator;
   const SiteDatabase &DB;
   SiteKeyCache Keys;
+  SimTelemetry *Telemetry;
   std::vector<uint64_t> Addresses;
   uint64_t MaxLive = 0;
 };
@@ -76,10 +109,15 @@ private:
 BaselineSimResult
 lifepred::simulateFirstFit(const AllocationTrace &Trace,
                            const CostModel &Costs,
-                           FirstFitAllocator::Config Config) {
+                           FirstFitAllocator::Config Config,
+                           SimTelemetry *Telemetry) {
   FirstFitAllocator Allocator(Config);
-  BaselineConsumer Consumer(Allocator, Trace.size());
+  if (Telemetry && Telemetry->Registry)
+    Allocator.attachTelemetry(*Telemetry->Registry, "firstfit.");
+  BaselineConsumer Consumer(Allocator, Trace.size(), Telemetry);
   replayTrace(Trace, Consumer);
+  if (Telemetry && Telemetry->Registry)
+    Allocator.exportTelemetry(*Telemetry->Registry, "firstfit.");
 
   BaselineSimResult Result;
   Result.MaxHeapBytes = Allocator.maxHeapBytes();
@@ -91,10 +129,15 @@ lifepred::simulateFirstFit(const AllocationTrace &Trace,
 
 BaselineSimResult lifepred::simulateBsd(const AllocationTrace &Trace,
                                         const CostModel &Costs,
-                                        BsdAllocator::Config Config) {
+                                        BsdAllocator::Config Config,
+                                        SimTelemetry *Telemetry) {
   BsdAllocator Allocator(Config);
-  BaselineConsumer Consumer(Allocator, Trace.size());
+  if (Telemetry && Telemetry->Registry)
+    Allocator.attachTelemetry(*Telemetry->Registry, "bsd.");
+  BaselineConsumer Consumer(Allocator, Trace.size(), Telemetry);
   replayTrace(Trace, Consumer);
+  if (Telemetry && Telemetry->Registry)
+    Allocator.exportTelemetry(*Telemetry->Registry, "bsd.");
 
   BaselineSimResult Result;
   Result.MaxHeapBytes = Allocator.maxHeapBytes();
@@ -108,10 +151,19 @@ ArenaSimResult lifepred::simulateArena(const AllocationTrace &Trace,
                                        const SiteDatabase &DB,
                                        double CallsPerAlloc,
                                        const CostModel &Costs,
-                                       ArenaAllocator::Config Config) {
+                                       ArenaAllocator::Config Config,
+                                       SimTelemetry *Telemetry) {
   ArenaAllocator Allocator(Config);
-  ArenaConsumer Consumer(Allocator, Trace, DB);
+  if (Telemetry && Telemetry->Registry)
+    Allocator.attachTelemetry(*Telemetry->Registry, "arena.");
+  ArenaConsumer Consumer(Allocator, Trace, DB, Telemetry);
   replayTrace(Trace, Consumer);
+  if (Telemetry && Telemetry->Registry) {
+    Allocator.exportTelemetry(*Telemetry->Registry, "arena.");
+    Telemetry->Outcomes.exportTelemetry(*Telemetry->Registry, "arena.pred.");
+    raisePeak(Telemetry->Registry->gauge("arena.pred.sites"),
+              Telemetry->PerSite.size());
+  }
 
   ArenaSimResult Result;
   Result.MaxHeapBytes = Allocator.maxHeapBytes();

@@ -28,6 +28,8 @@
 
 namespace lifepred {
 
+struct SimTelemetry;
+
 /// Results of one first-fit (or BSD) baseline simulation.
 struct BaselineSimResult {
   uint64_t MaxHeapBytes = 0;
@@ -60,23 +62,32 @@ struct ArenaSimResult {
   }
 };
 
-/// Simulates \p Trace over a plain first-fit heap.
+/// Simulates \p Trace over a plain first-fit heap.  A non-null \p Telemetry
+/// collects metrics under "firstfit." (see SimTelemetry.h); the default
+/// leaves the replay uninstrumented.
 BaselineSimResult simulateFirstFit(
     const AllocationTrace &Trace, const CostModel &Costs = {},
-    FirstFitAllocator::Config Config = FirstFitAllocator::Config());
+    FirstFitAllocator::Config Config = FirstFitAllocator::Config(),
+    SimTelemetry *Telemetry = nullptr);
 
-/// Simulates \p Trace over the BSD allocator.
+/// Simulates \p Trace over the BSD allocator.  A non-null \p Telemetry
+/// collects metrics under "bsd.".
 BaselineSimResult simulateBsd(const AllocationTrace &Trace,
                               const CostModel &Costs = {},
-                              BsdAllocator::Config Config = BsdAllocator::Config());
+                              BsdAllocator::Config Config = BsdAllocator::Config(),
+                              SimTelemetry *Telemetry = nullptr);
 
 /// Simulates \p Trace over the lifetime-predicting arena allocator, with
 /// \p DB deciding which allocations are predicted short-lived.
-/// \p CallsPerAlloc feeds the cce cost estimate.
+/// \p CallsPerAlloc feeds the cce cost estimate.  A non-null \p Telemetry
+/// collects metrics under "arena." plus prediction outcomes (an event is
+/// actually short-lived when its lifetime is within DB's training
+/// threshold) aggregated and per site.
 ArenaSimResult simulateArena(const AllocationTrace &Trace,
                              const SiteDatabase &DB, double CallsPerAlloc,
                              const CostModel &Costs = {},
-                             ArenaAllocator::Config Config = ArenaAllocator::Config());
+                             ArenaAllocator::Config Config = ArenaAllocator::Config(),
+                             SimTelemetry *Telemetry = nullptr);
 
 } // namespace lifepred
 

@@ -1,0 +1,297 @@
+//===- support/Json.cpp - Minimal JSON value and parser --------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lifepred;
+
+const JsonValue *JsonValue::find(std::string_view Name) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Key, Value] : Obj)
+    if (Key == Name)
+      return &Value;
+  return nullptr;
+}
+
+double JsonValue::numberOr(std::string_view Name, double Default) const {
+  const JsonValue *Member = find(Name);
+  return Member && Member->isNumber() ? Member->number() : Default;
+}
+
+JsonValue JsonValue::makeBool(bool Value) {
+  JsonValue V;
+  V.K = Kind::Bool;
+  V.B = Value;
+  return V;
+}
+
+JsonValue JsonValue::makeNumber(double Value) {
+  JsonValue V;
+  V.K = Kind::Number;
+  V.Num = Value;
+  return V;
+}
+
+JsonValue JsonValue::makeString(std::string Value) {
+  JsonValue V;
+  V.K = Kind::String;
+  V.Str = std::move(Value);
+  return V;
+}
+
+JsonValue JsonValue::makeArray(std::vector<JsonValue> Values) {
+  JsonValue V;
+  V.K = Kind::Array;
+  V.Arr = std::move(Values);
+  return V;
+}
+
+JsonValue
+JsonValue::makeObject(std::vector<std::pair<std::string, JsonValue>> Members) {
+  JsonValue V;
+  V.K = Kind::Object;
+  V.Obj = std::move(Members);
+  return V;
+}
+
+void lifepred::appendJsonEscaped(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  std::optional<JsonValue> parseDocument() {
+    std::optional<JsonValue> Value = parseValue();
+    if (!Value)
+      return std::nullopt;
+    skipWhitespace();
+    if (Pos != Text.size()) // Trailing garbage.
+      return std::nullopt;
+    return Value;
+  }
+
+private:
+  void skipWhitespace() {
+    while (Pos < Text.size() && std::isspace(
+                                    static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWhitespace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeLiteral(std::string_view Literal) {
+    if (Text.substr(Pos, Literal.size()) != Literal)
+      return false;
+    Pos += Literal.size();
+    return true;
+  }
+
+  std::optional<std::string> parseString() {
+    if (!consume('"'))
+      return std::nullopt;
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return std::nullopt;
+      char Escape = Text[Pos++];
+      switch (Escape) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += Escape;
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return std::nullopt;
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char Hex = Text[Pos++];
+          Code <<= 4;
+          if (Hex >= '0' && Hex <= '9')
+            Code |= static_cast<unsigned>(Hex - '0');
+          else if (Hex >= 'a' && Hex <= 'f')
+            Code |= static_cast<unsigned>(Hex - 'a' + 10);
+          else if (Hex >= 'A' && Hex <= 'F')
+            Code |= static_cast<unsigned>(Hex - 'A' + 10);
+          else
+            return std::nullopt;
+        }
+        // The reports are ASCII; replace non-ASCII escapes with '?' rather
+        // than carrying a UTF-8 encoder.
+        Out += Code < 0x80 ? static_cast<char>(Code) : '?';
+        break;
+      }
+      default:
+        return std::nullopt;
+      }
+    }
+    return std::nullopt; // Unterminated string.
+  }
+
+  std::optional<JsonValue> parseValue() {
+    skipWhitespace();
+    if (Pos >= Text.size())
+      return std::nullopt;
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"') {
+      std::optional<std::string> S = parseString();
+      if (!S)
+        return std::nullopt;
+      return JsonValue::makeString(std::move(*S));
+    }
+    if (consumeLiteral("true"))
+      return JsonValue::makeBool(true);
+    if (consumeLiteral("false"))
+      return JsonValue::makeBool(false);
+    if (consumeLiteral("null"))
+      return JsonValue::makeNull();
+    return parseNumber();
+  }
+
+  std::optional<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    bool SawDigit = false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        SawDigit = true;
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E' || C == '-' || C == '+') {
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (!SawDigit)
+      return std::nullopt;
+    std::string Token(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double Value = std::strtod(Token.c_str(), &End);
+    if (End != Token.c_str() + Token.size())
+      return std::nullopt;
+    return JsonValue::makeNumber(Value);
+  }
+
+  std::optional<JsonValue> parseArray() {
+    if (!consume('['))
+      return std::nullopt;
+    std::vector<JsonValue> Values;
+    if (consume(']'))
+      return JsonValue::makeArray(std::move(Values));
+    for (;;) {
+      std::optional<JsonValue> Value = parseValue();
+      if (!Value)
+        return std::nullopt;
+      Values.push_back(std::move(*Value));
+      if (consume(']'))
+        return JsonValue::makeArray(std::move(Values));
+      if (!consume(','))
+        return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parseObject() {
+    if (!consume('{'))
+      return std::nullopt;
+    std::vector<std::pair<std::string, JsonValue>> Members;
+    if (consume('}'))
+      return JsonValue::makeObject(std::move(Members));
+    for (;;) {
+      skipWhitespace();
+      std::optional<std::string> Key = parseString();
+      if (!Key || !consume(':'))
+        return std::nullopt;
+      std::optional<JsonValue> Value = parseValue();
+      if (!Value)
+        return std::nullopt;
+      Members.emplace_back(std::move(*Key), std::move(*Value));
+      if (consume('}'))
+        return JsonValue::makeObject(std::move(Members));
+      if (!consume(','))
+        return std::nullopt;
+    }
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> lifepred::parseJson(std::string_view Text) {
+  return Parser(Text).parseDocument();
+}

@@ -1,0 +1,79 @@
+//===- support/Json.h - Minimal JSON value and parser -----------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON document model and recursive-descent parser, enough for the
+/// telemetry tooling: bench_compare reads two BENCH_*.json reports and the
+/// telemetry tests validate TraceEventWriter output.  Numbers are held as
+/// doubles, which represents the reports' counters exactly up to 2^53 —
+/// far beyond any counter a bench run produces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_SUPPORT_JSON_H
+#define LIFEPRED_SUPPORT_JSON_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lifepred {
+
+/// One JSON value; objects preserve member order.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+
+  bool boolean() const { return B; }
+  double number() const { return Num; }
+  const std::string &string() const { return Str; }
+  const std::vector<JsonValue> &array() const { return Arr; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Obj;
+  }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue *find(std::string_view Name) const;
+
+  /// Convenience: the numeric member \p Name, or \p Default.
+  double numberOr(std::string_view Name, double Default) const;
+
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool Value);
+  static JsonValue makeNumber(double Value);
+  static JsonValue makeString(std::string Value);
+  static JsonValue makeArray(std::vector<JsonValue> Values);
+  static JsonValue
+  makeObject(std::vector<std::pair<std::string, JsonValue>> Members);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+};
+
+/// Parses \p Text as one JSON document (with optional surrounding
+/// whitespace); std::nullopt on any syntax error or trailing garbage.
+std::optional<JsonValue> parseJson(std::string_view Text);
+
+/// Appends \p S to \p Out with JSON string escaping (", \, and control
+/// characters).  Shared by every JSON emitter in the project.
+void appendJsonEscaped(std::string &Out, std::string_view S);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_SUPPORT_JSON_H

@@ -1,0 +1,64 @@
+//===- telemetry/HeapTimeline.cpp - Byte-clock heap sampler ----------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/HeapTimeline.h"
+
+#include "telemetry/StatsRegistry.h"
+
+#include <cstdio>
+
+using namespace lifepred;
+
+void HeapTimeline::record(const HeapSample &Sample) {
+  Samples.push_back(Sample);
+  // Next boundary strictly after this sample's clock.
+  NextClock = (Sample.Clock / Stride + 1) * Stride;
+}
+
+void HeapTimeline::exportTelemetry(StatsRegistry &Registry,
+                                   const std::string &Prefix) const {
+  Registry.gauge(Prefix + "samples") = Samples.size();
+  uint64_t PeakFreeBlocks = 0;
+  double PeakFragPct = 0.0;
+  for (const HeapSample &Sample : Samples) {
+    if (Sample.FreeBlocks > PeakFreeBlocks)
+      PeakFreeBlocks = Sample.FreeBlocks;
+    double Frag = Sample.fragmentationPercent();
+    if (Frag > PeakFragPct)
+      PeakFragPct = Frag;
+  }
+  Registry.gauge(Prefix + "peak_free_blocks") = PeakFreeBlocks;
+  Registry.gauge(Prefix + "peak_frag_pct") =
+      static_cast<uint64_t>(PeakFragPct + 0.5);
+}
+
+void HeapTimeline::writeJson(std::string &Out,
+                             const std::string &Indent) const {
+  char Buf[192];
+  Out += "{\n";
+  std::snprintf(Buf, sizeof(Buf), "%s  \"stride_bytes\": %llu,\n",
+                Indent.c_str(), static_cast<unsigned long long>(Stride));
+  Out += Buf;
+  Out += Indent + "  \"columns\": [\"clock\", \"heap_bytes\", "
+                  "\"live_bytes\", \"arena_bytes\", \"free_blocks\", "
+                  "\"frag_pct\"],\n";
+  Out += Indent + "  \"samples\": [";
+  for (size_t I = 0; I < Samples.size(); ++I) {
+    const HeapSample &S = Samples[I];
+    Out += I == 0 ? "\n" : ",\n";
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s    [%llu, %llu, %llu, %llu, %llu, %.2f]",
+                  Indent.c_str(), static_cast<unsigned long long>(S.Clock),
+                  static_cast<unsigned long long>(S.HeapBytes),
+                  static_cast<unsigned long long>(S.LiveBytes),
+                  static_cast<unsigned long long>(S.ArenaBytes),
+                  static_cast<unsigned long long>(S.FreeBlocks),
+                  S.fragmentationPercent());
+    Out += Buf;
+  }
+  Out += Samples.empty() ? "]" : "\n" + Indent + "  ]";
+  Out += "\n" + Indent + "}";
+}

@@ -1,0 +1,82 @@
+//===- telemetry/ReportDiff.h - Bench report regression diff ----*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares two BENCH_*.json reports (schema v2, written by JsonReport)
+/// metric by metric.  Metrics are split into two classes with independent
+/// tolerances:
+///
+///   * value metrics — heap sizes, counters, prediction rates: the
+///     correctness surface.  Default tolerance is exact (tiny epsilon for
+///     float formatting).
+///   * timing metrics — wall seconds, events/sec, speedups: machine- and
+///     load-dependent.  Ignored by default; CI can opt into a generous
+///     bound.
+///
+/// A metric present in the old report but missing from the new one is a
+/// regression (a rename silently hides drift); metrics only in the new
+/// report are informational.  This is the gate every later performance PR
+/// reports through, so exit semantics are strict: ok() means no value
+/// drifted past tolerance and nothing disappeared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_TELEMETRY_REPORTDIFF_H
+#define LIFEPRED_TELEMETRY_REPORTDIFF_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lifepred {
+
+class JsonValue;
+
+/// Tolerances for diffReports.
+struct DiffOptions {
+  /// Maximum relative drift for value metrics.
+  double ValueTolerance = 1e-9;
+  /// Maximum relative drift for timing metrics; negative = don't compare.
+  double TimeTolerance = -1.0;
+};
+
+/// One metric whose drift exceeded its class tolerance.
+struct MetricDrift {
+  std::string Key;
+  double OldValue = 0.0;
+  double NewValue = 0.0;
+  double RelativeDelta = 0.0;
+  bool Timing = false;
+};
+
+/// Outcome of one report comparison.
+struct DiffResult {
+  std::vector<MetricDrift> Drifted;
+  std::vector<std::string> MissingInNew;  ///< Regression: metric vanished.
+  std::vector<std::string> OnlyInNew;     ///< Informational.
+  std::vector<std::string> Notes;         ///< Manifest differences etc.
+  uint64_t Compared = 0;                  ///< Metrics checked.
+
+  bool ok() const { return Drifted.empty() && MissingInNew.empty(); }
+};
+
+/// True for metrics measuring time rather than behaviour (matched by key:
+/// "seconds", "per_sec", "speedup").
+bool isTimingMetric(std::string_view Key);
+
+/// Diffs two parsed reports.
+DiffResult diffReports(const JsonValue &Old, const JsonValue &New,
+                       const DiffOptions &Options = {});
+
+/// Full bench_compare command: parses "<old.json> <new.json> [--tol=R]
+/// [--time-tol=R] [--quiet]" from \p Args, prints a human-readable diff,
+/// and returns the process exit code (0 ok, 1 regression, 2 usage/IO
+/// error).  Shared by bench/bench_compare and `trace_tool report`.
+int runBenchCompare(const std::vector<std::string> &Args);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_TELEMETRY_REPORTDIFF_H

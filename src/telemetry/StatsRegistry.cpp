@@ -1,0 +1,107 @@
+//===- telemetry/StatsRegistry.cpp - Named metrics registry ----------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/StatsRegistry.h"
+
+#include "support/Json.h"
+
+#include <cstdio>
+
+using namespace lifepred;
+
+void Log2Histogram::merge(const Log2Histogram &Other) {
+  for (unsigned B = 0; B < BucketCount; ++B)
+    Buckets[B] += Other.Buckets[B];
+  Total += Other.Total;
+  Sum += Other.Sum;
+  if (Other.Total != 0 && Other.MinValue < MinValue)
+    MinValue = Other.MinValue;
+  if (Other.MaxValue > MaxValue)
+    MaxValue = Other.MaxValue;
+}
+
+void StatsRegistry::merge(const StatsRegistry &Other) {
+  for (const auto &[Name, Value] : Other.Counters)
+    Counters[Name] += Value;
+  for (const auto &[Name, Value] : Other.Gauges) {
+    uint64_t &Gauge = Gauges[Name];
+    if (Value > Gauge)
+      Gauge = Value;
+  }
+  for (const auto &[Name, Histogram] : Other.Histograms)
+    Histograms[Name].merge(Histogram);
+}
+
+namespace {
+
+void appendU64(std::string &Out, uint64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(Value));
+  Out += Buf;
+}
+
+void appendScalarMap(std::string &Out, const std::string &Indent,
+                     const char *Section,
+                     const std::map<std::string, uint64_t> &Map) {
+  Out += Indent + "\"" + Section + "\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Map) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += Indent + "  \"";
+    appendJsonEscaped(Out, Name);
+    Out += "\": ";
+    appendU64(Out, Value);
+  }
+  Out += Map.empty() ? "}" : "\n" + Indent + "}";
+}
+
+} // namespace
+
+void StatsRegistry::writeJson(std::string &Out,
+                              const std::string &Indent) const {
+  Out += "{\n";
+  appendScalarMap(Out, Indent + "  ", "counters", Counters);
+  Out += ",\n";
+  appendScalarMap(Out, Indent + "  ", "gauges", Gauges);
+  Out += ",\n";
+  Out += Indent + "  \"histograms\": {";
+  bool First = true;
+  for (const auto &[Name, Histogram] : Histograms) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += Indent + "    \"";
+    appendJsonEscaped(Out, Name);
+    Out += "\": {\"count\": ";
+    appendU64(Out, Histogram.count());
+    Out += ", \"sum\": ";
+    appendU64(Out, Histogram.sum());
+    Out += ", \"min\": ";
+    appendU64(Out, Histogram.min());
+    Out += ", \"max\": ";
+    appendU64(Out, Histogram.max());
+    // Buckets as [low, count] pairs, empty buckets omitted: sparse but
+    // self-describing.
+    Out += ", \"buckets\": [";
+    bool FirstBucket = true;
+    for (unsigned B = 0; B < Log2Histogram::BucketCount; ++B) {
+      if (Histogram.bucketCount(B) == 0)
+        continue;
+      if (!FirstBucket)
+        Out += ", ";
+      FirstBucket = false;
+      Out += "[";
+      appendU64(Out, Log2Histogram::bucketLow(B));
+      Out += ", ";
+      appendU64(Out, Histogram.bucketCount(B));
+      Out += "]";
+    }
+    Out += "]}";
+  }
+  Out += Histograms.empty() ? "}" : "\n" + Indent + "  }";
+  Out += "\n" + Indent + "}";
+}

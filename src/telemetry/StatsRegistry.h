@@ -1,0 +1,146 @@
+//===- telemetry/StatsRegistry.h - Named metrics registry -------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unified metrics substrate the benches and simulators report through:
+/// a registry of named counters (monotonic sums), gauges (level/peak
+/// values; merged by maximum), and log2-bucketed histograms (full
+/// distributions at 64 buckets of fixed cost).
+///
+/// Designed for the replay hot path: consumers resolve a metric to a plain
+/// `uint64_t &` or `Log2Histogram *` once, at attach time, and the per-event
+/// cost is a single unlocked increment.  There are no atomics and no locks —
+/// `--jobs` runs give each worker its own registry and merge them at the
+/// join point, in task-index order, so the merged result is identical at
+/// any job count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_TELEMETRY_STATSREGISTRY_H
+#define LIFEPRED_TELEMETRY_STATSREGISTRY_H
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lifepred {
+
+/// Histogram over uint64 values with power-of-two bucket boundaries.
+/// Bucket 0 holds exactly the value 0; bucket B >= 1 holds the range
+/// [2^(B-1), 2^B - 1].  Recording is two increments and an add.
+class Log2Histogram {
+public:
+  /// Bucket 0 plus one bucket per bit of a uint64_t.
+  static constexpr unsigned BucketCount = 65;
+
+  /// The bucket holding \p Value.
+  static unsigned bucketIndex(uint64_t Value) {
+    return Value == 0 ? 0 : static_cast<unsigned>(std::bit_width(Value));
+  }
+
+  /// Smallest value of bucket \p Bucket.
+  static uint64_t bucketLow(unsigned Bucket) {
+    return Bucket == 0 ? 0 : uint64_t(1) << (Bucket - 1);
+  }
+
+  /// Largest value of bucket \p Bucket.
+  static uint64_t bucketHigh(unsigned Bucket) {
+    if (Bucket == 0)
+      return 0;
+    if (Bucket == BucketCount - 1)
+      return ~uint64_t(0);
+    return (uint64_t(1) << Bucket) - 1;
+  }
+
+  void record(uint64_t Value) {
+    ++Buckets[bucketIndex(Value)];
+    ++Total;
+    Sum += Value;
+    if (Value < MinValue)
+      MinValue = Value;
+    if (Value > MaxValue)
+      MaxValue = Value;
+  }
+
+  /// Element-wise accumulation of \p Other into this histogram.
+  void merge(const Log2Histogram &Other);
+
+  uint64_t count() const { return Total; }
+  uint64_t sum() const { return Sum; }
+  /// Minimum/maximum recorded value; 0 when empty.
+  uint64_t min() const { return Total == 0 ? 0 : MinValue; }
+  uint64_t max() const { return MaxValue; }
+  double mean() const {
+    return Total == 0 ? 0.0
+                      : static_cast<double>(Sum) / static_cast<double>(Total);
+  }
+  uint64_t bucketCount(unsigned Bucket) const { return Buckets[Bucket]; }
+
+  bool operator==(const Log2Histogram &Other) const = default;
+
+private:
+  std::array<uint64_t, BucketCount> Buckets{};
+  uint64_t Total = 0;
+  uint64_t Sum = 0;
+  uint64_t MinValue = ~uint64_t(0);
+  uint64_t MaxValue = 0;
+};
+
+/// Registry of named metrics.  Names are dotted paths by convention
+/// ("firstfit.search_steps"); storage is node-based, so the references and
+/// pointers handed out stay valid for the registry's lifetime no matter how
+/// many metrics are added afterwards.
+class StatsRegistry {
+public:
+  /// The counter named \p Name (created at 0 on first use).  Counters are
+  /// sums; merge() adds them.
+  uint64_t &counter(const std::string &Name) { return Counters[Name]; }
+
+  /// The gauge named \p Name (created at 0 on first use).  Gauges are
+  /// levels or peaks; merge() takes the maximum.
+  uint64_t &gauge(const std::string &Name) { return Gauges[Name]; }
+
+  /// The histogram named \p Name (created empty on first use).
+  Log2Histogram &histogram(const std::string &Name) {
+    return Histograms[Name];
+  }
+
+  /// Accumulates \p Other: counters add, gauges take the maximum,
+  /// histograms merge bucket-wise.  Summation is commutative, so merging
+  /// per-worker registries in task-index order yields the same result at
+  /// any `--jobs` value.
+  void merge(const StatsRegistry &Other);
+
+  /// Metrics of every kind currently registered.
+  size_t metricCount() const {
+    return Counters.size() + Gauges.size() + Histograms.size();
+  }
+
+  /// Name-sorted views (std::map iteration order) for deterministic output.
+  const std::map<std::string, uint64_t> &counters() const { return Counters; }
+  const std::map<std::string, uint64_t> &gauges() const { return Gauges; }
+  const std::map<std::string, Log2Histogram> &histograms() const {
+    return Histograms;
+  }
+
+  /// Appends the registry as a JSON object ({"counters": .., "gauges": ..,
+  /// "histograms": ..}) to \p Out.  \p Indent prefixes every emitted line;
+  /// output is name-sorted and therefore stable across runs and job counts.
+  void writeJson(std::string &Out, const std::string &Indent) const;
+
+  bool operator==(const StatsRegistry &Other) const = default;
+
+private:
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, uint64_t> Gauges;
+  std::map<std::string, Log2Histogram> Histograms;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_TELEMETRY_STATSREGISTRY_H

@@ -1,0 +1,131 @@
+//===- telemetry/TraceEventWriter.cpp - chrome://tracing spans -------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/TraceEventWriter.h"
+
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace lifepred;
+
+namespace {
+
+TraceEventWriter::ClockFn steadyMicrosSince() {
+  auto Start = std::chrono::steady_clock::now();
+  return [Start]() -> uint64_t {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  };
+}
+
+} // namespace
+
+TraceEventWriter::TraceEventWriter(std::string Path)
+    : TraceEventWriter(std::move(Path), steadyMicrosSince()) {}
+
+TraceEventWriter::TraceEventWriter(std::string Path, ClockFn Clock)
+    : Path(std::move(Path)), Clock(std::move(Clock)) {}
+
+TraceEventWriter::~TraceEventWriter() { close(); }
+
+unsigned TraceEventWriter::tidForThisThread() {
+  auto [It, Inserted] = Tids.try_emplace(std::this_thread::get_id(),
+                                         static_cast<unsigned>(Tids.size()));
+  (void)Inserted;
+  return It->second;
+}
+
+void TraceEventWriter::beginSpan(const std::string &Name,
+                                 const std::string &Category) {
+  uint64_t Ts = Clock();
+  std::lock_guard<std::mutex> Guard(Lock);
+  unsigned Tid = tidForThisThread();
+  Events.push_back({Name, Category, 'B', Tid, Ts});
+  ++OpenSpans[Tid];
+}
+
+void TraceEventWriter::endSpan() {
+  uint64_t Ts = Clock();
+  std::lock_guard<std::mutex> Guard(Lock);
+  unsigned Tid = tidForThisThread();
+  unsigned &Open = OpenSpans[Tid];
+  if (Open == 0)
+    return; // Unbalanced endSpan; drop rather than corrupt nesting.
+  --Open;
+  Events.push_back({"", "", 'E', Tid, Ts});
+}
+
+void TraceEventWriter::instant(const std::string &Name,
+                               const std::string &Category) {
+  uint64_t Ts = Clock();
+  std::lock_guard<std::mutex> Guard(Lock);
+  Events.push_back({Name, Category, 'i', tidForThisThread(), Ts});
+}
+
+size_t TraceEventWriter::eventCount() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Events.size();
+}
+
+std::string TraceEventWriter::toJson() {
+  uint64_t Now = Clock();
+  std::lock_guard<std::mutex> Guard(Lock);
+  // Close any spans left open so every "B" has its "E".
+  for (auto &[Tid, Open] : OpenSpans)
+    for (; Open > 0; --Open)
+      Events.push_back({"", "", 'E', Tid, Now});
+
+  std::string Out;
+  Out += "{\"traceEvents\": [";
+  char Buf[64];
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const Event &E = Events[I];
+    Out += I == 0 ? "\n" : ",\n";
+    Out += "  {\"ph\": \"";
+    Out += E.Phase;
+    Out += "\"";
+    if (E.Phase != 'E') {
+      Out += ", \"name\": \"";
+      appendJsonEscaped(Out, E.Name);
+      Out += "\", \"cat\": \"";
+      appendJsonEscaped(Out, E.Category);
+      Out += "\"";
+      if (E.Phase == 'i')
+        Out += ", \"s\": \"t\""; // Instant scope: thread.
+    }
+    std::snprintf(Buf, sizeof(Buf), ", \"pid\": 1, \"tid\": %u, \"ts\": %llu}",
+                  E.Tid, static_cast<unsigned long long>(E.Ts));
+    Out += Buf;
+  }
+  Out += Events.empty() ? "]" : "\n]";
+  Out += ", \"displayTimeUnit\": \"ms\"}\n";
+  return Out;
+}
+
+bool TraceEventWriter::close() {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    if (Closed)
+      return true;
+    Closed = true;
+  }
+  std::string Json = toJson();
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File) {
+    std::fprintf(stderr, "warning: cannot write trace events to %s\n",
+                 Path.c_str());
+    return false;
+  }
+  std::fwrite(Json.data(), 1, Json.size(), File);
+  std::fclose(File);
+  std::printf("trace events written to %s (open in chrome://tracing)\n",
+              Path.c_str());
+  return true;
+}

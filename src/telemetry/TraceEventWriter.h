@@ -1,0 +1,118 @@
+//===- telemetry/TraceEventWriter.h - chrome://tracing spans ----*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits Chrome Trace Event Format JSON (the format chrome://tracing and
+/// Perfetto load) for the coarse phases of a simulation run: trace
+/// generation, training, and per-program replay.  Spans are duration
+/// events ("B"/"E") nested per thread; each thread gets its own tid in
+/// first-use order.  Events accumulate in memory under a mutex — span
+/// boundaries are per phase, not per allocation, so contention is nil —
+/// and the file is written once at close().
+///
+/// The clock is injectable so tests can produce byte-identical golden
+/// output; the default clock is microseconds of steady_clock since
+/// construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_TELEMETRY_TRACEEVENTWRITER_H
+#define LIFEPRED_TELEMETRY_TRACEEVENTWRITER_H
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace lifepred {
+
+/// Accumulates trace events and writes one chrome://tracing JSON file.
+class TraceEventWriter {
+public:
+  /// Microsecond timestamp source.
+  using ClockFn = std::function<uint64_t()>;
+
+  /// Writes to \p Path at close() (or destruction) using the steady clock.
+  explicit TraceEventWriter(std::string Path);
+
+  /// As above with an injected clock (golden tests).
+  TraceEventWriter(std::string Path, ClockFn Clock);
+
+  /// Closes if the caller did not.
+  ~TraceEventWriter();
+
+  TraceEventWriter(const TraceEventWriter &) = delete;
+  TraceEventWriter &operator=(const TraceEventWriter &) = delete;
+
+  /// Opens a span on the calling thread.  Spans on one thread must nest.
+  void beginSpan(const std::string &Name, const std::string &Category = "sim");
+
+  /// Closes the calling thread's innermost open span.
+  void endSpan();
+
+  /// A zero-duration instant event on the calling thread.
+  void instant(const std::string &Name, const std::string &Category = "sim");
+
+  /// Serializes all events as Trace Event Format JSON.  Spans still open
+  /// at write time are closed at the current clock (per thread, inner
+  /// first) so the output always parses as well-nested.
+  std::string toJson();
+
+  /// Writes the file; returns false (after a warning to stderr) when the
+  /// path cannot be written.  Idempotent — only the first call writes.
+  bool close();
+
+  /// Number of events recorded so far (test support).
+  size_t eventCount() const;
+
+private:
+  struct Event {
+    std::string Name; ///< Empty for "E" events.
+    std::string Category;
+    char Phase;       ///< 'B', 'E', or 'i'.
+    unsigned Tid;
+    uint64_t Ts;      ///< Microseconds.
+  };
+
+  unsigned tidForThisThread();
+
+  std::string Path;
+  ClockFn Clock;
+  mutable std::mutex Lock;
+  std::vector<Event> Events;
+  std::unordered_map<std::thread::id, unsigned> Tids;
+  /// Open span depth per tid, to auto-close at serialization.
+  std::unordered_map<unsigned, unsigned> OpenSpans;
+  bool Closed = false;
+};
+
+/// RAII span: opens on construction, closes on destruction.  A null writer
+/// makes both no-ops, so instrumented code paths need no conditionals.
+class TraceSpan {
+public:
+  TraceSpan(TraceEventWriter *Writer, const std::string &Name,
+            const std::string &Category = "sim")
+      : Writer(Writer) {
+    if (Writer)
+      Writer->beginSpan(Name, Category);
+  }
+  ~TraceSpan() {
+    if (Writer)
+      Writer->endSpan();
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  TraceEventWriter *Writer;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_TELEMETRY_TRACEEVENTWRITER_H
