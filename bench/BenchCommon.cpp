@@ -39,6 +39,7 @@ BenchOptions BenchOptions::fromCommandLine(const CommandLine &Cl) {
     Options.Jobs = static_cast<unsigned>(Jobs);
   Options.JsonPath = Cl.getString("json", "");
   Options.TraceOutPath = Cl.getString("trace-out", "");
+  Options.AuditOutPath = Cl.getString("audit-out", "");
   long Stride = Cl.getInt("timeline-stride", 0);
   Options.TimelineStride = Stride <= 0 ? 0 : static_cast<uint64_t>(Stride);
   return Options;

@@ -58,6 +58,7 @@ struct BenchOptions {
   unsigned Jobs = 1;        ///< Worker threads; 1 = serial.
   std::string JsonPath;     ///< Empty = no JSON report.
   std::string TraceOutPath; ///< --trace-out: chrome://tracing span file.
+  std::string AuditOutPath; ///< --audit-out: lifetime audit report file.
   /// --timeline-stride: byte-clock sampling stride for the heap timeline
   /// section of the JSON report (0 = no timeline).
   uint64_t TimelineStride = 0;

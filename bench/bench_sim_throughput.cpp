@@ -20,19 +20,23 @@
 // and per-allocator throughput aggregates those task-local times, so
 // --jobs only shortens the bench without perturbing the ratio.
 //
-// With --json (or --trace-out) the bench additionally runs one *untimed*
-// instrumented replay per (program, allocator family) after the timed
-// region, collecting allocator counters, per-allocation histograms, and
-// prediction outcomes into a StatsRegistry — one registry per program,
-// merged in program order, so the telemetry section is identical at any
-// --jobs.  --timeline-stride=N adds byte-clock heap samples of the first
-// program's first-fit replay; --trace-out=<file> writes chrome://tracing
-// spans for the run's phases.
+// With --json (or --trace-out, or --audit-out) the bench additionally runs
+// one *untimed* instrumented replay per (program, allocator family) after
+// the timed region, collecting allocator counters, per-allocation
+// histograms, and prediction outcomes into a StatsRegistry — one registry
+// per program, merged in program order, so the telemetry section is
+// identical at any --jobs.  --timeline-stride=N adds byte-clock heap
+// samples of the first program's first-fit replay; --trace-out=<file>
+// writes chrome://tracing spans for the run's phases (plus arena
+// fill→pin→reset occupancy when auditing); --audit-out=<file> attaches a
+// flight recorder to each program's arena replay and writes the lifetime
+// audit (misprediction forensics and arena-pinning attribution), folding
+// its headline numbers into the JSON report.
 //
 // Flags: the common --scale/--seed/--program/--jobs/--json/--trace-out/
-// --timeline-stride, plus --policy (default roving) and --repeat=N
-// (default 3) which replays every trace N times to lengthen the timed
-// region.
+// --audit-out/--timeline-stride, plus --policy (default roving) and
+// --repeat=N (default 3) which replays every trace N times to lengthen
+// the timed region.
 //
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +48,8 @@
 #include "sim/SimTelemetry.h"
 #include "sim/TraceSimulator.h"
 #include "support/TableFormatter.h"
+#include "telemetry/FlightRecorder.h"
+#include "telemetry/LifetimeAudit.h"
 #include "telemetry/TraceEventWriter.h"
 #include "trace/TraceReplayer.h"
 
@@ -144,9 +150,12 @@ int main(int Argc, char **Argv) {
     All = makeAllTraces(Options, Pool);
   }
 
-  // Train the arena databases up front (outside the timed region).
+  // Train the arena databases up front (outside the timed region).  The
+  // audit pass additionally needs the trained per-site quantiles to score
+  // train-to-test drift, so --audit-out keeps the profiles.
   std::vector<SiteDatabase> TrueDBs(All.size());
   std::vector<ClassDatabase> ClassDBs(All.size());
+  std::vector<Profile> TrainProfiles(All.size());
   {
     TraceSpan Span(TraceWriter.get(), "train");
     parallelForIndex(Pool, All.size(), [&](size_t Index) {
@@ -154,6 +163,8 @@ int main(int Argc, char **Argv) {
       TrueDBs[Index] = trainDatabase(TrainProfile, KeyPolicy);
       ClassDBs[Index] =
           trainClassDatabase(TrainProfile, KeyPolicy, MultiArenaThresholds);
+      if (!Options.AuditOutPath.empty())
+        TrainProfiles[Index] = std::move(TrainProfile);
     });
   }
 
@@ -250,10 +261,21 @@ int main(int Argc, char **Argv) {
   // --jobs.  Runs after the timed region so it cannot perturb it.
   StatsRegistry Telemetry;
   HeapTimeline Timeline(Options.TimelineStride);
-  if (!Options.JsonPath.empty() || TraceWriter) {
+  bool Audit = !Options.AuditOutPath.empty();
+  if (!Options.JsonPath.empty() || TraceWriter || Audit) {
     TraceSpan Span(TraceWriter.get(), "instrumented-replays");
     std::vector<StatsRegistry> PerProgram(All.size());
     std::vector<PredictionCounts> ArenaOutcomes(All.size());
+    // One flight recorder per program replay: each records serially inside
+    // its task and is read back in program order below, so the audit output
+    // is bit-identical at any --jobs.
+    std::vector<std::unique_ptr<FlightRecorder>> Recorders(All.size());
+    if (Audit) {
+      FlightRecorder::Config RecorderConfig;
+      RecorderConfig.Seed = Options.Seed;
+      for (auto &Recorder : Recorders)
+        Recorder = std::make_unique<FlightRecorder>(RecorderConfig);
+    }
     parallelForIndex(Pool, All.size(), [&](size_t Index) {
       TraceSpan ProgramSpan(TraceWriter.get(), All[Index].Model.Name,
                             "replay");
@@ -268,6 +290,7 @@ int main(int Argc, char **Argv) {
       simulateBsd(Test, CostModel(), BsdAllocator::Config(), &Bsd);
       SimTelemetry Arena;
       Arena.Registry = &PerProgram[Index];
+      Arena.Recorder = Recorders[Index].get();
       simulateArena(Test, TrueDBs[Index], All[Index].Model.CallsPerAlloc,
                     CostModel(), ArenaAllocator::Config(), &Arena);
       ArenaOutcomes[Index] = Arena.Outcomes;
@@ -279,6 +302,30 @@ int main(int Argc, char **Argv) {
       Telemetry.merge(PerProgram[I]);
       Report.add(std::string(All[I].Model.Name) + ".arena.pred_accuracy_pct",
                  ArenaOutcomes[I].accuracyPercent());
+    }
+    if (Audit) {
+      std::FILE *AuditFile = std::fopen(Options.AuditOutPath.c_str(), "w");
+      if (!AuditFile)
+        std::fprintf(stderr, "warning: cannot write --audit-out=%s\n",
+                     Options.AuditOutPath.c_str());
+      for (size_t I = 0; I < All.size(); ++I) {
+        std::string Name = All[I].Model.Name;
+        TrainedQuantileMap Trained =
+            buildTrainedQuantiles(All[I].Test, TrainProfiles[I], KeyPolicy);
+        AuditReport ProgramAudit =
+            buildAuditReport(*Recorders[I], &Trained, Name + ".arena");
+        if (AuditFile)
+          printAuditReport(ProgramAudit, AuditFile);
+        exportAuditTelemetry(ProgramAudit, Telemetry, "audit." + Name + ".");
+        Report.add(Name + ".audit.wasted_bytes",
+                   static_cast<double>(ProgramAudit.wastedBytes()));
+        Report.add(Name + ".audit.dead_bytes_pinned",
+                   static_cast<double>(ProgramAudit.TotalDeadByteIntegral));
+        if (TraceWriter)
+          emitArenaOccupancy(ProgramAudit, *TraceWriter);
+      }
+      if (AuditFile)
+        std::fclose(AuditFile);
     }
     if (Options.TimelineStride > 0) {
       Timeline.exportTelemetry(Telemetry, "timeline.");

@@ -8,14 +8,22 @@
 // (its 6 KB short-lived objects do not fit a 4 KB arena); CFRAC collapses
 // because mispredicted very-long-lived objects pollute the arenas.
 //
+// --audit-out=<file> attaches a flight recorder to every program's replay
+// and writes the lifetime audit report: which sites mispredicted, and
+// which surviving objects pinned which arenas (the causal record behind
+// CFRAC's collapse).
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
 #include "core/Pipeline.h"
+#include "sim/SimTelemetry.h"
 #include "sim/TraceSimulator.h"
 #include "support/TableFormatter.h"
+#include "telemetry/FlightRecorder.h"
 
+#include <cstdio>
 #include <iostream>
 
 using namespace lifepred;
@@ -29,6 +37,14 @@ int main(int Argc, char **Argv) {
 
   SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
 
+  std::FILE *AuditFile = nullptr;
+  if (!Options.AuditOutPath.empty()) {
+    AuditFile = std::fopen(Options.AuditOutPath.c_str(), "w");
+    if (!AuditFile)
+      std::fprintf(stderr, "warning: cannot write --audit-out=%s\n",
+                   Options.AuditOutPath.c_str());
+  }
+
   TableFormatter Table({"Program", "Allocs(1000s)", "paperTotal",
                         "Arena%", "paper", "NonArena%", "Bytes(K)",
                         "ArenaBytes%", "paper", "NonArenaBytes%"});
@@ -38,8 +54,22 @@ int main(int Argc, char **Argv) {
 
     Profile TrainProfile = profileTrace(Traces.Train, Policy);
     SiteDatabase DB = trainDatabase(TrainProfile, Policy);
+    FlightRecorder::Config RecorderConfig;
+    RecorderConfig.Seed = Options.Seed;
+    FlightRecorder Recorder(RecorderConfig);
+    SimTelemetry Telemetry;
+    Telemetry.Recorder = AuditFile ? &Recorder : nullptr;
     ArenaSimResult Sim =
-        simulateArena(Traces.Test, DB, Traces.Model.CallsPerAlloc);
+        simulateArena(Traces.Test, DB, Traces.Model.CallsPerAlloc,
+                      CostModel(), ArenaAllocator::Config(),
+                      AuditFile ? &Telemetry : nullptr);
+    if (AuditFile) {
+      TrainedQuantileMap Trained =
+          buildTrainedQuantiles(Traces.Test, TrainProfile, Policy);
+      AuditReport Audit = buildAuditReport(
+          Recorder, &Trained, std::string(Traces.Model.Name) + ".arena");
+      printAuditReport(Audit, AuditFile);
+    }
 
     uint64_t TotalAllocs = Sim.Arena.ArenaAllocs + Sim.Arena.GeneralAllocs;
     uint64_t TotalBytes = Sim.Arena.ArenaBytes + Sim.Arena.GeneralBytes;
@@ -57,5 +87,7 @@ int main(int Argc, char **Argv) {
   }
 
   Table.print(std::cout);
+  if (AuditFile)
+    std::fclose(AuditFile);
   return 0;
 }

@@ -19,13 +19,29 @@
 //   trace_tool report <old.json> <new.json> [--tol=R] [--time-tol=R]
 //       Diff two --json bench reports (same engine as bench_compare);
 //       non-zero exit on regression.
+//   trace_tool audit <program|all> [--scale=S] [--seed=N] [--jobs=J]
+//                       [--json=F] [--audit-out=F] [--trace-out=F]
+//       Run the Table 7 workload (train on the train trace, replay the
+//       test trace through the predicting arena simulator) with a flight
+//       recorder attached, and print the lifetime audit: per-site
+//       misprediction forensics ranked by wasted bytes, and arena-pinning
+//       attribution naming the survivor objects that delayed each reset.
+//       --json writes a bench_compare-gateable report, --audit-out copies
+//       the text report to a file, --trace-out adds chrome://tracing
+//       arena-occupancy spans.
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "core/GeneratedAllocator.h"
 #include "core/Pipeline.h"
+#include "sim/SimTelemetry.h"
+#include "sim/TraceSimulator.h"
 #include "support/CommandLine.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/ReportDiff.h"
+#include "telemetry/TraceEventWriter.h"
 #include "trace/TraceBinaryIO.h"
 #include "trace/TraceIO.h"
 #include "trace/TraceStats.h"
@@ -34,8 +50,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 using namespace lifepred;
 
@@ -51,8 +69,97 @@ int usage() {
                "       trace_tool predict <in.trace> <in.sitedb>\n"
                "       trace_tool emit-header <in.sitedb> <out.h>\n"
                "       trace_tool report <old.json> <new.json> [--tol=R] "
-               "[--time-tol=R] [--quiet]\n");
+               "[--time-tol=R] [--quiet]\n"
+               "       trace_tool audit <program|all> [--scale=S] "
+               "[--seed=N] [--jobs=J]\n"
+               "                        [--json=F] [--audit-out=F] "
+               "[--trace-out=F]\n");
   return 1;
+}
+
+/// The audit subcommand: the Table 7 train/test workload replayed through
+/// the predicting arena simulator with a flight recorder attached.  One
+/// recorder per program, read back in program order, so the report is
+/// bit-identical at any --jobs.
+int runAudit(const CommandLine &Cl, const std::string &Target) {
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  if (Target != "all")
+    Options.OnlyProgram = Target;
+
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  ThreadPool Pool(Options.Jobs);
+  std::vector<ProgramTraces> All = makeAllTraces(Options, Pool);
+  if (All.empty()) {
+    std::fprintf(stderr, "error: unknown program '%s'\n", Target.c_str());
+    return 1;
+  }
+
+  std::unique_ptr<TraceEventWriter> TraceWriter = makeTraceWriter(Options);
+  JsonReport Report("audit", Options);
+
+  std::vector<Profile> TrainProfiles(All.size());
+  std::vector<SiteDatabase> DBs(All.size());
+  std::vector<StatsRegistry> PerProgram(All.size());
+  std::vector<std::unique_ptr<FlightRecorder>> Recorders(All.size());
+  FlightRecorder::Config RecorderConfig;
+  RecorderConfig.Seed = Options.Seed;
+  for (auto &Recorder : Recorders)
+    Recorder = std::make_unique<FlightRecorder>(RecorderConfig);
+
+  uint64_t Events = 0;
+  for (const ProgramTraces &Traces : All)
+    Events += replayEventCount(Traces.Test);
+  double Start = wallTimeSeconds();
+  parallelForIndex(Pool, All.size(), [&](size_t Index) {
+    TrainProfiles[Index] = profileTrace(All[Index].Train, Policy);
+    DBs[Index] = trainDatabase(TrainProfiles[Index], Policy);
+    SimTelemetry Telemetry;
+    Telemetry.Registry = &PerProgram[Index];
+    Telemetry.Recorder = Recorders[Index].get();
+    simulateArena(All[Index].Test, DBs[Index],
+                  All[Index].Model.CallsPerAlloc, CostModel(),
+                  ArenaAllocator::Config(), &Telemetry);
+  });
+  Report.setThroughput(Events, wallTimeSeconds() - Start);
+
+  std::FILE *AuditFile = nullptr;
+  if (!Options.AuditOutPath.empty()) {
+    AuditFile = std::fopen(Options.AuditOutPath.c_str(), "w");
+    if (!AuditFile)
+      std::fprintf(stderr, "warning: cannot write --audit-out=%s\n",
+                   Options.AuditOutPath.c_str());
+  }
+
+  StatsRegistry Telemetry;
+  for (size_t I = 0; I < All.size(); ++I) {
+    std::string Name = All[I].Model.Name;
+    Telemetry.merge(PerProgram[I]);
+    TrainedQuantileMap Trained =
+        buildTrainedQuantiles(All[I].Test, TrainProfiles[I], Policy);
+    AuditReport Audit =
+        buildAuditReport(*Recorders[I], &Trained, Name + ".arena");
+    printAuditReport(Audit, stdout);
+    if (AuditFile)
+      printAuditReport(Audit, AuditFile);
+    exportAuditTelemetry(Audit, Telemetry, "audit." + Name + ".");
+    Report.add(Name + ".audit.wasted_bytes",
+               static_cast<double>(Audit.wastedBytes()));
+    Report.add(Name + ".audit.dead_bytes_pinned",
+               static_cast<double>(Audit.TotalDeadByteIntegral));
+    Report.add(Name + ".audit.false_short",
+               static_cast<double>(Audit.FalseShort));
+    Report.add(Name + ".audit.pinned_episodes",
+               static_cast<double>(Audit.PinnedEpisodes));
+    if (TraceWriter)
+      emitArenaOccupancy(Audit, *TraceWriter);
+  }
+  if (AuditFile)
+    std::fclose(AuditFile);
+  Report.attachTelemetry(&Telemetry);
+  Report.write();
+  if (TraceWriter)
+    TraceWriter->close();
+  return 0;
 }
 
 std::optional<AllocationTrace> loadTrace(const std::string &Path) {
@@ -88,6 +195,12 @@ int main(int Argc, char **Argv) {
   if (Args.empty())
     return usage();
   const std::string &Command = Args[0];
+
+  if (Command == "audit") {
+    if (Args.size() != 2)
+      return usage();
+    return runAudit(Cl, Args[1]);
+  }
 
   if (Command == "generate") {
     if (Args.size() != 3)

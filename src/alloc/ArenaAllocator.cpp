@@ -7,6 +7,7 @@
 #include "alloc/ArenaAllocator.h"
 
 #include "support/MathExtras.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/StatsRegistry.h"
 
 #include <cassert>
@@ -69,9 +70,15 @@ uint64_t ArenaAllocator::allocate(uint32_t Size, bool PredictedShortLived) {
     if (Arenas[I].LiveCount == 0) {
       ++Stats.Resets;
       Arenas[I].AllocPtr = 0;
+      ++Arenas[I].Generation;
+      if (Lifecycle)
+        Lifecycle->onArenaReset(0, I, Arenas[I].Generation);
       Current = I;
       return bumpAllocate(Size, Need);
     }
+    if (Lifecycle)
+      Lifecycle->onArenaPinned(0, I, Arenas[I].Generation,
+                               Arenas[I].LiveCount);
   }
 
   // Every arena is pinned by live objects: degenerate to the general

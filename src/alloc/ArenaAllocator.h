@@ -32,6 +32,8 @@
 
 namespace lifepred {
 
+class ArenaLifecycleSink;
+
 /// Arena allocator simulator with a first-fit general heap.
 class ArenaAllocator : public AllocatorSim {
 public:
@@ -98,6 +100,27 @@ public:
     return Arenas[Index].LiveCount;
   }
 
+  /// True when \p Address lies inside the arena area.
+  bool isArenaAddress(uint64_t Address) const {
+    return Address >= Cfg.ArenaBase && Address < Cfg.ArenaBase + Cfg.AreaBytes;
+  }
+
+  /// The arena containing \p Address (which must satisfy isArenaAddress).
+  unsigned arenaIndexFor(uint64_t Address) const {
+    return static_cast<unsigned>((Address - Cfg.ArenaBase) / arenaBytes());
+  }
+
+  /// Times arena \p Index has been reset; identifies which occupancy of
+  /// the arena an object belongs to.
+  uint64_t arenaGeneration(unsigned Index) const {
+    return Arenas[Index].Generation;
+  }
+
+  /// Attaches an observer for pin/reset events in the reset scan (the
+  /// flight recorder).  Null detaches; the bump fast path is unaffected
+  /// either way.
+  void attachLifecycle(ArenaLifecycleSink *Sink) { Lifecycle = Sink; }
+
   /// Payload bytes currently live inside the arena area.
   uint64_t arenaLiveBytes() const { return ArenaLiveBytes; }
 
@@ -117,10 +140,12 @@ public:
                        const std::string &Prefix) const;
 
 private:
-  /// Per-arena state: exactly the paper's alloc pointer and live count.
+  /// Per-arena state: the paper's alloc pointer and live count, plus a
+  /// reset-generation counter for the audit trail.
   struct Arena {
     uint64_t AllocPtr = 0; ///< Next free offset within the arena.
     uint32_t LiveCount = 0;
+    uint64_t Generation = 0; ///< Incremented at every reset.
   };
 
   bool fitsCurrentArena(uint64_t Need) const;
@@ -130,6 +155,7 @@ private:
   Counters Stats;
   std::vector<Arena> Arenas;
   unsigned Current = 0;
+  ArenaLifecycleSink *Lifecycle = nullptr;
   FirstFitAllocator General;
   /// Payload size by arena address (simulation bookkeeping only — the
   /// modeled allocator stores nothing per object).

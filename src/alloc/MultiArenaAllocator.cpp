@@ -7,6 +7,7 @@
 #include "alloc/MultiArenaAllocator.h"
 
 #include "support/MathExtras.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/StatsRegistry.h"
 
 #include <cassert>
@@ -64,9 +65,15 @@ uint64_t MultiArenaAllocator::allocate(uint32_t Size, uint8_t BandIndex) {
         if (Band.Arenas[I].LiveCount == 0) {
           ++Band.Stats.Resets;
           Band.Arenas[I].AllocPtr = 0;
+          ++Band.Arenas[I].Generation;
+          if (Lifecycle)
+            Lifecycle->onArenaReset(BandIndex, I, Band.Arenas[I].Generation);
           Band.Current = I;
           return bumpAllocate(Band, Size, Need);
         }
+        if (Lifecycle)
+          Lifecycle->onArenaPinned(BandIndex, I, Band.Arenas[I].Generation,
+                                   Band.Arenas[I].LiveCount);
       }
     }
     ++Band.Stats.Fallbacks;

@@ -29,6 +29,8 @@
 
 namespace lifepred {
 
+class ArenaLifecycleSink;
+
 /// Arena allocator with one arena area per lifetime band.
 class MultiArenaAllocator : public AllocatorSim {
 public:
@@ -97,6 +99,34 @@ public:
   /// High-water mark of arenaLiveBytes().
   uint64_t maxArenaLiveBytes() const { return MaxArenaLiveBytes; }
 
+  /// The band whose area contains \p Address, or GeneralBand.
+  uint8_t bandForAddress(uint64_t Address) const {
+    for (size_t I = 0; I < BandStates.size(); ++I)
+      if (Address >= BandStates[I].Base &&
+          Address < BandStates[I].Base + BandStates[I].Cfg.AreaBytes)
+        return static_cast<uint8_t>(I);
+    return GeneralBand;
+  }
+
+  /// The arena of band \p Band containing \p Address.
+  unsigned arenaIndexFor(uint8_t Band, uint64_t Address) const {
+    const BandState &State = BandStates[Band];
+    return static_cast<unsigned>((Address - State.Base) / State.arenaBytes());
+  }
+
+  /// Reset count of arena \p Index in band \p Band.
+  uint64_t arenaGeneration(uint8_t Band, unsigned Index) const {
+    return BandStates[Band].Arenas[Index].Generation;
+  }
+
+  /// Bytes one arena of band \p Band holds.
+  uint64_t bandArenaBytes(uint8_t Band) const {
+    return BandStates[Band].arenaBytes();
+  }
+
+  /// Attaches an observer for pin/reset events in every band's reset scan.
+  void attachLifecycle(ArenaLifecycleSink *Sink) { Lifecycle = Sink; }
+
   /// Band areas keep no free lists; only the general heap does.
   size_t freeBlockCount() const override { return General.freeBlockCount(); }
 
@@ -113,6 +143,7 @@ private:
   struct Arena {
     uint64_t AllocPtr = 0;
     uint32_t LiveCount = 0;
+    uint64_t Generation = 0; ///< Incremented at every reset.
   };
 
   struct BandState {
@@ -129,6 +160,7 @@ private:
 
   Config Cfg;
   std::vector<BandState> BandStates;
+  ArenaLifecycleSink *Lifecycle = nullptr;
   FirstFitAllocator General;
   uint64_t GeneralAllocs = 0;
   uint64_t GeneralBytes = 0;

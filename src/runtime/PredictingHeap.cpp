@@ -8,6 +8,7 @@
 
 #include "callchain/ShadowStack.h"
 #include "support/MathExtras.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/StatsRegistry.h"
 
 #include <cassert>
@@ -44,6 +45,50 @@ void *PredictingHeap::bump(size_t Need, size_t Size) {
   return Ptr;
 }
 
+void *PredictingHeap::allocateImpl(size_t Size, bool Predicted) {
+  size_t Need = alignTo(Size, Cfg.Alignment);
+  if (Predicted && Need <= arenaBytes()) {
+    if (Arenas[Current].AllocPtr + Need <= arenaBytes())
+      return bump(Need, Size);
+    for (unsigned I = 0; I < Cfg.ArenaCount; ++I) {
+      if (Arenas[I].LiveCount == 0) {
+        ++Counters.Resets;
+        Arenas[I].AllocPtr = 0;
+        ++Arenas[I].Generation;
+        if (Recorder)
+          Recorder->onArenaReset(AuditPlacement::DefaultBand, I,
+                                 Arenas[I].Generation);
+        Current = I;
+        return bump(Need, Size);
+      }
+      if (Recorder)
+        Recorder->onArenaPinned(AuditPlacement::DefaultBand, I,
+                                Arenas[I].Generation, Arenas[I].LiveCount);
+    }
+    ++Counters.Fallbacks;
+  }
+
+  ++Counters.GeneralAllocs;
+  Counters.GeneralBytes += Size;
+  return ::operator new(Size < 1 ? 1 : Size);
+}
+
+void PredictingHeap::recordBirth(const void *Ptr, size_t Size, bool Predicted,
+                                 uint32_t Site) {
+  uint64_t Id = NextId++;
+  LiveIds[Ptr] = Id;
+  AuditPlacement Placement;
+  if (isArenaPointer(Ptr)) {
+    auto Offset =
+        static_cast<size_t>(static_cast<const unsigned char *>(Ptr) -
+                            Area.get());
+    Placement.ArenaIndex = static_cast<uint32_t>(Offset / arenaBytes());
+    Placement.Generation = Arenas[Placement.ArenaIndex].Generation;
+  }
+  Recorder->recordAlloc(Id, ByteClock, Site, static_cast<uint32_t>(Size),
+                        Predicted, Database.threshold(), Placement);
+}
+
 void *PredictingHeap::allocate(size_t Size) {
   const ShadowStack &Stack = ShadowStack::current();
   const SiteKeyPolicy &Policy = Database.policy();
@@ -57,24 +102,38 @@ void *PredictingHeap::allocate(size_t Size) {
   if (Cfg.ThreadSafe)
     Guard.lock();
 
-  size_t Need = alignTo(Size, Cfg.Alignment);
-  if (Predicted && Need <= arenaBytes()) {
-    if (Arenas[Current].AllocPtr + Need <= arenaBytes())
-      return bump(Need, Size);
-    for (unsigned I = 0; I < Cfg.ArenaCount; ++I) {
-      if (Arenas[I].LiveCount == 0) {
-        ++Counters.Resets;
-        Arenas[I].AllocPtr = 0;
-        Current = I;
-        return bump(Need, Size);
-      }
-    }
-    ++Counters.Fallbacks;
-  }
+  if (!Recorder)
+    return allocateImpl(Size, Predicted);
 
-  ++Counters.GeneralAllocs;
-  Counters.GeneralBytes += Size;
-  return ::operator new(Size < 1 ? 1 : Size);
+  // Audit path: the byte clock advances by the payload before the
+  // allocation (matching the simulator's "clock after alloc" convention),
+  // so pin/reset callbacks fired from the reset scan carry this event's
+  // clock.
+  ByteClock += Size;
+  Recorder->beginEvent(ByteClock);
+  void *Ptr = allocateImpl(Size, Predicted);
+  recordBirth(Ptr, Size, Predicted,
+              static_cast<uint32_t>(siteKey(Policy, Chain,
+                                            static_cast<uint32_t>(Size))));
+  return Ptr;
+}
+
+void PredictingHeap::attachRecorder(FlightRecorder *NewRecorder) {
+  std::unique_lock<std::mutex> Guard(Lock, std::defer_lock);
+  if (Cfg.ThreadSafe)
+    Guard.lock();
+  Recorder = NewRecorder;
+  if (Recorder)
+    Recorder->setArenaGeometry(AuditPlacement::DefaultBand, arenaBytes());
+}
+
+void PredictingHeap::finishRecording() {
+  std::unique_lock<std::mutex> Guard(Lock, std::defer_lock);
+  if (Cfg.ThreadSafe)
+    Guard.lock();
+  if (Recorder)
+    Recorder->finish(ByteClock);
+  LiveIds.clear();
 }
 
 void PredictingHeap::deallocate(void *Ptr) {
@@ -83,6 +142,13 @@ void PredictingHeap::deallocate(void *Ptr) {
   std::unique_lock<std::mutex> Guard(Lock, std::defer_lock);
   if (Cfg.ThreadSafe)
     Guard.lock();
+  if (Recorder) {
+    auto It = LiveIds.find(Ptr);
+    if (It != LiveIds.end()) {
+      Recorder->recordFree(It->second, ByteClock);
+      LiveIds.erase(It);
+    }
+  }
   if (isArenaPointer(Ptr)) {
     auto Offset = static_cast<size_t>(static_cast<unsigned char *>(Ptr) -
                                       Area.get());

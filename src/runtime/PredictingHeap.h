@@ -25,10 +25,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace lifepred {
 
+class FlightRecorder;
 class StatsRegistry;
 
 /// Profile-driven two-strategy heap.
@@ -79,14 +81,29 @@ public:
   void exportTelemetry(StatsRegistry &Registry,
                        const std::string &Prefix) const;
 
+  /// Attaches a per-object flight recorder.  Attach before the first
+  /// allocate(); the heap then assigns object ids in allocation order and
+  /// drives a byte clock (bytes allocated so far), so the audit trail of a
+  /// single-threaded run is deterministic.  Detach by attaching nullptr.
+  /// Unattached heaps skip every audit branch on the allocation path.
+  void attachRecorder(FlightRecorder *Recorder);
+
+  /// Finishes the attached recorder at the current byte clock (classifying
+  /// still-live objects as long-lived) and drops the pointer-id map.
+  void finishRecording();
+
 private:
   struct Arena {
     size_t AllocPtr = 0;
     uint32_t LiveCount = 0;
+    uint64_t Generation = 0; ///< Incremented at every reset.
   };
 
   size_t arenaBytes() const { return Cfg.AreaBytes / Cfg.ArenaCount; }
   void *bump(size_t Need, size_t Size);
+  void *allocateImpl(size_t Size, bool Predicted);
+  void recordBirth(const void *Ptr, size_t Size, bool Predicted,
+                   uint32_t Site);
 
   SiteDatabase Database;
   Config Cfg;
@@ -95,6 +112,11 @@ private:
   std::unique_ptr<unsigned char[]> Area; ///< The contiguous arena area.
   std::vector<Arena> Arenas;
   unsigned Current = 0;
+  /// Audit state; all null/empty (and untouched) without a recorder.
+  FlightRecorder *Recorder = nullptr;
+  uint64_t ByteClock = 0;
+  uint64_t NextId = 0;
+  std::unordered_map<const void *, uint64_t> LiveIds;
 };
 
 } // namespace lifepred

@@ -8,6 +8,7 @@
 
 #include "sim/SimTelemetry.h"
 #include "sim/SiteKeyCache.h"
+#include "telemetry/FlightRecorder.h"
 #include "trace/TraceReplayer.h"
 
 using namespace lifepred;
@@ -20,13 +21,16 @@ public:
                      const AllocationTrace &Trace, const ClassDatabase &DB,
                      SimTelemetry *Telemetry)
       : Allocator(Allocator), DB(DB), Keys(DB.policy(), Trace),
-        Telemetry(Telemetry) {
+        Telemetry(Telemetry),
+        Recorder(Telemetry ? Telemetry->Recorder : nullptr) {
     Addresses.resize(Trace.size());
   }
 
   void onAlloc(uint64_t Id, const AllocRecord &Record,
                uint64_t Clock) override {
     LifetimeClass Band = DB.classify(Keys.keyFor(Id));
+    if (Recorder)
+      Recorder->beginEvent(Clock);
     Addresses[Id] = Allocator.allocate(Record.Size, Band);
     raisePeak(MaxLive, Allocator.liveBytes());
     if (Telemetry) {
@@ -41,10 +45,19 @@ public:
         Telemetry->Timeline->record(Sample);
       }
     }
+    if (Recorder)
+      recordAudit(Id, Record, Clock, Band);
   }
 
-  void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
+  void onFree(uint64_t Id, const AllocRecord &, uint64_t Clock) override {
     Allocator.free(Addresses[Id]);
+    if (Recorder)
+      Recorder->recordFree(Id, Clock);
+  }
+
+  void onEnd(uint64_t Clock) override {
+    if (Recorder)
+      Recorder->finish(Clock);
   }
 
   uint64_t maxLiveBytes() const { return MaxLive; }
@@ -65,10 +78,35 @@ private:
     Telemetry->PerSite[Record.ChainIndex].add(PredictedBanded, ActuallyShort);
   }
 
+  /// Feeds one allocation into the flight recorder.  The per-object class
+  /// threshold reproduces recordOutcome's classification: a banded object is
+  /// short within its band's threshold; an unclassified one is short within
+  /// the widest band's (so MissedShort counts agree with the sim's).
+  void recordAudit(uint64_t Id, const AllocRecord &Record, uint64_t Clock,
+                   LifetimeClass Band) {
+    const std::vector<uint64_t> &Thresholds = DB.thresholds();
+    bool PredictedBanded = Band < Thresholds.size();
+    uint64_t ClassThreshold =
+        PredictedBanded ? Thresholds[Band]
+                        : (Thresholds.empty() ? 0 : Thresholds.back());
+    AuditPlacement Placement;
+    uint64_t Addr = Addresses[Id];
+    uint8_t PlacedBand = Allocator.bandForAddress(Addr);
+    if (PlacedBand != MultiArenaAllocator::GeneralBand) {
+      Placement.Band = PlacedBand;
+      Placement.ArenaIndex = Allocator.arenaIndexFor(PlacedBand, Addr);
+      Placement.Generation =
+          Allocator.arenaGeneration(PlacedBand, Placement.ArenaIndex);
+    }
+    Recorder->recordAlloc(Id, Clock, Record.ChainIndex, Record.Size,
+                          PredictedBanded, ClassThreshold, Placement);
+  }
+
   MultiArenaAllocator &Allocator;
   const ClassDatabase &DB;
   SiteKeyCache Keys;
   SimTelemetry *Telemetry;
+  FlightRecorder *Recorder;
   std::vector<uint64_t> Addresses;
   uint64_t MaxLive = 0;
 };
@@ -83,6 +121,13 @@ lifepred::simulateMultiArena(const AllocationTrace &Trace,
   MultiArenaAllocator Allocator(Config);
   if (Telemetry && Telemetry->Registry)
     Allocator.attachTelemetry(*Telemetry->Registry, "multiarena.");
+  if (Telemetry && Telemetry->Recorder) {
+    for (size_t Band = 0; Band < Allocator.bands(); ++Band)
+      Telemetry->Recorder->setArenaGeometry(
+          static_cast<uint8_t>(Band),
+          Allocator.bandArenaBytes(static_cast<uint8_t>(Band)));
+    Allocator.attachLifecycle(Telemetry->Recorder);
+  }
   MultiArenaConsumer Consumer(Allocator, Trace, DB, Telemetry);
   replayTrace(Trace, Consumer);
   if (Telemetry && Telemetry->Registry) {

@@ -28,6 +28,8 @@
 
 namespace lifepred {
 
+class FlightRecorder;
+
 /// Confusion-matrix counts for lifetime prediction, using the paper's
 /// terminology: an object is *actually* short-lived when its traced
 /// lifetime is within the training threshold.
@@ -81,6 +83,12 @@ struct SimTelemetry {
   /// Prediction outcomes keyed by allocation site (the trace's chain-table
   /// index), for hit/miss/false-short rates per site.
   std::unordered_map<uint32_t, PredictionCounts> PerSite;
+  /// Per-object audit trail (predicting simulators only).  When set, the
+  /// simulator feeds every birth/death into the recorder, attaches it to
+  /// the allocator's arena lifecycle hooks, and calls finish() at the end
+  /// of the replay.  One recorder per replay — recorders are not merged;
+  /// fan-out code exports them per program in task order.
+  FlightRecorder *Recorder = nullptr;
 };
 
 } // namespace lifepred

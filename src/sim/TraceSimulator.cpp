@@ -6,10 +6,13 @@
 
 #include "sim/TraceSimulator.h"
 
+#include "core/Profiler.h"
 #include "sim/SimTelemetry.h"
 #include "sim/SiteKeyCache.h"
+#include "telemetry/FlightRecorder.h"
 #include "trace/TraceReplayer.h"
 
+#include <unordered_set>
 #include <vector>
 
 using namespace lifepred;
@@ -67,7 +70,8 @@ public:
   ArenaConsumer(ArenaAllocator &Allocator, const AllocationTrace &Trace,
                 const SiteDatabase &DB, SimTelemetry *Telemetry)
       : Allocator(Allocator), DB(DB), Keys(DB.policy(), Trace),
-        Telemetry(Telemetry) {
+        Telemetry(Telemetry),
+        Recorder(Telemetry ? Telemetry->Recorder : nullptr) {
     Addresses.resize(Trace.size());
   }
 
@@ -76,6 +80,10 @@ public:
     // The full key is memoized per (chain, rounded size) in Keys; the only
     // per-event table work left is the database probe itself.
     bool Predicted = DB.contains(Keys.keyFor(Id));
+    if (Recorder)
+      // Pin/reset callbacks fire from inside allocate(); give them the
+      // clock this allocation will be recorded at.
+      Recorder->beginEvent(Clock);
     Addresses[Id] = Allocator.allocate(Record.Size, Predicted);
     raisePeak(MaxLive, Allocator.liveBytes());
     if (Telemetry) {
@@ -87,10 +95,27 @@ public:
       sampleTimeline(Telemetry, Clock, Allocator,
                      Allocator.arenaLiveBytes());
     }
+    if (Recorder) {
+      AuditPlacement Placement;
+      uint64_t Addr = Addresses[Id];
+      if (Allocator.isArenaAddress(Addr)) {
+        Placement.ArenaIndex = Allocator.arenaIndexFor(Addr);
+        Placement.Generation = Allocator.arenaGeneration(Placement.ArenaIndex);
+      }
+      Recorder->recordAlloc(Id, Clock, Record.ChainIndex, Record.Size,
+                            Predicted, DB.threshold(), Placement);
+    }
   }
 
-  void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
+  void onFree(uint64_t Id, const AllocRecord &, uint64_t Clock) override {
     Allocator.free(Addresses[Id]);
+    if (Recorder)
+      Recorder->recordFree(Id, Clock);
+  }
+
+  void onEnd(uint64_t Clock) override {
+    if (Recorder)
+      Recorder->finish(Clock);
   }
 
   uint64_t maxLiveBytes() const { return MaxLive; }
@@ -100,6 +125,7 @@ private:
   const SiteDatabase &DB;
   SiteKeyCache Keys;
   SimTelemetry *Telemetry;
+  FlightRecorder *Recorder;
   std::vector<uint64_t> Addresses;
   uint64_t MaxLive = 0;
 };
@@ -156,6 +182,11 @@ ArenaSimResult lifepred::simulateArena(const AllocationTrace &Trace,
   ArenaAllocator Allocator(Config);
   if (Telemetry && Telemetry->Registry)
     Allocator.attachTelemetry(*Telemetry->Registry, "arena.");
+  if (Telemetry && Telemetry->Recorder) {
+    Telemetry->Recorder->setArenaGeometry(AuditPlacement::DefaultBand,
+                                          Allocator.arenaBytes());
+    Allocator.attachLifecycle(Telemetry->Recorder);
+  }
   ArenaConsumer Consumer(Allocator, Trace, DB, Telemetry);
   replayTrace(Trace, Consumer);
   if (Telemetry && Telemetry->Registry) {
@@ -175,4 +206,29 @@ ArenaSimResult lifepred::simulateArena(const AllocationTrace &Trace,
   Result.InstrCce = Costs.arena(Result.Arena, Result.General,
                                 /*UseCce=*/true, CallsPerAlloc);
   return Result;
+}
+
+TrainedQuantileMap
+lifepred::buildTrainedQuantiles(const AllocationTrace &Trace,
+                                const Profile &Trained,
+                                const SiteKeyPolicy &Policy) {
+  TrainedQuantileMap Map;
+  std::unordered_set<uint32_t> Seen;
+  for (const AllocRecord &Record : Trace.records()) {
+    if (!Seen.insert(Record.ChainIndex).second)
+      continue;
+    SiteKey Key = siteKey(Policy, Trace.chain(Record.ChainIndex), Record.Size,
+                          Record.TypeId);
+    auto It = Trained.Sites.find(Key);
+    if (It == Trained.Sites.end())
+      continue;
+    const SiteStats &Stats = It->second;
+    TrainedSiteQuantiles Quantiles;
+    Quantiles.Objects = Stats.Objects;
+    Quantiles.Q25 = Stats.Lifetimes.quantile(0.25);
+    Quantiles.Q50 = Stats.Lifetimes.quantile(0.50);
+    Quantiles.Q75 = Stats.Lifetimes.quantile(0.75);
+    Map.emplace(Record.ChainIndex, Quantiles);
+  }
+  return Map;
 }

@@ -22,12 +22,14 @@
 #include "alloc/CostModel.h"
 #include "alloc/FirstFitAllocator.h"
 #include "core/SiteDatabase.h"
+#include "telemetry/LifetimeAudit.h"
 #include "trace/AllocationTrace.h"
 
 #include <cstdint>
 
 namespace lifepred {
 
+struct Profile;
 struct SimTelemetry;
 
 /// Results of one first-fit (or BSD) baseline simulation.
@@ -88,6 +90,16 @@ ArenaSimResult simulateArena(const AllocationTrace &Trace,
                              const CostModel &Costs = {},
                              ArenaAllocator::Config Config = ArenaAllocator::Config(),
                              SimTelemetry *Telemetry = nullptr);
+
+/// Maps each of \p Trace's chain indices (the flight recorder's site ids)
+/// to the lifetime quantiles its site trained at in \p Trained, keyed under
+/// \p Policy.  Sites carrying several sizes use the chain's first record as
+/// the representative.  Sites unseen in training are absent, which the
+/// audit renders as "-" drift.  Bridges the profiler's SiteKey world to the
+/// telemetry layer's plain chain-index world.
+TrainedQuantileMap buildTrainedQuantiles(const AllocationTrace &Trace,
+                                         const Profile &Trained,
+                                         const SiteKeyPolicy &Policy);
 
 } // namespace lifepred
 

@@ -1,0 +1,331 @@
+//===- telemetry/FlightRecorder.cpp - Per-object lifetime audit -----------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/FlightRecorder.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+
+namespace lifepred {
+
+void FlightRecorder::setArenaGeometry(uint8_t Band, uint64_t ArenaBytes) {
+  Bands[Band].ArenaBytes = ArenaBytes;
+}
+
+FlightRecorder::ArenaState &FlightRecorder::arenaState(uint8_t Band,
+                                                       uint32_t ArenaIndex) {
+  BandTrack &Track = Bands[Band];
+  if (ArenaIndex >= Track.Arenas.size())
+    Track.Arenas.resize(ArenaIndex + 1);
+  return Track.Arenas[ArenaIndex];
+}
+
+void FlightRecorder::advanceIntegral(const BandTrack &Track, ArenaState &State,
+                                     uint64_t Clock) {
+  if (!State.Pinned || Clock <= State.LastIntegralClock)
+    return;
+  // With no declared geometry, fall back to bytes ever placed — still a
+  // lower bound on the space the pinned arena withholds.
+  uint64_t ArenaBytes = Track.ArenaBytes ? Track.ArenaBytes : State.PlacedBytes;
+  uint64_t Dead =
+      ArenaBytes > State.LivePayload ? ArenaBytes - State.LivePayload : 0;
+  State.DeadByteIntegral += Dead * (Clock - State.LastIntegralClock);
+  State.LastIntegralClock = Clock;
+}
+
+void FlightRecorder::closeEpisode(uint8_t Band, uint32_t ArenaIndex,
+                                  BandTrack &Track, ArenaState &State,
+                                  uint64_t Clock, bool ResetObserved) {
+  advanceIntegral(Track, State, Clock);
+  PinEpisode E;
+  E.Band = Band;
+  E.ArenaIndex = ArenaIndex;
+  E.Generation = State.Generation;
+  E.FirstFillClock = State.FirstFillClock;
+  E.LastFillClock = State.LastFillClock;
+  E.PinnedSinceClock = State.PinnedSinceClock;
+  E.EndClock = Clock;
+  E.ResetObserved = ResetObserved;
+  E.PinEvents = State.PinEvents;
+  E.ObjectCount = State.ObjectCount;
+  E.PlacedBytes = State.PlacedBytes;
+  E.SurvivorCount = State.SurvivorCount;
+  E.DeadByteIntegral = State.DeadByteIntegral;
+  E.Survivors = std::move(State.Survivors);
+  TotalDeadByteIntegral += E.DeadByteIntegral;
+  ++PinnedEpisodeCount;
+  Episodes.push_back(std::move(E));
+  // Keep the archive bounded during the run; prune rarely (at 4x the cap)
+  // so the amortized cost stays tiny and the retained set — the largest
+  // integrals — is a pure function of the event stream.
+  if (Cfg.MaxPinEpisodes > 0 && Episodes.size() >= Cfg.MaxPinEpisodes * 4)
+    pruneEpisodes(Cfg.MaxPinEpisodes);
+}
+
+void FlightRecorder::rankEpisodes(std::vector<PinEpisode> &List) {
+  std::sort(List.begin(), List.end(),
+            [](const PinEpisode &A, const PinEpisode &B) {
+              if (A.DeadByteIntegral != B.DeadByteIntegral)
+                return A.DeadByteIntegral > B.DeadByteIntegral;
+              if (A.Band != B.Band)
+                return A.Band < B.Band;
+              if (A.ArenaIndex != B.ArenaIndex)
+                return A.ArenaIndex < B.ArenaIndex;
+              return A.Generation < B.Generation;
+            });
+}
+
+void FlightRecorder::pruneEpisodes(size_t Keep) {
+  if (Episodes.size() <= Keep)
+    return;
+  rankEpisodes(Episodes);
+  DroppedEpisodes += Episodes.size() - Keep;
+  Episodes.resize(Keep);
+}
+
+void FlightRecorder::maybeSample(uint64_t Id, const LiveObject &Obj) {
+  // Algorithm R with the random draw replaced by a pure hash of
+  // (Seed, BirthClock, Id): no call-order dependence, so the retained
+  // sample is a deterministic function of the trace content alone.
+  uint64_t K = ReservoirSeen++;
+  uint32_t Slot = ~uint32_t(0);
+  if (Reservoir.size() < Cfg.ReservoirCapacity) {
+    Slot = static_cast<uint32_t>(Reservoir.size());
+    Reservoir.emplace_back();
+  } else if (Cfg.ReservoirCapacity > 0) {
+    uint64_t State = Cfg.Seed ^ (Obj.BirthClock * 0x9e3779b97f4a7c15ULL) ^
+                     (Id + 0x632be59bd9b4e019ULL);
+    uint64_t Draw = splitMix64(State);
+    uint64_t J = Draw % (K + 1);
+    if (J < Cfg.ReservoirCapacity) {
+      Slot = static_cast<uint32_t>(J);
+      uint64_t EvictedId = Reservoir[Slot].Id;
+      auto It = Live.find(EvictedId);
+      if (It != Live.end() && It->second.ReservoirSlot == Slot)
+        It->second.ReservoirSlot = ~uint32_t(0);
+    }
+  }
+  if (Slot == ~uint32_t(0))
+    return;
+  ObjectRecord &R = Reservoir[Slot];
+  R = ObjectRecord();
+  R.Id = Id;
+  R.BirthClock = Obj.BirthClock;
+  R.Site = Obj.Site;
+  R.Size = Obj.Size;
+  R.Band = Obj.Band;
+  R.ArenaIndex = Obj.ArenaIndex;
+  R.Generation = Obj.Generation;
+  R.PredictedShort = Obj.PredictedShort;
+  Live[Id].ReservoirSlot = Slot;
+}
+
+void FlightRecorder::recordAlloc(uint64_t Id, uint64_t BirthClock,
+                                 uint32_t Site, uint32_t Size,
+                                 bool PredictedShort, uint64_t ClassThreshold,
+                                 const AuditPlacement &Placement) {
+  ++TotalObjects;
+  TotalBytes += Size;
+
+  LiveObject Obj;
+  Obj.Site = Site;
+  Obj.Size = Size;
+  Obj.BirthClock = BirthClock;
+  Obj.ClassThreshold = ClassThreshold;
+  Obj.PredictedShort = PredictedShort;
+  Obj.Band = Placement.Band;
+  Obj.ArenaIndex = Placement.ArenaIndex;
+  Obj.Generation = Placement.Generation;
+  Live[Id] = Obj;
+  maybeSample(Id, Obj);
+
+  if (!Placement.inArena())
+    return;
+  BandTrack &Track = Bands[Placement.Band];
+  ArenaState &State = arenaState(Placement.Band, Placement.ArenaIndex);
+  if (State.Generation != Placement.Generation) {
+    // The allocator reset without the lifecycle sink attached (or the
+    // recorder joined mid-run): roll the state forward.
+    if (State.Pinned)
+      closeEpisode(Placement.Band, Placement.ArenaIndex, Track, State,
+                   BirthClock, /*ResetObserved=*/true);
+    State = ArenaState();
+    State.Generation = Placement.Generation;
+  }
+  advanceIntegral(Track, State, BirthClock);
+  if (!State.Filled) {
+    State.Filled = true;
+    State.FirstFillClock = BirthClock;
+  }
+  State.LastFillClock = BirthClock;
+  ++State.ObjectCount;
+  State.PlacedBytes += Size;
+  State.LivePayload += Size;
+  State.LiveIds.push_back(Id);
+}
+
+void FlightRecorder::classifyAtDeath(uint64_t Id, LiveObject &Obj,
+                                     uint64_t Lifetime, bool Died) {
+  // Alive-at-exit objects are long-lived by definition (the trace records
+  // no death for them), matching the simulator's treatment of NeverFreed.
+  bool ActuallyShort = Died && Lifetime <= Obj.ClassThreshold;
+  SiteForensics &F = Forensics[Obj.Site];
+  ++F.Objects;
+  F.Bytes += Obj.Size;
+  if (Obj.PredictedShort) {
+    if (ActuallyShort) {
+      ++F.TrueShort;
+    } else {
+      ++F.FalseShort;
+      F.FalseShortBytes += Obj.Size;
+    }
+  } else {
+    if (ActuallyShort) {
+      ++F.MissedShort;
+      F.MissedShortBytes += Obj.Size;
+    } else {
+      ++F.TrueLong;
+    }
+  }
+  F.Lifetimes.record(Lifetime);
+  if (Obj.ReservoirSlot != ~uint32_t(0)) {
+    ObjectRecord &R = Reservoir[Obj.ReservoirSlot];
+    if (R.Id == Id) {
+      R.DeathClock = Died ? Obj.BirthClock + Lifetime : NoDeath;
+      R.ActuallyShort = ActuallyShort;
+    }
+  }
+}
+
+void FlightRecorder::recordFree(uint64_t Id, uint64_t DeathClock) {
+  auto It = Live.find(Id);
+  if (It == Live.end())
+    return;
+  LiveObject &Obj = It->second;
+  uint64_t Lifetime =
+      DeathClock >= Obj.BirthClock ? DeathClock - Obj.BirthClock : 0;
+  classifyAtDeath(Id, Obj, Lifetime, /*Died=*/true);
+
+  if (Obj.ArenaIndex != AuditPlacement::NoArena) {
+    BandTrack &Track = Bands[Obj.Band];
+    ArenaState &State = arenaState(Obj.Band, Obj.ArenaIndex);
+    if (State.Generation == Obj.Generation) {
+      advanceIntegral(Track, State, DeathClock);
+      State.LivePayload -= std::min<uint64_t>(State.LivePayload, Obj.Size);
+      auto Pos = std::find(State.LiveIds.begin(), State.LiveIds.end(), Id);
+      if (Pos != State.LiveIds.end()) {
+        *Pos = State.LiveIds.back();
+        State.LiveIds.pop_back();
+      }
+      if (State.Pinned)
+        for (Survivor &S : State.Survivors)
+          if (S.Id == Id)
+            S.DeathClock = DeathClock;
+    }
+  }
+  Live.erase(It);
+}
+
+void FlightRecorder::onArenaPinned(uint8_t Band, uint32_t ArenaIndex,
+                                   uint64_t Generation, uint32_t LiveCount) {
+  BandTrack &Track = Bands[Band];
+  ArenaState &State = arenaState(Band, ArenaIndex);
+  if (State.Generation != Generation) {
+    State = ArenaState();
+    State.Generation = Generation;
+  }
+  if (!State.Pinned) {
+    State.Pinned = true;
+    State.PinnedSinceClock = CurrentClock;
+    State.LastIntegralClock = CurrentClock;
+    State.SurvivorCount = LiveCount;
+    // Snapshot the survivors that held the live counter above zero.  A
+    // reset needs LiveCount == 0, so every survivor of a reset-terminated
+    // episode dies while the episode is open and gets its death backfilled.
+    State.Survivors.clear();
+    State.Survivors.reserve(State.LiveIds.size());
+    for (uint64_t Id : State.LiveIds) {
+      auto It = Live.find(Id);
+      if (It == Live.end())
+        continue;
+      Survivor S;
+      S.Id = Id;
+      S.Site = It->second.Site;
+      S.Size = It->second.Size;
+      S.BirthClock = It->second.BirthClock;
+      State.Survivors.push_back(S);
+    }
+    std::sort(State.Survivors.begin(), State.Survivors.end(),
+              [](const Survivor &A, const Survivor &B) {
+                if (A.BirthClock != B.BirthClock)
+                  return A.BirthClock < B.BirthClock;
+                return A.Id < B.Id;
+              });
+    if (State.Survivors.size() > Cfg.MaxSurvivors)
+      State.Survivors.resize(Cfg.MaxSurvivors);
+  } else {
+    advanceIntegral(Track, State, CurrentClock);
+  }
+  ++State.PinEvents;
+}
+
+void FlightRecorder::onArenaReset(uint8_t Band, uint32_t ArenaIndex,
+                                  uint64_t NewGeneration) {
+  BandTrack &Track = Bands[Band];
+  ArenaState &State = arenaState(Band, ArenaIndex);
+  if (State.Pinned)
+    closeEpisode(Band, ArenaIndex, Track, State, CurrentClock,
+                 /*ResetObserved=*/true);
+  State = ArenaState();
+  State.Generation = NewGeneration;
+}
+
+void FlightRecorder::finish(uint64_t FinalByteClock) {
+  if (Finished)
+    return;
+  Finished = true;
+  FinalClock = FinalByteClock;
+  CurrentClock = FinalByteClock;
+
+  for (auto &[Band, Track] : Bands)
+    for (uint32_t I = 0; I < Track.Arenas.size(); ++I)
+      if (Track.Arenas[I].Pinned)
+        closeEpisode(Band, I, Track, Track.Arenas[I], FinalByteClock,
+                     /*ResetObserved=*/false);
+
+  // Classify survivors of the whole trace.  Forensics updates commute and
+  // reservoir slots are independent, so hash-map iteration order cannot
+  // affect the final state.
+  for (auto &[Id, Obj] : Live) {
+    uint64_t Age =
+        FinalByteClock >= Obj.BirthClock ? FinalByteClock - Obj.BirthClock : 0;
+    classifyAtDeath(Id, Obj, Age, /*Died=*/false);
+  }
+  Live.clear();
+
+  pruneEpisodes(Cfg.MaxPinEpisodes);
+  rankEpisodes(Episodes);
+}
+
+std::vector<FlightRecorder::ObjectRecord>
+FlightRecorder::sampledRecords() const {
+  std::vector<ObjectRecord> Out = Reservoir;
+  std::sort(Out.begin(), Out.end(),
+            [](const ObjectRecord &A, const ObjectRecord &B) {
+              if (A.BirthClock != B.BirthClock)
+                return A.BirthClock < B.BirthClock;
+              return A.Id < B.Id;
+            });
+  return Out;
+}
+
+std::map<uint32_t, FlightRecorder::SiteForensics>
+FlightRecorder::siteForensics() const {
+  return {Forensics.begin(), Forensics.end()};
+}
+
+} // namespace lifepred

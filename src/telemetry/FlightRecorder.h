@@ -1,0 +1,301 @@
+//===- telemetry/FlightRecorder.h - Per-object lifetime audit ---*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded, deterministic per-object event recorder — the causal record
+/// behind the aggregate confusion matrices.  For every object the attached
+/// producer reports birth byte-time, site, size, predicted class, and
+/// placement (band/arena/generation); the recorder classifies the object at
+/// death (or at end-of-trace) against its per-object short-lived threshold,
+/// accumulates exact per-site misprediction forensics, tracks each arena
+/// generation's fill → pin → reset lifecycle with dead-bytes-held
+/// integrals and survivor attribution, and keeps a bounded reservoir of
+/// raw object records for drill-down.
+///
+/// Determinism contract: every data structure here is a pure function of
+/// the (seed, event stream) pair.  Reservoir sampling uses Algorithm R
+/// with the random draw replaced by a splitMix64 hash of
+/// (Seed, BirthClock, ObjectId) — no global RNG, no wall clock — so runs
+/// are bit-identical at any `--jobs` count as long as each replay owns its
+/// recorder (the same per-worker-then-ordered-export discipline
+/// StatsRegistry uses).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_TELEMETRY_FLIGHTRECORDER_H
+#define LIFEPRED_TELEMETRY_FLIGHTRECORDER_H
+
+#include "telemetry/StatsRegistry.h"
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace lifepred {
+
+/// Observer for arena lifecycle transitions.  Allocators hold a null
+/// pointer by default and invoke these from their reset scan, so the timed
+/// path pays only a predictable null test per scan step when no recorder
+/// is attached (the bump fast path is untouched).
+class ArenaLifecycleSink {
+public:
+  virtual ~ArenaLifecycleSink() = default;
+
+  /// The reset scan passed over arena \p ArenaIndex of \p Band because
+  /// \p LiveCount survivors held its live counter above zero.
+  virtual void onArenaPinned(uint8_t Band, uint32_t ArenaIndex,
+                             uint64_t Generation, uint32_t LiveCount) = 0;
+
+  /// Arena \p ArenaIndex of \p Band was reset; its generation counter now
+  /// reads \p NewGeneration.
+  virtual void onArenaReset(uint8_t Band, uint32_t ArenaIndex,
+                            uint64_t NewGeneration) = 0;
+};
+
+/// Where an object landed.  Default-constructed = the general heap.
+struct AuditPlacement {
+  /// Band value used for single-band arena allocators and the general heap.
+  static constexpr uint8_t DefaultBand = 0;
+  /// ArenaIndex value meaning "not in an arena".
+  static constexpr uint32_t NoArena = ~uint32_t(0);
+
+  uint8_t Band = DefaultBand;
+  uint32_t ArenaIndex = NoArena;
+  uint64_t Generation = 0;
+
+  bool inArena() const { return ArenaIndex != NoArena; }
+};
+
+/// Bounded per-object audit trail with misprediction forensics and
+/// arena-pinning attribution.
+class FlightRecorder : public ArenaLifecycleSink {
+public:
+  /// DeathClock value for objects still alive at end-of-trace.
+  static constexpr uint64_t NoDeath = ~uint64_t(0);
+
+  struct Config {
+    /// Seed mixed into every reservoir draw; by convention the run
+    /// manifest seed, so the sample is reproducible from the report alone.
+    uint64_t Seed = 0x1993;
+    /// Upper bound on retained raw object records.
+    size_t ReservoirCapacity = 4096;
+    /// Survivors kept verbatim per pin episode (the full count is always
+    /// recorded; only the listed exemplars are bounded).
+    unsigned MaxSurvivors = 8;
+    /// Upper bound on archived pin episodes; when exceeded the smallest
+    /// dead-byte integrals are pruned (totals are unaffected).
+    size_t MaxPinEpisodes = 512;
+  };
+
+  /// One sampled object.
+  struct ObjectRecord {
+    uint64_t Id = 0;
+    uint64_t BirthClock = 0;
+    uint64_t DeathClock = NoDeath;
+    uint32_t Site = 0;
+    uint32_t Size = 0;
+    uint8_t Band = AuditPlacement::DefaultBand;
+    uint32_t ArenaIndex = AuditPlacement::NoArena;
+    uint64_t Generation = 0;
+    bool PredictedShort = false;
+    /// Classified at death (or at finish; alive-at-exit = long).
+    bool ActuallyShort = false;
+  };
+
+  /// A survivor that held an arena's live counter above zero at pin time.
+  struct Survivor {
+    uint64_t Id = 0;
+    uint32_t Site = 0;
+    uint32_t Size = 0;
+    uint64_t BirthClock = 0;
+    /// Backfilled when the survivor dies while the episode is still open;
+    /// NoDeath if it outlived the trace.  (A reset requires LiveCount == 0,
+    /// so for reset-terminated episodes every survivor death is observed.)
+    uint64_t DeathClock = NoDeath;
+  };
+
+  /// One arena generation that was observed pinned: from its first fill
+  /// to its reset (or to end-of-trace).
+  struct PinEpisode {
+    uint8_t Band = AuditPlacement::DefaultBand;
+    uint32_t ArenaIndex = 0;
+    uint64_t Generation = 0;
+    uint64_t FirstFillClock = 0;
+    uint64_t LastFillClock = 0;
+    uint64_t PinnedSinceClock = 0;
+    /// Reset clock, or the final byte clock for still-pinned episodes.
+    uint64_t EndClock = 0;
+    bool ResetObserved = false;
+    /// Times the reset scan skipped this arena while pinned.
+    uint64_t PinEvents = 0;
+    uint64_t ObjectCount = 0;
+    uint64_t PlacedBytes = 0;
+    /// Live objects when the arena was first observed pinned.
+    uint64_t SurvivorCount = 0;
+    /// Integral of (arena bytes - live payload bytes) over byte time from
+    /// the first pin to EndClock — byte*bytes of dead space held hostage.
+    uint64_t DeadByteIntegral = 0;
+    /// Up to Config::MaxSurvivors exemplars, ordered by (BirthClock, Id).
+    std::vector<Survivor> Survivors;
+  };
+
+  /// Exact per-site outcome record (kept for every site, not sampled).
+  struct SiteForensics {
+    uint64_t Objects = 0;
+    uint64_t Bytes = 0;
+    /// Confusion counts under the per-object thresholds.  "FalseShort" =
+    /// predicted short, lived long (pollutes arenas); "MissedShort" =
+    /// predicted long, died short (forgoes the arena win).
+    uint64_t TrueShort = 0;
+    uint64_t FalseShort = 0;
+    uint64_t MissedShort = 0;
+    uint64_t TrueLong = 0;
+    uint64_t FalseShortBytes = 0;
+    uint64_t MissedShortBytes = 0;
+    /// Observed lifetimes (alive-at-exit objects contribute their clamped
+    /// final age).  Quantiles derive via Log2Histogram::quantileLowerBound.
+    Log2Histogram Lifetimes;
+
+    uint64_t wastedBytes() const { return FalseShortBytes + MissedShortBytes; }
+  };
+
+  FlightRecorder() = default;
+  explicit FlightRecorder(const Config &C) : Cfg(C) {}
+
+  /// Declares the arena byte size for \p Band so dead-byte integrals can be
+  /// computed.  Call once at attach time, before replay.
+  void setArenaGeometry(uint8_t Band, uint64_t ArenaBytes);
+
+  /// Sets the byte clock for allocator-driven callbacks (pin/reset fire
+  /// from inside allocate()).  Call before the allocation with the clock
+  /// the subsequent recordAlloc will carry.
+  void beginEvent(uint64_t Clock) { CurrentClock = Clock; }
+
+  /// Records a birth.  \p ClassThreshold is the short-lived boundary this
+  /// object is judged against at death (the trained threshold, or the
+  /// object's band boundary under multi-band classification).
+  void recordAlloc(uint64_t Id, uint64_t BirthClock, uint32_t Site,
+                   uint32_t Size, bool PredictedShort, uint64_t ClassThreshold,
+                   const AuditPlacement &Placement);
+
+  /// Records a death at \p DeathClock (observed lifetime is
+  /// DeathClock - BirthClock).
+  void recordFree(uint64_t Id, uint64_t DeathClock);
+
+  /// Ends the recording: classifies every still-live object as long-lived,
+  /// closes still-pinned episodes at \p FinalClock, and ranks the episode
+  /// archive.  Must be called exactly once before reading results.
+  void finish(uint64_t FinalClock);
+  bool finished() const { return Finished; }
+
+  // ArenaLifecycleSink: driven by the attached allocator's reset scan.
+  void onArenaPinned(uint8_t Band, uint32_t ArenaIndex, uint64_t Generation,
+                     uint32_t LiveCount) override;
+  void onArenaReset(uint8_t Band, uint32_t ArenaIndex,
+                    uint64_t NewGeneration) override;
+
+  const Config &config() const { return Cfg; }
+
+  /// Total objects recorded (sampled or not).
+  uint64_t totalObjects() const { return TotalObjects; }
+  uint64_t totalBytes() const { return TotalBytes; }
+  /// Objects the reservoir has retained.
+  size_t sampledCount() const { return Reservoir.size(); }
+  uint64_t finalClock() const { return FinalClock; }
+
+  /// The retained sample, sorted by (BirthClock, Id) for stable output.
+  std::vector<ObjectRecord> sampledRecords() const;
+
+  /// Exact per-site forensics, site-sorted for stable output.
+  std::map<uint32_t, SiteForensics> siteForensics() const;
+
+  /// Archived pin episodes ranked by DeadByteIntegral descending (ties:
+  /// band, arena, generation ascending).  Valid after finish().
+  const std::vector<PinEpisode> &episodes() const { return Episodes; }
+
+  /// Sum of DeadByteIntegral over *all* pinned episodes, including any
+  /// pruned past Config::MaxPinEpisodes.
+  uint64_t totalDeadByteIntegral() const { return TotalDeadByteIntegral; }
+  /// Pinned episodes observed (including pruned ones).
+  uint64_t pinnedEpisodeCount() const { return PinnedEpisodeCount; }
+  /// Episodes pruned from the archive to respect MaxPinEpisodes.
+  uint64_t droppedEpisodes() const { return DroppedEpisodes; }
+
+private:
+  struct LiveObject {
+    uint32_t Site = 0;
+    uint32_t Size = 0;
+    uint64_t BirthClock = 0;
+    uint64_t ClassThreshold = 0;
+    bool PredictedShort = false;
+    uint8_t Band = AuditPlacement::DefaultBand;
+    uint32_t ArenaIndex = AuditPlacement::NoArena;
+    uint64_t Generation = 0;
+    /// Index into Reservoir, or ~0u when unsampled.
+    uint32_t ReservoirSlot = ~uint32_t(0);
+  };
+
+  /// Live tracking for one arena's current generation.
+  struct ArenaState {
+    uint64_t Generation = 0;
+    bool Filled = false;
+    uint64_t FirstFillClock = 0;
+    uint64_t LastFillClock = 0;
+    uint64_t ObjectCount = 0;
+    uint64_t PlacedBytes = 0;
+    uint64_t LivePayload = 0;
+    std::vector<uint64_t> LiveIds;
+    bool Pinned = false;
+    uint64_t PinnedSinceClock = 0;
+    uint64_t PinEvents = 0;
+    uint64_t LastIntegralClock = 0;
+    uint64_t DeadByteIntegral = 0;
+    uint64_t SurvivorCount = 0;
+    std::vector<Survivor> Survivors;
+  };
+
+  struct BandTrack {
+    uint64_t ArenaBytes = 0;
+    std::vector<ArenaState> Arenas;
+  };
+
+  ArenaState &arenaState(uint8_t Band, uint32_t ArenaIndex);
+  void advanceIntegral(const BandTrack &Track, ArenaState &State,
+                       uint64_t Clock);
+  void closeEpisode(uint8_t Band, uint32_t ArenaIndex, BandTrack &Track,
+                    ArenaState &State, uint64_t Clock, bool ResetObserved);
+  void classifyAtDeath(uint64_t Id, LiveObject &Obj, uint64_t Lifetime,
+                       bool Died);
+  void maybeSample(uint64_t Id, const LiveObject &Obj);
+  void pruneEpisodes(size_t Keep);
+  static void rankEpisodes(std::vector<PinEpisode> &List);
+
+  Config Cfg;
+  uint64_t CurrentClock = 0;
+  uint64_t FinalClock = 0;
+  bool Finished = false;
+
+  uint64_t TotalObjects = 0;
+  uint64_t TotalBytes = 0;
+
+  std::unordered_map<uint64_t, LiveObject> Live;
+  std::vector<ObjectRecord> Reservoir;
+  /// Objects offered to the reservoir so far (Algorithm R's "k").
+  uint64_t ReservoirSeen = 0;
+
+  std::unordered_map<uint32_t, SiteForensics> Forensics;
+
+  std::map<uint8_t, BandTrack> Bands;
+  std::vector<PinEpisode> Episodes;
+  uint64_t TotalDeadByteIntegral = 0;
+  uint64_t PinnedEpisodeCount = 0;
+  uint64_t DroppedEpisodes = 0;
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_TELEMETRY_FLIGHTRECORDER_H

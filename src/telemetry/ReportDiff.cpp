@@ -22,6 +22,32 @@ bool lifepred::isTimingMetric(std::string_view Key) {
          Key.find("speedup") != std::string_view::npos;
 }
 
+bool lifepred::globMatch(std::string_view Pattern, std::string_view Text) {
+  // Iterative matcher with single-star backtracking: on mismatch, retry
+  // from the most recent '*' with one more character consumed.  Linear in
+  // practice for metric-key patterns.
+  size_t P = 0, T = 0;
+  size_t StarP = std::string_view::npos, StarT = 0;
+  while (T < Text.size()) {
+    if (P < Pattern.size() &&
+        (Pattern[P] == '?' || Pattern[P] == Text[T])) {
+      ++P;
+      ++T;
+    } else if (P < Pattern.size() && Pattern[P] == '*') {
+      StarP = P++;
+      StarT = T;
+    } else if (StarP != std::string_view::npos) {
+      P = StarP + 1;
+      T = ++StarT;
+    } else {
+      return false;
+    }
+  }
+  while (P < Pattern.size() && Pattern[P] == '*')
+    ++P;
+  return P == Pattern.size();
+}
+
 namespace {
 
 /// Flattened numeric metrics of one report, in a name-sorted map so the
@@ -54,7 +80,7 @@ MetricMap flattenReport(const JsonValue &Report) {
         Histograms && Histograms->isObject()) {
       for (const auto &[Name, Histogram] : Histograms->members()) {
         std::string Prefix = "telemetry.histograms." + Name + ".";
-        for (const char *Field : {"count", "sum"})
+        for (const char *Field : {"count", "sum", "p50", "p90", "p99"})
           if (const JsonValue *Value = Histogram.find(Field);
               Value && Value->isNumber())
             Metrics[Prefix + Field] = Value->number();
@@ -120,6 +146,28 @@ DiffResult lifepred::diffReports(const JsonValue &Old, const JsonValue &New,
   MetricMap OldMetrics = flattenReport(Old);
   MetricMap NewMetrics = flattenReport(New);
 
+  if (!Options.IgnoreGlobs.empty()) {
+    auto Erase = [&](MetricMap &Metrics, bool Count) {
+      for (auto It = Metrics.begin(); It != Metrics.end();) {
+        bool Matched = false;
+        for (const std::string &Glob : Options.IgnoreGlobs)
+          if (globMatch(Glob, It->first)) {
+            Matched = true;
+            break;
+          }
+        if (Matched) {
+          if (Count)
+            ++Result.Ignored;
+          It = Metrics.erase(It);
+        } else {
+          ++It;
+        }
+      }
+    };
+    Erase(OldMetrics, /*Count=*/true);
+    Erase(NewMetrics, /*Count=*/false);
+  }
+
   for (const auto &[Key, OldValue] : OldMetrics) {
     auto It = NewMetrics.find(Key);
     if (It == NewMetrics.end()) {
@@ -165,11 +213,13 @@ std::optional<JsonValue> loadReport(const std::string &Path) {
 int usage() {
   std::fprintf(stderr,
                "usage: bench_compare <old.json> <new.json> [--tol=R] "
-               "[--time-tol=R] [--quiet]\n"
+               "[--time-tol=R] [--ignore=GLOB]... [--quiet]\n"
                "  --tol=R       relative tolerance for value metrics "
                "(default 1e-9)\n"
                "  --time-tol=R  relative tolerance for timing metrics "
                "(default: not compared)\n"
+               "  --ignore=GLOB exclude matching metric keys from the diff "
+               "('*' any run, '?' one char); repeatable\n"
                "exit status: 0 no regression, 1 regression, 2 bad "
                "invocation or unreadable input\n");
   return 2;
@@ -186,6 +236,8 @@ int lifepred::runBenchCompare(const std::vector<std::string> &Args) {
       Options.ValueTolerance = std::atof(Arg.c_str() + 6);
     else if (Arg.rfind("--time-tol=", 0) == 0)
       Options.TimeTolerance = std::atof(Arg.c_str() + 11);
+    else if (Arg.rfind("--ignore=", 0) == 0)
+      Options.IgnoreGlobs.push_back(Arg.substr(9));
     else if (Arg == "--quiet")
       Quiet = true;
     else if (Arg.rfind("--", 0) == 0)
@@ -216,6 +268,9 @@ int lifepred::runBenchCompare(const std::vector<std::string> &Args) {
                   Drift.Key.c_str(), 100.0 * Drift.RelativeDelta,
                   Drift.OldValue, Drift.NewValue,
                   Drift.Timing ? "timing" : "value");
+    if (Result.Ignored != 0)
+      std::printf("note: %llu metrics ignored by --ignore\n",
+                  static_cast<unsigned long long>(Result.Ignored));
     std::printf("%s: %llu metrics compared, %zu drifted, %zu missing\n",
                 Result.ok() ? "OK" : "REGRESSION",
                 static_cast<unsigned long long>(Result.Compared),

@@ -41,6 +41,11 @@ struct DiffOptions {
   double ValueTolerance = 1e-9;
   /// Maximum relative drift for timing metrics; negative = don't compare.
   double TimeTolerance = -1.0;
+  /// Metric keys matching any of these globs ('*' = any run, '?' = any one
+  /// character) are excluded from the diff entirely — not compared, not
+  /// reported missing, not listed as new.  For volatile metrics a baseline
+  /// should not pin down.
+  std::vector<std::string> IgnoreGlobs;
 };
 
 /// One metric whose drift exceeded its class tolerance.
@@ -59,6 +64,7 @@ struct DiffResult {
   std::vector<std::string> OnlyInNew;     ///< Informational.
   std::vector<std::string> Notes;         ///< Manifest differences etc.
   uint64_t Compared = 0;                  ///< Metrics checked.
+  uint64_t Ignored = 0;                   ///< Keys skipped via IgnoreGlobs.
 
   bool ok() const { return Drifted.empty() && MissingInNew.empty(); }
 };
@@ -67,14 +73,20 @@ struct DiffResult {
 /// "seconds", "per_sec", "speedup").
 bool isTimingMetric(std::string_view Key);
 
+/// Shell-style glob match over the whole of \p Text: '*' matches any run
+/// (including empty), '?' matches exactly one character, everything else
+/// (dots included) matches literally.
+bool globMatch(std::string_view Pattern, std::string_view Text);
+
 /// Diffs two parsed reports.
 DiffResult diffReports(const JsonValue &Old, const JsonValue &New,
                        const DiffOptions &Options = {});
 
 /// Full bench_compare command: parses "<old.json> <new.json> [--tol=R]
-/// [--time-tol=R] [--quiet]" from \p Args, prints a human-readable diff,
-/// and returns the process exit code (0 ok, 1 regression, 2 usage/IO
-/// error).  Shared by bench/bench_compare and `trace_tool report`.
+/// [--time-tol=R] [--ignore=GLOB]... [--quiet]" from \p Args, prints a
+/// human-readable diff, and returns the process exit code (0 ok, 1
+/// regression, 2 usage/IO error).  Shared by bench/bench_compare and
+/// `trace_tool report`.
 int runBenchCompare(const std::vector<std::string> &Args);
 
 } // namespace lifepred

@@ -8,6 +8,7 @@
 
 #include "support/Json.h"
 
+#include <cmath>
 #include <cstdio>
 
 using namespace lifepred;
@@ -21,6 +22,26 @@ void Log2Histogram::merge(const Log2Histogram &Other) {
     MinValue = Other.MinValue;
   if (Other.MaxValue > MaxValue)
     MaxValue = Other.MaxValue;
+}
+
+uint64_t Log2Histogram::quantileLowerBound(double Phi) const {
+  if (Total == 0)
+    return 0;
+  if (Phi > 1.0)
+    Phi = 1.0;
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(Phi * static_cast<double>(Total)));
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Total)
+    Rank = Total;
+  uint64_t Cumulative = 0;
+  for (unsigned B = 0; B < BucketCount; ++B) {
+    Cumulative += Buckets[B];
+    if (Cumulative >= Rank)
+      return bucketLow(B);
+  }
+  return bucketLow(BucketCount - 1);
 }
 
 void StatsRegistry::merge(const StatsRegistry &Other) {
@@ -84,6 +105,14 @@ void StatsRegistry::writeJson(std::string &Out,
     appendU64(Out, Histogram.min());
     Out += ", \"max\": ";
     appendU64(Out, Histogram.max());
+    // Derived summaries under the lower-bound convention (see
+    // quantileLowerBound): exact integers, so reports can gate on them.
+    Out += ", \"p50\": ";
+    appendU64(Out, Histogram.quantileLowerBound(0.50));
+    Out += ", \"p90\": ";
+    appendU64(Out, Histogram.quantileLowerBound(0.90));
+    Out += ", \"p99\": ";
+    appendU64(Out, Histogram.quantileLowerBound(0.99));
     // Buckets as [low, count] pairs, empty buckets omitted: sparse but
     // self-describing.
     Out += ", \"buckets\": [";

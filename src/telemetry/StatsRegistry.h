@@ -70,6 +70,15 @@ public:
   /// Element-wise accumulation of \p Other into this histogram.
   void merge(const Log2Histogram &Other);
 
+  /// Lower-bound quantile: the smallest value of the bucket containing the
+  /// ceil(Phi * count)-th smallest recorded value.  Because buckets are
+  /// power-of-two ranges this underestimates the true quantile by at most
+  /// 2x — a deliberate convention: the result is an exact integer, stable
+  /// across platforms, and safe to gate with bench_compare at exact
+  /// tolerance.  Returns 0 for an empty histogram; \p Phi is clamped to
+  /// (0, 1].
+  uint64_t quantileLowerBound(double Phi) const;
+
   uint64_t count() const { return Total; }
   uint64_t sum() const { return Sum; }
   /// Minimum/maximum recorded value; 0 when empty.

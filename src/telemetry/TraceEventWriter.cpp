@@ -69,6 +69,20 @@ void TraceEventWriter::instant(const std::string &Name,
   Events.push_back({Name, Category, 'i', tidForThisThread(), Ts});
 }
 
+void TraceEventWriter::complete(const std::string &Name,
+                                const std::string &Category, unsigned Track,
+                                uint64_t Ts, uint64_t Dur) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Events.push_back({Name, Category, 'X', Track, Ts, Dur});
+}
+
+void TraceEventWriter::instantAt(const std::string &Name,
+                                 const std::string &Category, unsigned Track,
+                                 uint64_t Ts) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Events.push_back({Name, Category, 'i', Track, Ts});
+}
+
 size_t TraceEventWriter::eventCount() const {
   std::lock_guard<std::mutex> Guard(Lock);
   return Events.size();
@@ -99,6 +113,11 @@ std::string TraceEventWriter::toJson() {
       Out += "\"";
       if (E.Phase == 'i')
         Out += ", \"s\": \"t\""; // Instant scope: thread.
+      if (E.Phase == 'X') {
+        std::snprintf(Buf, sizeof(Buf), ", \"dur\": %llu",
+                      static_cast<unsigned long long>(E.Dur));
+        Out += Buf;
+      }
     }
     std::snprintf(Buf, sizeof(Buf), ", \"pid\": 1, \"tid\": %u, \"ts\": %llu}",
                   E.Tid, static_cast<unsigned long long>(E.Ts));

@@ -59,6 +59,17 @@ public:
   /// A zero-duration instant event on the calling thread.
   void instant(const std::string &Name, const std::string &Category = "sim");
 
+  /// A complete ("X") event with explicit timestamp and duration on the
+  /// synthetic track \p Track.  Unlike B/E spans these may overlap freely,
+  /// which is what per-arena occupancy timelines need; callers should pick
+  /// track ids well above the thread tids (first-use numbered from 0).
+  void complete(const std::string &Name, const std::string &Category,
+                unsigned Track, uint64_t Ts, uint64_t Dur);
+
+  /// An instant event at an explicit timestamp on track \p Track.
+  void instantAt(const std::string &Name, const std::string &Category,
+                 unsigned Track, uint64_t Ts);
+
   /// Serializes all events as Trace Event Format JSON.  Spans still open
   /// at write time are closed at the current clock (per thread, inner
   /// first) so the output always parses as well-nested.
@@ -75,9 +86,10 @@ private:
   struct Event {
     std::string Name; ///< Empty for "E" events.
     std::string Category;
-    char Phase;       ///< 'B', 'E', or 'i'.
+    char Phase;       ///< 'B', 'E', 'i', or 'X'.
     unsigned Tid;
     uint64_t Ts;      ///< Microseconds.
+    uint64_t Dur = 0; ///< Duration; 'X' events only.
   };
 
   unsigned tidForThisThread();

@@ -112,6 +112,32 @@ TEST(Log2HistogramTest, MergeMatchesDirectRecording) {
   EXPECT_TRUE(Other == Merged);
 }
 
+TEST(Log2HistogramTest, QuantileLowerBoundConvention) {
+  // Empty histograms report 0 for every quantile.
+  EXPECT_EQ(Log2Histogram().quantileLowerBound(0.5), 0u);
+
+  // The quantile is the lower bound of the bucket holding the rank
+  // ceil(Phi * count); with values {0, 1, 7, 1024} the ranks 1..4 land in
+  // buckets {0}, {1}, [4,7], [1024,2047].
+  Log2Histogram H;
+  for (uint64_t Value : {uint64_t(0), uint64_t(1), uint64_t(7),
+                         uint64_t(1024)})
+    H.record(Value);
+  EXPECT_EQ(H.quantileLowerBound(0.25), 0u);
+  EXPECT_EQ(H.quantileLowerBound(0.50), 1u);
+  EXPECT_EQ(H.quantileLowerBound(0.75), 4u);
+  EXPECT_EQ(H.quantileLowerBound(1.0), 1024u);
+  // Phi clamps into (0, 1]: below the first rank and above the last.
+  EXPECT_EQ(H.quantileLowerBound(0.0), 0u);
+  EXPECT_EQ(H.quantileLowerBound(2.0), 1024u);
+
+  // A single value reports its bucket's lower bound, not the value itself
+  // (the audit report's obs_p50 convention).
+  Log2Histogram Single;
+  Single.record(16100);
+  EXPECT_EQ(Single.quantileLowerBound(0.5), 8192u);
+}
+
 //===----------------------------------------------------------------------===//
 // StatsRegistry
 //===----------------------------------------------------------------------===//
@@ -252,6 +278,30 @@ TEST(StatsRegistryTest, WriteJsonIsValidAndComplete) {
   EXPECT_DOUBLE_EQ(BucketTotal, 3.0);
 }
 
+TEST(StatsRegistryTest, HistogramJsonEmitsQuantileSummaries) {
+  // 50 values in [2,3], 40 in [64,127], 10 in [4096,8191]: the p50/p90/p99
+  // lower bounds are the respective bucket floors — integers a baseline
+  // can gate at exact tolerance.
+  StatsRegistry Reg;
+  Log2Histogram &H = Reg.histogram("lat");
+  for (int I = 0; I < 50; ++I)
+    H.record(3);
+  for (int I = 0; I < 40; ++I)
+    H.record(100);
+  for (int I = 0; I < 10; ++I)
+    H.record(5000);
+
+  std::string Out;
+  Reg.writeJson(Out, "  ");
+  std::optional<JsonValue> Doc = parseJson(Out);
+  ASSERT_TRUE(Doc.has_value()) << Out;
+  const JsonValue *Hist = Doc->find("histograms")->find("lat");
+  ASSERT_TRUE(Hist && Hist->isObject());
+  EXPECT_DOUBLE_EQ(Hist->numberOr("p50", -1), 2.0);
+  EXPECT_DOUBLE_EQ(Hist->numberOr("p90", -1), 64.0);
+  EXPECT_DOUBLE_EQ(Hist->numberOr("p99", -1), 4096.0);
+}
+
 //===----------------------------------------------------------------------===//
 // TraceEventWriter
 //===----------------------------------------------------------------------===//
@@ -380,6 +430,31 @@ TEST(TraceEventWriterTest, CloseWritesParseableFileOnce) {
   ASSERT_TRUE(Events && Events->isArray());
   EXPECT_EQ(Events->array().size(), 4u);
   EXPECT_EQ(Doc->find("displayTimeUnit")->string(), "ms");
+}
+
+TEST(TraceEventWriterTest, CompleteAndInstantAtUseExplicitTimestamps) {
+  // The arena-occupancy exporter emits 'X' complete events and instants
+  // with caller-supplied byte-clock timestamps on synthetic tracks — no
+  // wall clock, no per-thread span stack.
+  TraceEventWriter Writer(tempPath("complete_trace.json"), tickingClock());
+  Writer.complete("fill", "arena", 100, 500, 250);
+  Writer.instantAt("reset", "arena", 100, 750);
+  EXPECT_EQ(Writer.eventCount(), 2u);
+
+  std::optional<JsonValue> Doc = parseJson(Writer.toJson());
+  ASSERT_TRUE(Doc.has_value());
+  const JsonValue *Events = Doc->find("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+  ASSERT_EQ(Events->array().size(), 2u);
+  const JsonValue &Complete = Events->array()[0];
+  EXPECT_EQ(Complete.find("ph")->string(), "X");
+  EXPECT_DOUBLE_EQ(Complete.numberOr("ts", -1), 500.0);
+  EXPECT_DOUBLE_EQ(Complete.numberOr("dur", -1), 250.0);
+  EXPECT_DOUBLE_EQ(Complete.numberOr("tid", -1), 100.0);
+  const JsonValue &Instant = Events->array()[1];
+  EXPECT_EQ(Instant.find("ph")->string(), "i");
+  EXPECT_DOUBLE_EQ(Instant.numberOr("ts", -1), 750.0);
+  EXPECT_DOUBLE_EQ(Instant.numberOr("tid", -1), 100.0);
 }
 
 TEST(TraceEventWriterTest, NullTraceSpanIsNoOp) {
@@ -535,6 +610,92 @@ TEST(ReportDiffTest, TimingMetricsMatchedByKey) {
   EXPECT_TRUE(isTimingMetric("values.speedup_vs_ff"));
   EXPECT_FALSE(isTimingMetric("events"));
   EXPECT_FALSE(isTimingMetric("telemetry.counters.arena.resets"));
+}
+
+TEST(ReportDiffTest, GlobMatchSemantics) {
+  // Literals (dots included) match only themselves, over the whole text.
+  EXPECT_TRUE(globMatch("abc", "abc"));
+  EXPECT_FALSE(globMatch("abc", "abd"));
+  EXPECT_FALSE(globMatch("abc", "ab"));
+  EXPECT_FALSE(globMatch("abc", "abcd"));
+  EXPECT_TRUE(globMatch("a.c", "a.c"));
+  EXPECT_FALSE(globMatch("a.c", "axc")); // '.' is not a wildcard.
+  EXPECT_TRUE(globMatch("", ""));
+  EXPECT_FALSE(globMatch("", "a"));
+
+  // '?' matches exactly one character.
+  EXPECT_TRUE(globMatch("a?c", "abc"));
+  EXPECT_FALSE(globMatch("a?c", "ac"));
+  EXPECT_FALSE(globMatch("?", ""));
+
+  // '*' matches any run, including the empty one, with backtracking.
+  EXPECT_TRUE(globMatch("*", ""));
+  EXPECT_TRUE(globMatch("*", "anything"));
+  EXPECT_TRUE(globMatch("a*", "a"));
+  EXPECT_TRUE(globMatch("a*", "abc"));
+  EXPECT_FALSE(globMatch("a*", "ba"));
+  EXPECT_TRUE(globMatch("*c", "abc"));
+  EXPECT_TRUE(globMatch("a*c", "ac"));
+  EXPECT_TRUE(globMatch("a*b*c", "a.x.b.y.c"));
+  EXPECT_FALSE(globMatch("a*b*c", "a.x.b.y"));
+  EXPECT_TRUE(globMatch("*ab", "aab"));
+  EXPECT_TRUE(globMatch("a*ab", "aab"));
+
+  // The intended use: metric-key prefixes.
+  EXPECT_TRUE(globMatch("telemetry.counters.audit.*",
+                        "telemetry.counters.audit.CFRAC.wasted_bytes"));
+  EXPECT_FALSE(globMatch("telemetry.counters.audit.*",
+                         "telemetry.gauges.audit.top1.site"));
+}
+
+TEST(ReportDiffTest, IgnoreGlobsExcludeMetricsEntirely) {
+  JsonValue Old = parsed(makeReport(1000, 2.0, 4096, 17));
+  JsonValue New = parsed(makeReport(1000, 2.0, 4096, 18));
+
+  // The drifted counter is excluded, counted as ignored, and no longer
+  // compared.
+  DiffOptions Ignore;
+  Ignore.IgnoreGlobs = {"telemetry.counters.*"};
+  DiffResult Result = diffReports(Old, New, Ignore);
+  EXPECT_TRUE(Result.ok());
+  EXPECT_EQ(Result.Ignored, 1u);
+  EXPECT_EQ(Result.Compared, 4u); // One fewer than the unignored diff.
+
+  // Ignoring an unrelated class still catches the drift.
+  DiffOptions Unrelated;
+  Unrelated.IgnoreGlobs = {"values.*"};
+  EXPECT_FALSE(diffReports(Old, New, Unrelated).ok());
+
+  // Ignored keys are exempt from the missing-metric regression too: a
+  // report that dropped counter x and gained counter y diffs clean when
+  // both are ignored.
+  JsonValue Renamed = parsed(
+      "{\"schema_version\": 2, \"events\": 1000, \"wall_seconds\": 2.0,"
+      " \"events_per_sec\": 500, \"values\": {\"max_heap\": 4096},"
+      " \"telemetry\": {\"counters\": {\"y\": 1}, \"gauges\": {},"
+      " \"histograms\": {\"h\": {\"count\": 4, \"sum\": 10}}}}");
+  DiffOptions IgnoreBoth;
+  IgnoreBoth.IgnoreGlobs = {"telemetry.counters.?"};
+  DiffResult RenameResult = diffReports(Old, Renamed, IgnoreBoth);
+  EXPECT_TRUE(RenameResult.ok());
+  EXPECT_TRUE(RenameResult.MissingInNew.empty());
+  EXPECT_TRUE(RenameResult.OnlyInNew.empty());
+}
+
+TEST(ReportDiffTest, RunBenchCompareIgnoreFlag) {
+  std::string OldPath = tempPath("ignore_old.json");
+  std::string DriftPath = tempPath("ignore_drift.json");
+  { std::ofstream(OldPath) << makeReport(1000, 2.0, 4096, 17); }
+  { std::ofstream(DriftPath) << makeReport(1000, 2.0, 4096, 18); }
+
+  EXPECT_EQ(runBenchCompare({OldPath, DriftPath, "--quiet"}), 1);
+  EXPECT_EQ(runBenchCompare({OldPath, DriftPath,
+                             "--ignore=telemetry.counters.*", "--quiet"}),
+            0);
+  // A glob that matches nothing changes nothing.
+  EXPECT_EQ(runBenchCompare({OldPath, DriftPath, "--ignore=nope.*",
+                             "--quiet"}),
+            1);
 }
 
 TEST(ReportDiffTest, RunBenchCompareExitSemantics) {
