@@ -110,6 +110,17 @@ lifepred::makeAllTraces(const BenchOptions &Options) {
   return makeAllTraces(Options, Pool);
 }
 
+std::vector<CompiledTrace>
+lifepred::compileAllTraces(const std::vector<ProgramTraces> &All,
+                           ThreadPool &Pool, const SiteKeyPolicy *Policy) {
+  std::vector<CompiledTrace> Compiled(All.size());
+  parallelForIndex(Pool, All.size(), [&](size_t Index) {
+    Compiled[Index] = Policy ? CompiledTrace(All[Index].Test, *Policy)
+                             : CompiledTrace(All[Index].Test);
+  });
+  return Compiled;
+}
+
 void lifepred::printBanner(const char *Table, const char *Caption,
                            const BenchOptions &Options) {
   std::printf("== %s: %s ==\n", Table, Caption);

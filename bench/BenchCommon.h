@@ -26,6 +26,7 @@
 #include "support/CommandLine.h"
 #include "support/ThreadPool.h"
 #include "trace/AllocationTrace.h"
+#include "trace/CompiledTrace.h"
 #include "workloads/PaperData.h"
 #include "workloads/Programs.h"
 #include "workloads/WorkloadRunner.h"
@@ -95,6 +96,17 @@ std::vector<ProgramTraces> makeAllTraces(const BenchOptions &Options);
 /// Generates traces for one model.
 ProgramTraces makeTraces(const ProgramModel &Model,
                          const BenchOptions &Options);
+
+/// Compiles every program's *test* trace once — the event schedule plus,
+/// when \p Policy is non-null, per-record site keys under that policy —
+/// fanning out one task per program on \p Pool.  Result order matches
+/// \p All.  The compiled traces are immutable, so every simulation task a
+/// bench later fans out (threshold sweeps, per-allocator columns, repeat
+/// loops) shares them read-only at any --jobs; they hold pointers into
+/// \p All, which must outlive them.
+std::vector<CompiledTrace>
+compileAllTraces(const std::vector<ProgramTraces> &All, ThreadPool &Pool,
+                 const SiteKeyPolicy *Policy = nullptr);
 
 /// Prints the standard bench banner naming the table being reproduced.
 void printBanner(const char *Table, const char *Caption,

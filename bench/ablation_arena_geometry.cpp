@@ -43,12 +43,14 @@ int main(int Argc, char **Argv) {
     SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
     SiteDatabase DB =
         trainDatabase(profileTrace(Traces.Train, Policy), Policy);
+    // One compile serves every geometry's replay of the same test trace.
+    CompiledTrace Test(Traces.Test, Policy);
     bool First = true;
     for (const Geometry &G : Geometries) {
       ArenaAllocator::Config Cfg;
       Cfg.AreaBytes = G.AreaKb * 1024;
       Cfg.ArenaCount = G.Count;
-      ArenaSimResult R = simulateArena(Traces.Test, DB,
+      ArenaSimResult R = simulateArena(Test, DB,
                                        Traces.Model.CallsPerAlloc,
                                        CostModel(), Cfg);
       uint64_t Total = R.Arena.ArenaAllocs + R.Arena.GeneralAllocs;

@@ -46,16 +46,17 @@ int main(int Argc, char **Argv) {
     SiteKeyPolicy KeyPolicy = SiteKeyPolicy::completeChain();
     SiteDatabase DB =
         trainDatabase(profileTrace(Traces.Train, KeyPolicy), KeyPolicy);
+    // One compile serves all six replays of the program's test trace.
+    CompiledTrace Test(Traces.Test, KeyPolicy);
     bool First = true;
     for (const PolicyCase &Case : Policies) {
       FirstFitAllocator::Config FFConfig;
       FFConfig.Policy = Case.Policy;
-      BaselineSimResult Plain =
-          simulateFirstFit(Traces.Test, CostModel(), FFConfig);
+      BaselineSimResult Plain = simulateFirstFit(Test, CostModel(), FFConfig);
       ArenaAllocator::Config ArenaConfig;
       ArenaConfig.General.Policy = Case.Policy;
       ArenaSimResult Arena =
-          simulateArena(Traces.Test, DB, Traces.Model.CallsPerAlloc,
+          simulateArena(Test, DB, Traces.Model.CallsPerAlloc,
                         CostModel(), ArenaConfig);
 
       auto StepsPerAlloc = [](const FirstFitAllocator::Counters &C) {

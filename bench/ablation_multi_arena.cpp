@@ -38,6 +38,8 @@ int main(int Argc, char **Argv) {
                         "General%", "Fallback0", "MaxHeap(K)"});
   for (const ProgramTraces &Traces : makeAllTraces(Options)) {
     Profile TrainProfile = profileTrace(Traces.Train, Policy);
+    // One compile serves both band configurations' replays.
+    CompiledTrace Test(Traces.Test, Policy);
 
     struct Case {
       const char *Name;
@@ -66,8 +68,7 @@ int main(int Argc, char **Argv) {
     for (const Case &C : Cases) {
       ClassDatabase DB =
           trainClassDatabase(TrainProfile, Policy, C.Thresholds);
-      MultiArenaSimResult R =
-          simulateMultiArena(Traces.Test, DB, C.Config);
+      MultiArenaSimResult R = simulateMultiArena(Test, DB, C.Config);
 
       uint64_t TotalBytes = R.GeneralBytes;
       for (const auto &Band : R.PerBand)

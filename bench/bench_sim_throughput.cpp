@@ -7,18 +7,30 @@
 //
 //   legacy-ff  : the original std::map/std::set first-fit block store,
 //                retained as LegacyFirstFitAllocator (the differential
-//                oracle).
-//   flat-ff    : the flat boundary-tag block store that replaced it.
-//   bsd        : the Kingsley power-of-two allocator.
-//   arena      : the lifetime-predicting arena allocator (true database).
-//   multiarena : the two-band arena allocator (trained class database).
+//                oracle), driven through the replayTrace oracle scheduler.
+//   oracle-ff  : the flat boundary-tag block store driven through the same
+//                replayTrace oracle (per-replay priority-queue scheduling,
+//                virtual consumer dispatch).
+//   flat-ff    : the flat store replaying the precompiled event schedule
+//                (CompiledTrace) — the production path.
+//   bsd        : the Kingsley power-of-two allocator, compiled schedule.
+//   arena      : the lifetime-predicting arena allocator (true database),
+//                compiled schedule with pre-resolved predictions.
+//   multiarena : the two-band arena allocator (trained class database),
+//                compiled schedule with pre-resolved bands.
 //
-// The flat/legacy pair replays the same traces under the same fit policy
-// (--policy=roving|address|best), so their ratio is the speedup of the
-// block-store rewrite alone.  Per-(program, allocator, repeat) replays
-// fan out on the bench thread pool; each task times only its own replay,
-// and per-allocator throughput aggregates those task-local times, so
-// --jobs only shortens the bench without perturbing the ratio.
+// The oracle-ff/legacy-ff pair isolates the block-store rewrite; the
+// flat-ff/oracle-ff pair isolates the schedule compilation (same allocator,
+// same fit policy --policy=roving|address|best).  Schedule compilation is
+// its own timed phase, reported separately from replay: the JSON carries
+// compile.seconds / compile.schedule_bytes for the one-time cost and
+// replay.events / replay.seconds / replay.events_per_sec for the compiled
+// production replays (flat-ff, bsd, arena, multiarena) — the headline the
+// regression gate watches.  Per-(program, allocator, repeat) replays fan
+// out on the bench thread pool, all sharing each program's immutable
+// compiled schedule; each task times only its own replay, and per-allocator
+// throughput aggregates those task-local times, so --jobs only shortens the
+// bench without perturbing the ratios.
 //
 // With --json (or --trace-out, or --audit-out) the bench additionally runs
 // one *untimed* instrumented replay per (program, allocator family) after
@@ -62,11 +74,13 @@ using namespace lifepred;
 
 namespace {
 
-/// Replays \p Trace into a fresh \p Allocator, returning nothing; the
-/// caller times the call.  Mirrors the simulator's BaselineConsumer.
+/// Replays \p Trace into a fresh \p Allocator through the replayTrace
+/// oracle (per-replay priority-queue scheduling, virtual dispatch); the
+/// caller times the call.  This is the pre-compilation path, kept as the
+/// comparison row for the compiled replays.
 template <typename AllocatorT>
-void replayBaseline(const AllocationTrace &Trace,
-                    typename AllocatorT::Config Config) {
+void oracleReplay(const AllocationTrace &Trace,
+                  typename AllocatorT::Config Config) {
   class Consumer : public TraceConsumer {
   public:
     Consumer(AllocatorT &Allocator, size_t ObjectCount)
@@ -92,9 +106,9 @@ void replayBaseline(const AllocationTrace &Trace,
   replayTrace(Trace, C);
 }
 
-constexpr unsigned AllocatorCount = 5;
+constexpr unsigned AllocatorCount = 6;
 const char *const AllocatorNames[AllocatorCount] = {
-    "legacy-ff", "flat-ff", "bsd", "arena", "multiarena"};
+    "legacy-ff", "oracle-ff", "flat-ff", "bsd", "arena", "multiarena"};
 
 /// The two-band geometry of ablation_multi_arena's "2 bands" case: same
 /// total area as the paper's single band, split.
@@ -171,6 +185,28 @@ int main(int Argc, char **Argv) {
   FirstFitAllocator::Config FFConfig;
   FFConfig.Policy = Policy;
 
+  // Timed compile phase: each program's test trace is compiled once —
+  // event schedule plus per-record site keys — and shared read-only by
+  // every replay task below at any --jobs.
+  std::vector<CompiledTrace> Compiled(All.size());
+  std::vector<double> CompileSeconds(All.size());
+  {
+    TraceSpan Span(TraceWriter.get(), "compile-schedules");
+    parallelForIndex(Pool, All.size(), [&](size_t Index) {
+      double Start = wallTimeSeconds();
+      Compiled[Index] = CompiledTrace(All[Index].Test, KeyPolicy);
+      CompileSeconds[Index] = wallTimeSeconds() - Start;
+    });
+  }
+  double CompileTotalSeconds = 0.0;
+  uint64_t ScheduleBytes = 0;
+  uint64_t ScheduleEvents = 0;
+  for (size_t I = 0; I < All.size(); ++I) {
+    CompileTotalSeconds += CompileSeconds[I];
+    ScheduleBytes += Compiled[I].schedule().memoryBytes();
+    ScheduleEvents += Compiled[I].schedule().size();
+  }
+
   // One task per (program, allocator); each repeats its replay and times
   // only the replay calls.
   std::vector<Cell> Cells(All.size() * AllocatorCount);
@@ -180,26 +216,30 @@ int main(int Argc, char **Argv) {
       size_t ProgramIndex = Task / AllocatorCount;
       unsigned Allocator = Task % AllocatorCount;
       const ProgramTraces &Traces = All[ProgramIndex];
+      const CompiledTrace &Test = Compiled[ProgramIndex];
       Cell &C = Cells[Task];
       C.Events = uint64_t(Repeat) * replayEventCount(Traces.Test);
       double Start = wallTimeSeconds();
       for (unsigned R = 0; R < Repeat; ++R) {
         switch (Allocator) {
         case 0:
-          replayBaseline<LegacyFirstFitAllocator>(Traces.Test, FFConfig);
+          oracleReplay<LegacyFirstFitAllocator>(Traces.Test, FFConfig);
           break;
         case 1:
-          replayBaseline<FirstFitAllocator>(Traces.Test, FFConfig);
+          oracleReplay<FirstFitAllocator>(Traces.Test, FFConfig);
           break;
         case 2:
-          replayBaseline<BsdAllocator>(Traces.Test, BsdAllocator::Config());
+          simulateFirstFit(Test, CostModel(), FFConfig);
           break;
         case 3:
-          simulateArena(Traces.Test, TrueDBs[ProgramIndex],
-                        Traces.Model.CallsPerAlloc);
+          simulateBsd(Test);
           break;
         case 4:
-          simulateMultiArena(Traces.Test, ClassDBs[ProgramIndex],
+          simulateArena(Test, TrueDBs[ProgramIndex],
+                        Traces.Model.CallsPerAlloc);
+          break;
+        case 5:
+          simulateMultiArena(Test, ClassDBs[ProgramIndex],
                              multiArenaConfig());
           break;
         }
@@ -212,7 +252,7 @@ int main(int Argc, char **Argv) {
                         "Events/sec", "vs legacy"});
   JsonReport Report("sim_throughput", Options);
 
-  Cell LegacyTotal, FlatTotal;
+  Cell LegacyTotal, OracleTotal, FlatTotal, ReplayTotal;
   uint64_t TotalEvents = 0;
   double TotalSeconds = 0.0;
   for (size_t I = 0; I < All.size(); ++I) {
@@ -221,6 +261,10 @@ int main(int Argc, char **Argv) {
       const Cell &C = Cells[I * AllocatorCount + A];
       TotalEvents += C.Events;
       TotalSeconds += C.Seconds;
+      if (A >= 2) { // The compiled production replays: the headline.
+        ReplayTotal.Events += C.Events;
+        ReplayTotal.Seconds += C.Seconds;
+      }
       Table.beginRow();
       Table.addCell(A == 0 ? All[I].Model.Name : "");
       Table.addCell(AllocatorNames[A]);
@@ -237,23 +281,44 @@ int main(int Argc, char **Argv) {
     }
     LegacyTotal.Events += Legacy.Events;
     LegacyTotal.Seconds += Legacy.Seconds;
-    FlatTotal.Events += Cells[I * AllocatorCount + 1].Events;
-    FlatTotal.Seconds += Cells[I * AllocatorCount + 1].Seconds;
+    OracleTotal.Events += Cells[I * AllocatorCount + 1].Events;
+    OracleTotal.Seconds += Cells[I * AllocatorCount + 1].Seconds;
+    FlatTotal.Events += Cells[I * AllocatorCount + 2].Events;
+    FlatTotal.Seconds += Cells[I * AllocatorCount + 2].Seconds;
   }
   Table.print(std::cout);
 
-  double Speedup = FlatTotal.Seconds > 0.0
-                       ? LegacyTotal.Seconds / FlatTotal.Seconds
-                       : 0.0;
-  std::printf("\nfirst-fit replay (%s): legacy %.0f events/sec, flat %.0f "
-              "events/sec — speedup %.2fx\n",
+  double BlockStoreSpeedup = OracleTotal.Seconds > 0.0
+                                 ? LegacyTotal.Seconds / OracleTotal.Seconds
+                                 : 0.0;
+  double CompileSpeedup = FlatTotal.Seconds > 0.0
+                              ? OracleTotal.Seconds / FlatTotal.Seconds
+                              : 0.0;
+  std::printf("\nschedule compile: %.3f s for %llu events (%llu KB of "
+              "schedule)\n",
+              CompileTotalSeconds,
+              static_cast<unsigned long long>(ScheduleEvents),
+              static_cast<unsigned long long>(ScheduleBytes / 1024));
+  std::printf("first-fit replay (%s): legacy %.0f ev/s, oracle %.0f ev/s "
+              "(block store %.2fx), compiled %.0f ev/s (schedule %.2fx)\n",
               PolicyName.c_str(), LegacyTotal.eventsPerSec(),
-              FlatTotal.eventsPerSec(), Speedup);
+              OracleTotal.eventsPerSec(), BlockStoreSpeedup,
+              FlatTotal.eventsPerSec(), CompileSpeedup);
+  std::printf("compiled production replays: %.0f events/sec\n",
+              ReplayTotal.eventsPerSec());
 
   Report.setThroughput(TotalEvents, TotalSeconds);
+  Report.add("compile.seconds", CompileTotalSeconds);
+  Report.add("compile.schedule_bytes", static_cast<double>(ScheduleBytes));
+  Report.add("compile.events", static_cast<double>(ScheduleEvents));
+  Report.add("replay.events", static_cast<double>(ReplayTotal.Events));
+  Report.add("replay.seconds", ReplayTotal.Seconds);
+  Report.add("replay.events_per_sec", ReplayTotal.eventsPerSec());
   Report.add("legacy_ff.events_per_sec", LegacyTotal.eventsPerSec());
+  Report.add("oracle_ff.events_per_sec", OracleTotal.eventsPerSec());
   Report.add("flat_ff.events_per_sec", FlatTotal.eventsPerSec());
-  Report.add("flat_vs_legacy_speedup", Speedup);
+  Report.add("flat_vs_legacy_speedup", BlockStoreSpeedup);
+  Report.add("compiled_vs_oracle_speedup", CompileSpeedup);
 
   // Untimed instrumented replays: allocator counters, histograms, and
   // prediction outcomes for the JSON report's telemetry section.  One
@@ -279,7 +344,7 @@ int main(int Argc, char **Argv) {
     parallelForIndex(Pool, All.size(), [&](size_t Index) {
       TraceSpan ProgramSpan(TraceWriter.get(), All[Index].Model.Name,
                             "replay");
-      const AllocationTrace &Test = All[Index].Test;
+      const CompiledTrace &Test = Compiled[Index];
       SimTelemetry FF;
       FF.Registry = &PerProgram[Index];
       if (Index == 0 && Options.TimelineStride > 0)

@@ -54,13 +54,14 @@ int main(int Argc, char **Argv) {
 
     Profile TrainProfile = profileTrace(Traces.Train, Policy);
     SiteDatabase DB = trainDatabase(TrainProfile, Policy);
+    CompiledTrace Test(Traces.Test, Policy);
     FlightRecorder::Config RecorderConfig;
     RecorderConfig.Seed = Options.Seed;
     FlightRecorder Recorder(RecorderConfig);
     SimTelemetry Telemetry;
     Telemetry.Recorder = AuditFile ? &Recorder : nullptr;
     ArenaSimResult Sim =
-        simulateArena(Traces.Test, DB, Traces.Model.CallsPerAlloc,
+        simulateArena(Test, DB, Traces.Model.CallsPerAlloc,
                       CostModel(), ArenaAllocator::Config(),
                       AuditFile ? &Telemetry : nullptr);
     if (AuditFile) {

@@ -45,9 +45,11 @@ int main(int Argc, char **Argv) {
 
   ThreadPool Pool(Options.Jobs);
   std::vector<ProgramTraces> All = makeAllTraces(Options, Pool);
+  std::vector<CompiledTrace> Compiled = compileAllTraces(All, Pool, &Policy);
 
-  // Fan out one task per (program, allocator).  Database training rides
-  // inside the task that consumes it.
+  // Fan out one task per (program, allocator), all replaying the shared
+  // compiled schedule.  Database training rides inside the task that
+  // consumes it.
   std::vector<Row> Rows(All.size());
   uint64_t Events = 0;
   for (const ProgramTraces &Traces : All)
@@ -55,24 +57,25 @@ int main(int Argc, char **Argv) {
   double Start = wallTimeSeconds();
   parallelForIndex(Pool, All.size() * 3, [&](size_t Task) {
     const ProgramTraces &Traces = All[Task / 3];
+    const CompiledTrace &Test = Compiled[Task / 3];
     Row &R = Rows[Task / 3];
     switch (Task % 3) {
     case 0:
-      R.FF = simulateFirstFit(Traces.Test);
+      R.FF = simulateFirstFit(Test);
       break;
     case 1: {
       // The paper sizes heaps on the *test* (performance) input; the
       // self database is trained on that same input.
       Profile SelfProfile = profileTrace(Traces.Test, Policy);
       SiteDatabase SelfDB = trainDatabase(SelfProfile, Policy);
-      R.Self = simulateArena(Traces.Test, SelfDB, Traces.Model.CallsPerAlloc);
+      R.Self = simulateArena(Test, SelfDB, Traces.Model.CallsPerAlloc);
       break;
     }
     case 2: {
       // ...the true database on the training input.
       Profile TrainProfile = profileTrace(Traces.Train, Policy);
       SiteDatabase TrueDB = trainDatabase(TrainProfile, Policy);
-      R.True = simulateArena(Traces.Test, TrueDB, Traces.Model.CallsPerAlloc);
+      R.True = simulateArena(Test, TrueDB, Traces.Model.CallsPerAlloc);
       break;
     }
     }

@@ -45,6 +45,7 @@ int main(int Argc, char **Argv) {
 
   ThreadPool Pool(Options.Jobs);
   std::vector<ProgramTraces> All = makeAllTraces(Options, Pool);
+  std::vector<CompiledTrace> Compiled = compileAllTraces(All, Pool, &Policy);
 
   std::vector<Row> Rows(All.size());
   uint64_t Events = 0;
@@ -53,19 +54,19 @@ int main(int Argc, char **Argv) {
   double Start = wallTimeSeconds();
   parallelForIndex(Pool, All.size() * 3, [&](size_t Task) {
     const ProgramTraces &Traces = All[Task / 3];
+    const CompiledTrace &Test = Compiled[Task / 3];
     Row &R = Rows[Task / 3];
     switch (Task % 3) {
     case 0:
-      R.Bsd = simulateBsd(Traces.Test, Costs);
+      R.Bsd = simulateBsd(Test, Costs);
       break;
     case 1:
-      R.FF = simulateFirstFit(Traces.Test, Costs);
+      R.FF = simulateFirstFit(Test, Costs);
       break;
     case 2: {
       Profile TrainProfile = profileTrace(Traces.Train, Policy);
       SiteDatabase DB = trainDatabase(TrainProfile, Policy);
-      R.Arena =
-          simulateArena(Traces.Test, DB, Traces.Model.CallsPerAlloc, Costs);
+      R.Arena = simulateArena(Test, DB, Traces.Model.CallsPerAlloc, Costs);
       break;
     }
     }

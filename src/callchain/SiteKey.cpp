@@ -1,10 +1,10 @@
-//===- core/SiteKey.cpp - Allocation-site key encoding ---------------------===//
+//===- callchain/SiteKey.cpp - Allocation-site key encoding ---------------------===//
 //
 // Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/SiteKey.h"
+#include "callchain/SiteKey.h"
 
 #include "support/Assert.h"
 

@@ -1,4 +1,4 @@
-//===- core/SiteKey.h - Allocation-site key encoding ------------*- C++ -*-===//
+//===- callchain/SiteKey.h - Allocation-site key encoding ------------*- C++ -*-===//
 //
 // Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
 //
@@ -20,8 +20,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef LIFEPRED_CORE_SITEKEY_H
-#define LIFEPRED_CORE_SITEKEY_H
+#ifndef LIFEPRED_CALLCHAIN_SITEKEY_H
+#define LIFEPRED_CALLCHAIN_SITEKEY_H
 
 #include "callchain/CallChain.h"
 #include "callchain/ChainEncryption.h"
@@ -90,6 +90,14 @@ struct SiteKeyPolicy {
   bool usesType() const {
     return Mode == SiteKeyMode::TypeOnly || Mode == SiteKeyMode::TypeAndSize;
   }
+
+  /// Two policies are equal when they produce the same key for every
+  /// allocation (encryption compares by table identity).  Lets precomputed
+  /// per-record key tables assert they match a database's policy.
+  friend bool operator==(const SiteKeyPolicy &A, const SiteKeyPolicy &B) {
+    return A.Mode == B.Mode && A.Length == B.Length &&
+           A.SizeRounding == B.SizeRounding && A.Encryption == B.Encryption;
+  }
 };
 
 /// The chain-dependent part of a site key (size not yet mixed in).
@@ -134,4 +142,4 @@ inline SiteKey siteKeyForRecord(const SiteKeyPolicy &Policy,
 
 } // namespace lifepred
 
-#endif // LIFEPRED_CORE_SITEKEY_H
+#endif // LIFEPRED_CALLCHAIN_SITEKEY_H

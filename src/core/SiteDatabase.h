@@ -16,7 +16,7 @@
 #ifndef LIFEPRED_CORE_SITEDATABASE_H
 #define LIFEPRED_CORE_SITEDATABASE_H
 
-#include "core/SiteKey.h"
+#include "callchain/SiteKey.h"
 
 #include <cstdint>
 #include <iosfwd>

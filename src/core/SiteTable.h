@@ -15,7 +15,7 @@
 #ifndef LIFEPRED_CORE_SITETABLE_H
 #define LIFEPRED_CORE_SITETABLE_H
 
-#include "core/SiteKey.h"
+#include "callchain/SiteKey.h"
 #include "quantile/QuantileHistogram.h"
 
 #include <cstdint>

@@ -6,29 +6,61 @@
 
 #include "sim/MultiArenaSimulator.h"
 
+#include "sim/CompiledPrediction.h"
 #include "sim/SimTelemetry.h"
-#include "sim/SiteKeyCache.h"
 #include "telemetry/FlightRecorder.h"
-#include "trace/TraceReplayer.h"
 
 using namespace lifepred;
 
 namespace {
 
-class MultiArenaConsumer : public TraceConsumer {
+/// Uninstrumented banded replay: band verdict is one table load.
+class PlainMultiArenaConsumer
+    : public ScheduleConsumer<PlainMultiArenaConsumer> {
 public:
-  MultiArenaConsumer(MultiArenaAllocator &Allocator,
-                     const AllocationTrace &Trace, const ClassDatabase &DB,
-                     SimTelemetry *Telemetry)
-      : Allocator(Allocator), DB(DB), Keys(DB.policy(), Trace),
-        Telemetry(Telemetry),
+  PlainMultiArenaConsumer(MultiArenaAllocator &Allocator,
+                          const AllocationTrace &Trace,
+                          const std::vector<LifetimeClass> &Bands)
+      : Allocator(Allocator), Records(Trace.records().data()),
+        Bands(Bands.data()) {
+    Addresses.resize(Trace.size());
+  }
+
+  void onAlloc(uint32_t Id, uint64_t) {
+    Addresses[Id] = Allocator.allocate(Records[Id].Size, Bands[Id]);
+    raisePeak(MaxLive, Allocator.liveBytes());
+  }
+
+  void onFree(uint32_t Id, uint64_t) { Allocator.free(Addresses[Id]); }
+
+  uint64_t maxLiveBytes() const { return MaxLive; }
+
+private:
+  MultiArenaAllocator &Allocator;
+  const AllocRecord *Records;
+  const LifetimeClass *Bands;
+  std::vector<uint64_t> Addresses;
+  uint64_t MaxLive = 0;
+};
+
+/// Instrumented banded replay: outcomes, timeline, flight recorder.
+class InstrumentedMultiArenaConsumer
+    : public ScheduleConsumer<InstrumentedMultiArenaConsumer> {
+public:
+  InstrumentedMultiArenaConsumer(MultiArenaAllocator &Allocator,
+                                 const AllocationTrace &Trace,
+                                 const ClassDatabase &DB,
+                                 const std::vector<LifetimeClass> &Bands,
+                                 SimTelemetry *Telemetry)
+      : Allocator(Allocator), Records(Trace.records().data()), DB(DB),
+        Bands(Bands.data()), Telemetry(Telemetry),
         Recorder(Telemetry ? Telemetry->Recorder : nullptr) {
     Addresses.resize(Trace.size());
   }
 
-  void onAlloc(uint64_t Id, const AllocRecord &Record,
-               uint64_t Clock) override {
-    LifetimeClass Band = DB.classify(Keys.keyFor(Id));
+  void onAlloc(uint32_t Id, uint64_t Clock) {
+    const AllocRecord &Record = Records[Id];
+    LifetimeClass Band = Bands[Id];
     if (Recorder)
       Recorder->beginEvent(Clock);
     Addresses[Id] = Allocator.allocate(Record.Size, Band);
@@ -49,13 +81,13 @@ public:
       recordAudit(Id, Record, Clock, Band);
   }
 
-  void onFree(uint64_t Id, const AllocRecord &, uint64_t Clock) override {
+  void onFree(uint32_t Id, uint64_t Clock) {
     Allocator.free(Addresses[Id]);
     if (Recorder)
       Recorder->recordFree(Id, Clock);
   }
 
-  void onEnd(uint64_t Clock) override {
+  void onEnd(uint64_t Clock) {
     if (Recorder)
       Recorder->finish(Clock);
   }
@@ -103,8 +135,9 @@ private:
   }
 
   MultiArenaAllocator &Allocator;
+  const AllocRecord *Records;
   const ClassDatabase &DB;
-  SiteKeyCache Keys;
+  const LifetimeClass *Bands;
   SimTelemetry *Telemetry;
   FlightRecorder *Recorder;
   std::vector<uint64_t> Addresses;
@@ -114,10 +147,11 @@ private:
 } // namespace
 
 MultiArenaSimResult
-lifepred::simulateMultiArena(const AllocationTrace &Trace,
+lifepred::simulateMultiArena(const CompiledTrace &Compiled,
                              const ClassDatabase &DB,
                              MultiArenaAllocator::Config Config,
                              SimTelemetry *Telemetry) {
+  std::vector<LifetimeClass> Bands = compileBands(Compiled, DB);
   MultiArenaAllocator Allocator(Config);
   if (Telemetry && Telemetry->Registry)
     Allocator.attachTelemetry(*Telemetry->Registry, "multiarena.");
@@ -128,8 +162,17 @@ lifepred::simulateMultiArena(const AllocationTrace &Trace,
           Allocator.bandArenaBytes(static_cast<uint8_t>(Band)));
     Allocator.attachLifecycle(Telemetry->Recorder);
   }
-  MultiArenaConsumer Consumer(Allocator, Trace, DB, Telemetry);
-  replayTrace(Trace, Consumer);
+  uint64_t MaxLive = 0;
+  if (!Telemetry) {
+    PlainMultiArenaConsumer Consumer(Allocator, Compiled.trace(), Bands);
+    forEachEvent(Compiled.schedule(), Consumer);
+    MaxLive = Consumer.maxLiveBytes();
+  } else {
+    InstrumentedMultiArenaConsumer Consumer(Allocator, Compiled.trace(), DB,
+                                            Bands, Telemetry);
+    forEachEvent(Compiled.schedule(), Consumer);
+    MaxLive = Consumer.maxLiveBytes();
+  }
   if (Telemetry && Telemetry->Registry) {
     Allocator.exportTelemetry(*Telemetry->Registry, "multiarena.");
     Telemetry->Outcomes.exportTelemetry(*Telemetry->Registry,
@@ -140,11 +183,20 @@ lifepred::simulateMultiArena(const AllocationTrace &Trace,
 
   MultiArenaSimResult Result;
   Result.MaxHeapBytes = Allocator.maxHeapBytes();
-  Result.MaxLiveBytes = Consumer.maxLiveBytes();
+  Result.MaxLiveBytes = MaxLive;
   for (size_t Band = 0; Band < Allocator.bands(); ++Band)
     Result.PerBand.push_back(Allocator.bandCounters(Band));
   Result.GeneralAllocs = Allocator.generalAllocs();
   Result.GeneralBytes = Allocator.generalBytes();
   Result.General = Allocator.general().counters();
   return Result;
+}
+
+MultiArenaSimResult
+lifepred::simulateMultiArena(const AllocationTrace &Trace,
+                             const ClassDatabase &DB,
+                             MultiArenaAllocator::Config Config,
+                             SimTelemetry *Telemetry) {
+  return simulateMultiArena(CompiledTrace(Trace, DB.policy()), DB, Config,
+                            Telemetry);
 }

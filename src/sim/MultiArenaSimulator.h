@@ -6,7 +6,10 @@
 ///
 /// \file
 /// Trace-driven simulation of the multi-band arena allocator with a
-/// trained ClassDatabase deciding each allocation's lifetime band.
+/// trained ClassDatabase deciding each allocation's lifetime band.  Like
+/// the simulators in TraceSimulator.h, the fast entry point takes a
+/// CompiledTrace (band verdicts pre-resolved per record, no per-event
+/// classifier probes) and a convenience overload compiles on the spot.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +19,7 @@
 #include "alloc/MultiArenaAllocator.h"
 #include "core/LifetimeClassifier.h"
 #include "trace/AllocationTrace.h"
+#include "trace/CompiledTrace.h"
 
 #include <vector>
 
@@ -43,12 +47,22 @@ struct MultiArenaSimResult {
   }
 };
 
-/// Simulates \p Trace over a banded arena allocator configured by
-/// \p Config, with \p DB classifying each allocation.  A non-null
-/// \p Telemetry collects metrics under "multiarena." plus prediction
-/// outcomes: an allocation predicted into band B counts as a true short
-/// when its lifetime is within B's threshold, and an unclassified one as a
-/// missed short when any band's threshold would have covered it.
+/// Simulates a compiled trace over a banded arena allocator configured by
+/// \p Config, with \p DB classifying each allocation.  \p Compiled must
+/// carry site keys under DB's policy; the classifier is resolved to one
+/// band per record before the replay.  A non-null \p Telemetry collects
+/// metrics under "multiarena." plus prediction outcomes: an allocation
+/// predicted into band B counts as a true short when its lifetime is
+/// within B's threshold, and an unclassified one as a missed short when
+/// any band's threshold would have covered it.
+MultiArenaSimResult
+simulateMultiArena(const CompiledTrace &Compiled, const ClassDatabase &DB,
+                   MultiArenaAllocator::Config Config =
+                       MultiArenaAllocator::Config(),
+                   SimTelemetry *Telemetry = nullptr);
+
+/// Convenience overload: compiles \p Trace under DB's policy, then
+/// simulates.
 MultiArenaSimResult
 simulateMultiArena(const AllocationTrace &Trace, const ClassDatabase &DB,
                    MultiArenaAllocator::Config Config =

@@ -2,15 +2,22 @@
 //
 // Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
 //
+// Replays run over the compiled flat schedule (trace/CompiledTrace.h) with
+// concrete consumer types, so the per-event path has no virtual dispatch.
+// Each simulator has a plain consumer — the branch-lean hot path used when
+// no SimTelemetry is attached — and an instrumented consumer carrying the
+// telemetry, timeline, and flight-recorder hooks.  The two make identical
+// allocator calls in identical order, so Counters agree bit-for-bit; only
+// the observation differs.
+//
 //===----------------------------------------------------------------------===//
 
 #include "sim/TraceSimulator.h"
 
 #include "core/Profiler.h"
+#include "sim/CompiledPrediction.h"
 #include "sim/SimTelemetry.h"
-#include "sim/SiteKeyCache.h"
 #include "telemetry/FlightRecorder.h"
-#include "trace/TraceReplayer.h"
 
 #include <unordered_set>
 #include <vector>
@@ -35,63 +42,138 @@ void sampleTimeline(SimTelemetry *Telemetry, uint64_t Clock,
   Telemetry->Timeline->record(Sample);
 }
 
-/// Replays a trace into any AllocatorSim, tracking peaks.
-class BaselineConsumer : public TraceConsumer {
+/// Uninstrumented replay into any concrete allocator: the hot path.
+template <typename AllocatorT>
+class PlainBaselineConsumer
+    : public ScheduleConsumer<PlainBaselineConsumer<AllocatorT>> {
 public:
-  BaselineConsumer(AllocatorSim &Allocator, size_t ObjectCount,
-                   SimTelemetry *Telemetry)
-      : Allocator(Allocator), Telemetry(Telemetry) {
-    Addresses.resize(ObjectCount);
+  PlainBaselineConsumer(AllocatorT &Allocator, const AllocationTrace &Trace)
+      : Allocator(Allocator), Records(Trace.records().data()) {
+    Addresses.resize(Trace.size());
   }
 
-  void onAlloc(uint64_t Id, const AllocRecord &Record,
-               uint64_t Clock) override {
-    Addresses[Id] = Allocator.allocate(Record.Size);
+  void onAlloc(uint32_t Id, uint64_t) {
+    Addresses[Id] = Allocator.allocate(Records[Id].Size);
     raisePeak(MaxLive, Allocator.liveBytes());
-    sampleTimeline(Telemetry, Clock, Allocator, /*ArenaBytes=*/0);
   }
 
-  void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
-    Allocator.free(Addresses[Id]);
-  }
+  void onFree(uint32_t Id, uint64_t) { Allocator.free(Addresses[Id]); }
 
   uint64_t maxLiveBytes() const { return MaxLive; }
 
 private:
-  AllocatorSim &Allocator;
+  AllocatorT &Allocator;
+  const AllocRecord *Records;
+  std::vector<uint64_t> Addresses;
+  uint64_t MaxLive = 0;
+};
+
+/// Instrumented replay: identical allocator calls plus timeline sampling.
+template <typename AllocatorT>
+class InstrumentedBaselineConsumer
+    : public ScheduleConsumer<InstrumentedBaselineConsumer<AllocatorT>> {
+public:
+  InstrumentedBaselineConsumer(AllocatorT &Allocator,
+                               const AllocationTrace &Trace,
+                               SimTelemetry *Telemetry)
+      : Allocator(Allocator), Records(Trace.records().data()),
+        Telemetry(Telemetry) {
+    Addresses.resize(Trace.size());
+  }
+
+  void onAlloc(uint32_t Id, uint64_t Clock) {
+    Addresses[Id] = Allocator.allocate(Records[Id].Size);
+    raisePeak(MaxLive, Allocator.liveBytes());
+    sampleTimeline(Telemetry, Clock, Allocator, /*ArenaBytes=*/0);
+  }
+
+  void onFree(uint32_t Id, uint64_t) { Allocator.free(Addresses[Id]); }
+
+  uint64_t maxLiveBytes() const { return MaxLive; }
+
+private:
+  AllocatorT &Allocator;
+  const AllocRecord *Records;
   SimTelemetry *Telemetry;
   std::vector<uint64_t> Addresses;
   uint64_t MaxLive = 0;
 };
 
-/// Replays a trace into the arena allocator with per-alloc prediction.
-class ArenaConsumer : public TraceConsumer {
+/// Runs a baseline replay over \p Compiled, instrumented only when
+/// \p Telemetry is attached, and returns the max live bytes observed.
+template <typename AllocatorT>
+uint64_t replayBaseline(const CompiledTrace &Compiled, AllocatorT &Allocator,
+                        SimTelemetry *Telemetry) {
+  if (!Telemetry) {
+    PlainBaselineConsumer<AllocatorT> Consumer(Allocator, Compiled.trace());
+    forEachEvent(Compiled.schedule(), Consumer);
+    return Consumer.maxLiveBytes();
+  }
+  InstrumentedBaselineConsumer<AllocatorT> Consumer(Allocator,
+                                                    Compiled.trace(),
+                                                    Telemetry);
+  forEachEvent(Compiled.schedule(), Consumer);
+  return Consumer.maxLiveBytes();
+}
+
+/// Uninstrumented arena replay: the predicted-short verdict is one bit
+/// load, the allocate/free calls are non-virtual, nothing else happens.
+class PlainArenaConsumer : public ScheduleConsumer<PlainArenaConsumer> {
 public:
-  ArenaConsumer(ArenaAllocator &Allocator, const AllocationTrace &Trace,
-                const SiteDatabase &DB, SimTelemetry *Telemetry)
-      : Allocator(Allocator), DB(DB), Keys(DB.policy(), Trace),
-        Telemetry(Telemetry),
+  PlainArenaConsumer(ArenaAllocator &Allocator, const AllocationTrace &Trace,
+                     const PredictedShortBits &Predicted)
+      : Allocator(Allocator), Records(Trace.records().data()),
+        Predicted(Predicted) {
+    Addresses.resize(Trace.size());
+  }
+
+  void onAlloc(uint32_t Id, uint64_t) {
+    Addresses[Id] = Allocator.allocate(Records[Id].Size, Predicted.test(Id));
+    raisePeak(MaxLive, Allocator.liveBytes());
+  }
+
+  void onFree(uint32_t Id, uint64_t) { Allocator.free(Addresses[Id]); }
+
+  uint64_t maxLiveBytes() const { return MaxLive; }
+
+private:
+  ArenaAllocator &Allocator;
+  const AllocRecord *Records;
+  const PredictedShortBits &Predicted;
+  std::vector<uint64_t> Addresses;
+  uint64_t MaxLive = 0;
+};
+
+/// Instrumented arena replay: prediction outcomes, timeline, recorder.
+class InstrumentedArenaConsumer
+    : public ScheduleConsumer<InstrumentedArenaConsumer> {
+public:
+  InstrumentedArenaConsumer(ArenaAllocator &Allocator,
+                            const AllocationTrace &Trace,
+                            const SiteDatabase &DB,
+                            const PredictedShortBits &Predicted,
+                            SimTelemetry *Telemetry)
+      : Allocator(Allocator), Records(Trace.records().data()), DB(DB),
+        Predicted(Predicted), Telemetry(Telemetry),
         Recorder(Telemetry ? Telemetry->Recorder : nullptr) {
     Addresses.resize(Trace.size());
   }
 
-  void onAlloc(uint64_t Id, const AllocRecord &Record,
-               uint64_t Clock) override {
-    // The full key is memoized per (chain, rounded size) in Keys; the only
-    // per-event table work left is the database probe itself.
-    bool Predicted = DB.contains(Keys.keyFor(Id));
+  void onAlloc(uint32_t Id, uint64_t Clock) {
+    const AllocRecord &Record = Records[Id];
+    bool PredictedShort = Predicted.test(Id);
     if (Recorder)
       // Pin/reset callbacks fire from inside allocate(); give them the
       // clock this allocation will be recorded at.
       Recorder->beginEvent(Clock);
-    Addresses[Id] = Allocator.allocate(Record.Size, Predicted);
+    Addresses[Id] = Allocator.allocate(Record.Size, PredictedShort);
     raisePeak(MaxLive, Allocator.liveBytes());
     if (Telemetry) {
       // NeverFreed is the maximal lifetime, so never-freed objects always
       // classify as actually long-lived.
       bool ActuallyShort = Record.Lifetime <= DB.threshold();
-      Telemetry->Outcomes.add(Predicted, ActuallyShort);
-      Telemetry->PerSite[Record.ChainIndex].add(Predicted, ActuallyShort);
+      Telemetry->Outcomes.add(PredictedShort, ActuallyShort);
+      Telemetry->PerSite[Record.ChainIndex].add(PredictedShort, ActuallyShort);
       sampleTimeline(Telemetry, Clock, Allocator,
                      Allocator.arenaLiveBytes());
     }
@@ -103,17 +185,17 @@ public:
         Placement.Generation = Allocator.arenaGeneration(Placement.ArenaIndex);
       }
       Recorder->recordAlloc(Id, Clock, Record.ChainIndex, Record.Size,
-                            Predicted, DB.threshold(), Placement);
+                            PredictedShort, DB.threshold(), Placement);
     }
   }
 
-  void onFree(uint64_t Id, const AllocRecord &, uint64_t Clock) override {
+  void onFree(uint32_t Id, uint64_t Clock) {
     Allocator.free(Addresses[Id]);
     if (Recorder)
       Recorder->recordFree(Id, Clock);
   }
 
-  void onEnd(uint64_t Clock) override {
+  void onEnd(uint64_t Clock) {
     if (Recorder)
       Recorder->finish(Clock);
   }
@@ -122,8 +204,9 @@ public:
 
 private:
   ArenaAllocator &Allocator;
+  const AllocRecord *Records;
   const SiteDatabase &DB;
-  SiteKeyCache Keys;
+  const PredictedShortBits &Predicted;
   SimTelemetry *Telemetry;
   FlightRecorder *Recorder;
   std::vector<uint64_t> Addresses;
@@ -133,23 +216,49 @@ private:
 } // namespace
 
 BaselineSimResult
-lifepred::simulateFirstFit(const AllocationTrace &Trace,
+lifepred::simulateFirstFit(const CompiledTrace &Compiled,
                            const CostModel &Costs,
                            FirstFitAllocator::Config Config,
                            SimTelemetry *Telemetry) {
   FirstFitAllocator Allocator(Config);
   if (Telemetry && Telemetry->Registry)
     Allocator.attachTelemetry(*Telemetry->Registry, "firstfit.");
-  BaselineConsumer Consumer(Allocator, Trace.size(), Telemetry);
-  replayTrace(Trace, Consumer);
+  uint64_t MaxLive = replayBaseline(Compiled, Allocator, Telemetry);
   if (Telemetry && Telemetry->Registry)
     Allocator.exportTelemetry(*Telemetry->Registry, "firstfit.");
 
   BaselineSimResult Result;
   Result.MaxHeapBytes = Allocator.maxHeapBytes();
-  Result.MaxLiveBytes = Consumer.maxLiveBytes();
+  Result.MaxLiveBytes = MaxLive;
   Result.FirstFit = Allocator.counters();
   Result.Instr = Costs.firstFit(Allocator.counters());
+  return Result;
+}
+
+BaselineSimResult
+lifepred::simulateFirstFit(const AllocationTrace &Trace,
+                           const CostModel &Costs,
+                           FirstFitAllocator::Config Config,
+                           SimTelemetry *Telemetry) {
+  return simulateFirstFit(CompiledTrace(Trace), Costs, Config, Telemetry);
+}
+
+BaselineSimResult lifepred::simulateBsd(const CompiledTrace &Compiled,
+                                        const CostModel &Costs,
+                                        BsdAllocator::Config Config,
+                                        SimTelemetry *Telemetry) {
+  BsdAllocator Allocator(Config);
+  if (Telemetry && Telemetry->Registry)
+    Allocator.attachTelemetry(*Telemetry->Registry, "bsd.");
+  uint64_t MaxLive = replayBaseline(Compiled, Allocator, Telemetry);
+  if (Telemetry && Telemetry->Registry)
+    Allocator.exportTelemetry(*Telemetry->Registry, "bsd.");
+
+  BaselineSimResult Result;
+  Result.MaxHeapBytes = Allocator.maxHeapBytes();
+  Result.MaxLiveBytes = MaxLive;
+  Result.Bsd = Allocator.counters();
+  Result.Instr = Costs.bsd(Allocator.counters());
   return Result;
 }
 
@@ -157,28 +266,16 @@ BaselineSimResult lifepred::simulateBsd(const AllocationTrace &Trace,
                                         const CostModel &Costs,
                                         BsdAllocator::Config Config,
                                         SimTelemetry *Telemetry) {
-  BsdAllocator Allocator(Config);
-  if (Telemetry && Telemetry->Registry)
-    Allocator.attachTelemetry(*Telemetry->Registry, "bsd.");
-  BaselineConsumer Consumer(Allocator, Trace.size(), Telemetry);
-  replayTrace(Trace, Consumer);
-  if (Telemetry && Telemetry->Registry)
-    Allocator.exportTelemetry(*Telemetry->Registry, "bsd.");
-
-  BaselineSimResult Result;
-  Result.MaxHeapBytes = Allocator.maxHeapBytes();
-  Result.MaxLiveBytes = Consumer.maxLiveBytes();
-  Result.Bsd = Allocator.counters();
-  Result.Instr = Costs.bsd(Allocator.counters());
-  return Result;
+  return simulateBsd(CompiledTrace(Trace), Costs, Config, Telemetry);
 }
 
-ArenaSimResult lifepred::simulateArena(const AllocationTrace &Trace,
+ArenaSimResult lifepred::simulateArena(const CompiledTrace &Compiled,
                                        const SiteDatabase &DB,
                                        double CallsPerAlloc,
                                        const CostModel &Costs,
                                        ArenaAllocator::Config Config,
                                        SimTelemetry *Telemetry) {
+  PredictedShortBits Predicted(Compiled, DB);
   ArenaAllocator Allocator(Config);
   if (Telemetry && Telemetry->Registry)
     Allocator.attachTelemetry(*Telemetry->Registry, "arena.");
@@ -187,8 +284,17 @@ ArenaSimResult lifepred::simulateArena(const AllocationTrace &Trace,
                                           Allocator.arenaBytes());
     Allocator.attachLifecycle(Telemetry->Recorder);
   }
-  ArenaConsumer Consumer(Allocator, Trace, DB, Telemetry);
-  replayTrace(Trace, Consumer);
+  uint64_t MaxLive = 0;
+  if (!Telemetry) {
+    PlainArenaConsumer Consumer(Allocator, Compiled.trace(), Predicted);
+    forEachEvent(Compiled.schedule(), Consumer);
+    MaxLive = Consumer.maxLiveBytes();
+  } else {
+    InstrumentedArenaConsumer Consumer(Allocator, Compiled.trace(), DB,
+                                       Predicted, Telemetry);
+    forEachEvent(Compiled.schedule(), Consumer);
+    MaxLive = Consumer.maxLiveBytes();
+  }
   if (Telemetry && Telemetry->Registry) {
     Allocator.exportTelemetry(*Telemetry->Registry, "arena.");
     Telemetry->Outcomes.exportTelemetry(*Telemetry->Registry, "arena.pred.");
@@ -198,7 +304,7 @@ ArenaSimResult lifepred::simulateArena(const AllocationTrace &Trace,
 
   ArenaSimResult Result;
   Result.MaxHeapBytes = Allocator.maxHeapBytes();
-  Result.MaxLiveBytes = Consumer.maxLiveBytes();
+  Result.MaxLiveBytes = MaxLive;
   Result.Arena = Allocator.counters();
   Result.General = Allocator.general().counters();
   Result.InstrLen4 = Costs.arena(Result.Arena, Result.General,
@@ -206,6 +312,16 @@ ArenaSimResult lifepred::simulateArena(const AllocationTrace &Trace,
   Result.InstrCce = Costs.arena(Result.Arena, Result.General,
                                 /*UseCce=*/true, CallsPerAlloc);
   return Result;
+}
+
+ArenaSimResult lifepred::simulateArena(const AllocationTrace &Trace,
+                                       const SiteDatabase &DB,
+                                       double CallsPerAlloc,
+                                       const CostModel &Costs,
+                                       ArenaAllocator::Config Config,
+                                       SimTelemetry *Telemetry) {
+  return simulateArena(CompiledTrace(Trace, DB.policy()), DB, CallsPerAlloc,
+                       Costs, Config, Telemetry);
 }
 
 TrainedQuantileMap

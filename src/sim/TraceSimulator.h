@@ -12,6 +12,16 @@
 /// lifetimes.  The simulation reports heap sizes, arena fractions,
 /// operation counts, and reference-locality accounting.
 ///
+/// Every simulator has two entry points: one taking a CompiledTrace — the
+/// fast path, replaying the precompiled flat schedule with no virtual
+/// dispatch and (for the predictors) zero per-event site-table probes —
+/// and a convenience overload taking the raw AllocationTrace that compiles
+/// on the spot.  Callers replaying one trace more than once (sweeps,
+/// repeats, --jobs fan-outs) should compile once and share the
+/// CompiledTrace; it is immutable and safe to use from many threads.
+/// Results are bit-identical between the two paths and to the replayTrace
+/// oracle (asserted in tests/sim_test.cpp).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LIFEPRED_SIM_TRACESIMULATOR_H
@@ -24,6 +34,7 @@
 #include "core/SiteDatabase.h"
 #include "telemetry/LifetimeAudit.h"
 #include "trace/AllocationTrace.h"
+#include "trace/CompiledTrace.h"
 
 #include <cstdint>
 
@@ -64,27 +75,50 @@ struct ArenaSimResult {
   }
 };
 
-/// Simulates \p Trace over a plain first-fit heap.  A non-null \p Telemetry
-/// collects metrics under "firstfit." (see SimTelemetry.h); the default
-/// leaves the replay uninstrumented.
+/// Simulates a compiled trace over a plain first-fit heap.  A non-null
+/// \p Telemetry collects metrics under "firstfit." (see SimTelemetry.h);
+/// the default leaves the replay uninstrumented and branch-lean.
+BaselineSimResult simulateFirstFit(
+    const CompiledTrace &Compiled, const CostModel &Costs = {},
+    FirstFitAllocator::Config Config = FirstFitAllocator::Config(),
+    SimTelemetry *Telemetry = nullptr);
+
+/// Convenience overload: compiles \p Trace's schedule, then simulates.
 BaselineSimResult simulateFirstFit(
     const AllocationTrace &Trace, const CostModel &Costs = {},
     FirstFitAllocator::Config Config = FirstFitAllocator::Config(),
     SimTelemetry *Telemetry = nullptr);
 
-/// Simulates \p Trace over the BSD allocator.  A non-null \p Telemetry
-/// collects metrics under "bsd.".
+/// Simulates a compiled trace over the BSD allocator.  A non-null
+/// \p Telemetry collects metrics under "bsd.".
+BaselineSimResult simulateBsd(const CompiledTrace &Compiled,
+                              const CostModel &Costs = {},
+                              BsdAllocator::Config Config = BsdAllocator::Config(),
+                              SimTelemetry *Telemetry = nullptr);
+
+/// Convenience overload: compiles \p Trace's schedule, then simulates.
 BaselineSimResult simulateBsd(const AllocationTrace &Trace,
                               const CostModel &Costs = {},
                               BsdAllocator::Config Config = BsdAllocator::Config(),
                               SimTelemetry *Telemetry = nullptr);
 
-/// Simulates \p Trace over the lifetime-predicting arena allocator, with
-/// \p DB deciding which allocations are predicted short-lived.
+/// Simulates a compiled trace over the lifetime-predicting arena
+/// allocator, with \p DB deciding which allocations are predicted
+/// short-lived.  \p Compiled must carry site keys under DB's policy; the
+/// database is resolved to one predicted-short bit per record before the
+/// replay, so the hot loop performs no site-table probes.
 /// \p CallsPerAlloc feeds the cce cost estimate.  A non-null \p Telemetry
 /// collects metrics under "arena." plus prediction outcomes (an event is
 /// actually short-lived when its lifetime is within DB's training
 /// threshold) aggregated and per site.
+ArenaSimResult simulateArena(const CompiledTrace &Compiled,
+                             const SiteDatabase &DB, double CallsPerAlloc,
+                             const CostModel &Costs = {},
+                             ArenaAllocator::Config Config = ArenaAllocator::Config(),
+                             SimTelemetry *Telemetry = nullptr);
+
+/// Convenience overload: compiles \p Trace under DB's policy, then
+/// simulates.
 ArenaSimResult simulateArena(const AllocationTrace &Trace,
                              const SiteDatabase &DB, double CallsPerAlloc,
                              const CostModel &Costs = {},

@@ -19,10 +19,3 @@ uint32_t AllocationTrace::internChain(const CallChain &Chain) {
   Bucket.push_back(Index);
   return Index;
 }
-
-uint64_t AllocationTrace::totalBytes() const {
-  uint64_t Total = 0;
-  for (const AllocRecord &Record : Records)
-    Total += Record.Size;
-  return Total;
-}

@@ -53,7 +53,20 @@ public:
   uint32_t internChain(const CallChain &Chain);
 
   /// Appends one allocation event.
-  void append(const AllocRecord &Record) { Records.push_back(Record); }
+  void append(const AllocRecord &Record) {
+    Records.push_back(Record);
+    TotalBytes += Record.Size;
+  }
+
+  /// Pre-sizes the record table; readers that know the count up front
+  /// (the binary format stores it in the header) avoid regrowth copies.
+  void reserveRecords(size_t Count) { Records.reserve(Count); }
+
+  /// Pre-sizes the chain table and its dedup index likewise.
+  void reserveChains(size_t Count) {
+    Chains.reserve(Count);
+    ChainLookup.reserve(Count);
+  }
 
   /// All allocation events in birth order.
   const std::vector<AllocRecord> &records() const { return Records; }
@@ -67,8 +80,11 @@ public:
   /// Number of allocation events.
   size_t size() const { return Records.size(); }
 
-  /// Total bytes allocated over the run.
-  uint64_t totalBytes() const;
+  /// Total bytes allocated over the run.  Maintained as a running sum in
+  /// append() rather than recomputed (or lazily cached) on demand, so the
+  /// accessor stays O(1) *and* safe to call concurrently on a shared const
+  /// trace — a mutable lazy cache would race.
+  uint64_t totalBytes() const { return TotalBytes; }
 
   /// References made to non-heap (stack/global) memory by the modeled
   /// program; only used to report the paper's "Heap Refs %" column.
@@ -79,6 +95,7 @@ private:
   std::vector<CallChain> Chains;
   std::unordered_map<uint64_t, std::vector<uint32_t>> ChainLookup;
   std::vector<AllocRecord> Records;
+  uint64_t TotalBytes = 0;
   uint64_t NonHeapRefs = 0;
 };
 

@@ -6,6 +6,7 @@
 
 #include "trace/TraceBinaryIO.h"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -88,6 +89,9 @@ std::optional<AllocationTrace> lifepred::readTraceBinary(std::istream &IS) {
   uint32_t ChainCount = 0;
   if (!getU32(IS, ChainCount))
     return std::nullopt;
+  // Clamped: a corrupt header's absurd count must not force a huge
+  // allocation before the per-chain reads detect truncation.
+  Trace.reserveChains(std::min<uint32_t>(ChainCount, 1u << 20));
   for (uint32_t I = 0; I < ChainCount; ++I) {
     uint32_t Depth = 0;
     if (!getU32(IS, Depth) || Depth > (1u << 20))
@@ -106,6 +110,10 @@ std::optional<AllocationTrace> lifepred::readTraceBinary(std::istream &IS) {
   uint64_t RecordCount = 0;
   if (!getU64(IS, RecordCount))
     return std::nullopt;
+  // Cap the up-front reservation so a corrupt header's absurd count cannot
+  // force a huge allocation before the per-record reads detect truncation.
+  Trace.reserveRecords(
+      static_cast<size_t>(std::min<uint64_t>(RecordCount, 1u << 24)));
   for (uint64_t I = 0; I < RecordCount; ++I) {
     AllocRecord Record;
     if (!getU64(IS, Record.Lifetime) || !getU32(IS, Record.Size) ||

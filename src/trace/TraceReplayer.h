@@ -14,6 +14,13 @@
 /// the paper's definition of lifetime as "bytes allocated between the time
 /// the object is allocated and when it is deallocated".
 ///
+/// replayTrace is the *reference oracle* for event ordering: it derives the
+/// interleaving afresh on every call from a priority queue of pending
+/// deaths.  The production replay path is trace/CompiledTrace.h, which
+/// materializes this exact event stream once and replays it devirtualized;
+/// differential tests in tests/sim_test.cpp hold the two bit-identical.
+/// Prefer the compiled path anywhere a trace is replayed more than once.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LIFEPRED_TRACE_TRACEREPLAYER_H

@@ -10,7 +10,7 @@
 #include "core/SiteDatabase.h"
 #include "core/GeneratedAllocator.h"
 #include "core/LifetimeClassifier.h"
-#include "core/SiteKey.h"
+#include "callchain/SiteKey.h"
 #include "core/ThresholdSelector.h"
 #include "core/Trainer.h"
 

@@ -5,8 +5,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
+#include "sim/MultiArenaSimulator.h"
+#include "sim/SimTelemetry.h"
 #include "sim/TraceSimulator.h"
 #include "support/Random.h"
+#include "support/ThreadPool.h"
+#include "trace/CompiledTrace.h"
+#include "trace/TraceReplayer.h"
+#include "workloads/Programs.h"
+#include "workloads/WorkloadRunner.h"
 
 #include "gtest/gtest.h"
 
@@ -132,4 +139,327 @@ TEST(SimTest, HeapSizeReportedInGrowthGranularity) {
   AllocationTrace T = churnTrace(8, 5000);
   BaselineSimResult R = simulateFirstFit(T);
   EXPECT_EQ(R.MaxHeapBytes % 8192, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential tests: the compiled event schedule and the simulators built
+// on it against the replayTrace reference oracle.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One oracle event, as replayTrace hands it to a consumer.
+struct OracleEvent {
+  bool Free;
+  uint64_t Id;
+  uint64_t Clock;
+
+  bool operator==(const OracleEvent &Other) const = default;
+};
+
+/// Records the oracle's exact event stream.
+class EventLogger : public TraceConsumer {
+public:
+  void onAlloc(uint64_t Id, const AllocRecord &, uint64_t Clock) override {
+    Events.push_back({false, Id, Clock});
+  }
+  void onFree(uint64_t Id, const AllocRecord &, uint64_t Clock) override {
+    Events.push_back({true, Id, Clock});
+  }
+  void onEnd(uint64_t Clock) override { EndClock = Clock; }
+
+  std::vector<OracleEvent> Events;
+  uint64_t EndClock = 0;
+};
+
+/// Asserts the compiled schedule of \p Trace is event-for-event identical
+/// (tag, id, clock) to the replayTrace oracle.
+void expectScheduleMatchesOracle(const AllocationTrace &Trace) {
+  EventLogger Oracle;
+  replayTrace(Trace, Oracle);
+  EventSchedule Schedule(Trace);
+  ASSERT_EQ(Schedule.size(), Oracle.Events.size());
+  for (size_t E = 0; E < Schedule.size(); ++E) {
+    const OracleEvent &Expected = Oracle.Events[E];
+    ASSERT_EQ(Schedule.isFree(E), Expected.Free) << "event " << E;
+    ASSERT_EQ(Schedule.objectId(E), Expected.Id) << "event " << E;
+    ASSERT_EQ(Schedule.clock(E), Expected.Clock) << "event " << E;
+  }
+  EXPECT_EQ(Schedule.endClock(), Oracle.EndClock);
+}
+
+/// A fuzz trace: random sizes, heavy death-clock collisions (sizes and
+/// lifetimes share small multiples so tie-break order matters), and a
+/// sprinkling of never-freed objects.
+AllocationTrace fuzzTrace(uint64_t Seed, size_t Objects) {
+  AllocationTrace T;
+  Rng R(Seed);
+  uint32_t Chains[3] = {T.internChain(CallChain{1}),
+                        T.internChain(CallChain{1, 2}),
+                        T.internChain(CallChain{1, 2, 3})};
+  for (size_t I = 0; I < Objects; ++I) {
+    AllocRecord Record;
+    Record.Size = static_cast<uint32_t>(16 * R.nextInRange(1, 8));
+    Record.Lifetime = R.nextBool(0.1)
+                          ? NeverFreed
+                          : static_cast<uint64_t>(16 * R.nextInRange(0, 500));
+    Record.ChainIndex = Chains[R.nextInRange(0, 2)];
+    Record.Refs = 1;
+    T.append(Record);
+  }
+  return T;
+}
+
+/// Oracle-driven baseline replay: the pre-compilation reference path,
+/// calling the allocator in replayTrace's event order.
+template <typename AllocatorT>
+std::pair<uint64_t, uint64_t> oracleBaseline(const AllocationTrace &Trace,
+                                             AllocatorT &Allocator) {
+  class Consumer : public TraceConsumer {
+  public:
+    Consumer(AllocatorT &Allocator, size_t Objects) : Allocator(Allocator) {
+      Addresses.resize(Objects);
+    }
+    void onAlloc(uint64_t Id, const AllocRecord &Record, uint64_t) override {
+      Addresses[Id] = Allocator.allocate(Record.Size);
+      raisePeak(MaxLive, Allocator.liveBytes());
+    }
+    void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
+      Allocator.free(Addresses[Id]);
+    }
+    AllocatorT &Allocator;
+    std::vector<uint64_t> Addresses;
+    uint64_t MaxLive = 0;
+  };
+  Consumer C(Allocator, Trace.size());
+  replayTrace(Trace, C);
+  return {Allocator.maxHeapBytes(), C.MaxLive};
+}
+
+} // namespace
+
+TEST(CompiledTraceTest, ScheduleMatchesOracleOnPaperWorkloads) {
+  for (const ProgramModel &Model : allPrograms()) {
+    SCOPED_TRACE(Model.Name);
+    FunctionRegistry Registry;
+    RunOptions Run;
+    Run.Scale = 0.05;
+    Run.Seed = 0x1993;
+    Run.Kind = RunKind::Test;
+    AllocationTrace Trace = runWorkload(Model, Run, Registry);
+    expectScheduleMatchesOracle(Trace);
+  }
+}
+
+TEST(CompiledTraceTest, ScheduleMatchesOracleOnFuzzTraces) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    SCOPED_TRACE(Seed);
+    expectScheduleMatchesOracle(fuzzTrace(Seed, 4000));
+  }
+  // Degenerate shapes: empty, single never-freed, all dying at once.
+  expectScheduleMatchesOracle(AllocationTrace());
+  {
+    AllocationTrace T;
+    uint32_t C = T.internChain(CallChain{1});
+    T.append({NeverFreed, 64, C, 1});
+    expectScheduleMatchesOracle(T);
+  }
+  {
+    AllocationTrace T;
+    uint32_t C = T.internChain(CallChain{1});
+    for (int I = 0; I < 100; ++I)
+      T.append({0, 16, C, 1}); // Every object dies before the next birth.
+    expectScheduleMatchesOracle(T);
+  }
+}
+
+TEST(CompiledTraceTest, BaselineCountersMatchOracleReplay) {
+  // flat-ff and bsd: the compiled simulators must make exactly the
+  // allocator calls the oracle-driven replay makes.
+  for (uint64_t Seed = 11; Seed <= 13; ++Seed) {
+    SCOPED_TRACE(Seed);
+    AllocationTrace T = fuzzTrace(Seed, 6000);
+    CompiledTrace Compiled(T);
+
+    FirstFitAllocator OracleFF;
+    auto [FFHeap, FFLive] = oracleBaseline(T, OracleFF);
+    BaselineSimResult FF = simulateFirstFit(Compiled);
+    EXPECT_EQ(FF.FirstFit, OracleFF.counters());
+    EXPECT_EQ(FF.MaxHeapBytes, FFHeap);
+    EXPECT_EQ(FF.MaxLiveBytes, FFLive);
+
+    BsdAllocator OracleBsd;
+    auto [BsdHeap, BsdLive] = oracleBaseline(T, OracleBsd);
+    BaselineSimResult Bsd = simulateBsd(Compiled);
+    EXPECT_EQ(Bsd.Bsd, OracleBsd.counters());
+    EXPECT_EQ(Bsd.MaxHeapBytes, BsdHeap);
+    EXPECT_EQ(Bsd.MaxLiveBytes, BsdLive);
+  }
+}
+
+TEST(CompiledTraceTest, ArenaCountersMatchOracleReplay) {
+  // The arena simulator's pre-resolved PredictedShort bits against an
+  // oracle replay that re-derives every site key and probes the database
+  // per event — the path the compiled artifacts replaced.
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  for (uint64_t Seed = 21; Seed <= 23; ++Seed) {
+    SCOPED_TRACE(Seed);
+    AllocationTrace T = churnTrace(Seed, 20000);
+    SiteDatabase DB = trainDatabase(profileTrace(T, Policy), Policy);
+
+    class Consumer : public TraceConsumer {
+    public:
+      Consumer(ArenaAllocator &Allocator, const AllocationTrace &Trace,
+               const SiteDatabase &DB, const SiteKeyPolicy &Policy)
+          : Allocator(Allocator), Trace(Trace), DB(DB), Policy(Policy) {
+        Addresses.resize(Trace.size());
+      }
+      void onAlloc(uint64_t Id, const AllocRecord &Record,
+                   uint64_t) override {
+        bool Predicted = DB.contains(siteKey(
+            Policy, Trace.chain(Record.ChainIndex), Record.Size,
+            Record.TypeId));
+        Addresses[Id] = Allocator.allocate(Record.Size, Predicted);
+      }
+      void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
+        Allocator.free(Addresses[Id]);
+      }
+      ArenaAllocator &Allocator;
+      const AllocationTrace &Trace;
+      const SiteDatabase &DB;
+      const SiteKeyPolicy &Policy;
+      std::vector<uint64_t> Addresses;
+    };
+    ArenaAllocator Oracle;
+    Consumer C(Oracle, T, DB, Policy);
+    replayTrace(T, C);
+
+    ArenaSimResult R = simulateArena(CompiledTrace(T, Policy), DB, 5.0);
+    EXPECT_EQ(R.Arena, Oracle.counters());
+    EXPECT_EQ(R.MaxHeapBytes, Oracle.maxHeapBytes());
+  }
+}
+
+TEST(CompiledTraceTest, MultiArenaCountersMatchOracleReplay) {
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  const std::vector<uint64_t> Thresholds = {16 * 1024, 32 * 1024};
+  MultiArenaAllocator::Config Config;
+  Config.Bands = {{32 * 1024, 8}, {32 * 1024, 8}};
+  for (uint64_t Seed = 31; Seed <= 33; ++Seed) {
+    SCOPED_TRACE(Seed);
+    AllocationTrace T = churnTrace(Seed, 20000);
+    ClassDatabase DB =
+        trainClassDatabase(profileTrace(T, Policy), Policy, Thresholds);
+
+    class Consumer : public TraceConsumer {
+    public:
+      Consumer(MultiArenaAllocator &Allocator, const AllocationTrace &Trace,
+               const ClassDatabase &DB, const SiteKeyPolicy &Policy)
+          : Allocator(Allocator), Trace(Trace), DB(DB), Policy(Policy) {
+        Addresses.resize(Trace.size());
+      }
+      void onAlloc(uint64_t Id, const AllocRecord &Record,
+                   uint64_t) override {
+        LifetimeClass Band = DB.classify(siteKey(
+            Policy, Trace.chain(Record.ChainIndex), Record.Size,
+            Record.TypeId));
+        Addresses[Id] = Allocator.allocate(Record.Size, Band);
+      }
+      void onFree(uint64_t Id, const AllocRecord &, uint64_t) override {
+        Allocator.free(Addresses[Id]);
+      }
+      MultiArenaAllocator &Allocator;
+      const AllocationTrace &Trace;
+      const ClassDatabase &DB;
+      const SiteKeyPolicy &Policy;
+      std::vector<uint64_t> Addresses;
+    };
+    MultiArenaAllocator Oracle(Config);
+    Consumer C(Oracle, T, DB, Policy);
+    replayTrace(T, C);
+
+    MultiArenaSimResult R =
+        simulateMultiArena(CompiledTrace(T, Policy), DB, Config);
+    EXPECT_EQ(R.MaxHeapBytes, Oracle.maxHeapBytes());
+    ASSERT_EQ(R.PerBand.size(), Oracle.bands());
+    for (size_t Band = 0; Band < Oracle.bands(); ++Band) {
+      const auto &Got = R.PerBand[Band];
+      const auto &Want = Oracle.bandCounters(Band);
+      EXPECT_EQ(Got.Allocs, Want.Allocs) << "band " << Band;
+      EXPECT_EQ(Got.Bytes, Want.Bytes) << "band " << Band;
+      EXPECT_EQ(Got.Frees, Want.Frees) << "band " << Band;
+      EXPECT_EQ(Got.ScanSteps, Want.ScanSteps) << "band " << Band;
+      EXPECT_EQ(Got.Resets, Want.Resets) << "band " << Band;
+      EXPECT_EQ(Got.Fallbacks, Want.Fallbacks) << "band " << Band;
+    }
+    EXPECT_EQ(R.GeneralAllocs, Oracle.generalAllocs());
+    EXPECT_EQ(R.GeneralBytes, Oracle.generalBytes());
+    EXPECT_EQ(R.General, Oracle.general().counters());
+  }
+}
+
+TEST(CompiledTraceTest, InstrumentedReplayIdenticalToPlainAndToWrapper) {
+  // Telemetry must observe without perturbing: the instrumented consumer's
+  // counters equal the plain consumer's, the AllocationTrace convenience
+  // overload equals the explicit compiled path, and the telemetry
+  // registries of two instrumented runs are byte-identical.
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  AllocationTrace T = churnTrace(42, 30000);
+  SiteDatabase DB = trainDatabase(profileTrace(T, Policy), Policy);
+  CompiledTrace Compiled(T, Policy);
+
+  ArenaSimResult Plain = simulateArena(Compiled, DB, 5.0);
+
+  StatsRegistry RegistryA, RegistryB;
+  SimTelemetry TelemetryA, TelemetryB;
+  TelemetryA.Registry = &RegistryA;
+  TelemetryB.Registry = &RegistryB;
+  ArenaSimResult Instrumented =
+      simulateArena(Compiled, DB, 5.0, CostModel(), ArenaAllocator::Config(),
+                    &TelemetryA);
+  ArenaSimResult Wrapped = simulateArena(
+      T, DB, 5.0, CostModel(), ArenaAllocator::Config(), &TelemetryB);
+
+  EXPECT_EQ(Plain.Arena, Instrumented.Arena);
+  EXPECT_EQ(Plain.General, Instrumented.General);
+  EXPECT_EQ(Plain.MaxHeapBytes, Instrumented.MaxHeapBytes);
+  EXPECT_EQ(Plain.MaxLiveBytes, Instrumented.MaxLiveBytes);
+  EXPECT_EQ(Plain.Arena, Wrapped.Arena);
+  EXPECT_EQ(TelemetryA.Outcomes, TelemetryB.Outcomes);
+
+  std::string JsonA, JsonB;
+  RegistryA.writeJson(JsonA, "");
+  RegistryB.writeJson(JsonB, "");
+  EXPECT_EQ(JsonA, JsonB);
+
+  // The pre-resolved outcomes against a direct per-record recomputation.
+  PredictionCounts Expected;
+  for (const AllocRecord &Record : T.records()) {
+    bool Predicted = DB.contains(siteKey(
+        Policy, T.chain(Record.ChainIndex), Record.Size, Record.TypeId));
+    Expected.add(Predicted, Record.Lifetime <= DB.threshold());
+  }
+  EXPECT_EQ(TelemetryA.Outcomes, Expected);
+}
+
+TEST(CompiledTraceTest, SharedScheduleIsStableAcrossConcurrentReplays) {
+  // One compiled trace, many simultaneous replays: every thread must see
+  // the same immutable schedule and produce the serial result.
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  AllocationTrace T = churnTrace(77, 30000);
+  SiteDatabase DB = trainDatabase(profileTrace(T, Policy), Policy);
+  CompiledTrace Compiled(T, Policy);
+  ArenaSimResult Serial = simulateArena(Compiled, DB, 5.0);
+
+  ThreadPool Pool(4);
+  std::vector<ArenaSimResult> Results(8);
+  parallelForIndex(Pool, Results.size(), [&](size_t Index) {
+    Results[Index] = simulateArena(Compiled, DB, 5.0);
+  });
+  for (const ArenaSimResult &R : Results) {
+    EXPECT_EQ(R.Arena, Serial.Arena);
+    EXPECT_EQ(R.General, Serial.General);
+    EXPECT_EQ(R.MaxHeapBytes, Serial.MaxHeapBytes);
+    EXPECT_EQ(R.MaxLiveBytes, Serial.MaxLiveBytes);
+  }
 }
