@@ -1,0 +1,185 @@
+//===- bench/lifepred_fuzz.cpp - Shadow-heap fuzz harness ------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CLI driver for the verify layer: generates adversarial traces from the
+/// fuzz profiles, replays each through every allocator family and both
+/// replay paths under the shadow-heap oracle, and minimizes any violating
+/// trace into a corpus file that replays forever as a ctest case.
+///
+///   lifepred_fuzz --runs=200 --objects=4000 --seed=1
+///   lifepred_fuzz --profile=fragmentation --runs=20
+///   lifepred_fuzz --replay=tests/corpus/foo.lptrace
+///   lifepred_fuzz --emit-corpus=tests/corpus --objects=256
+///   lifepred_fuzz --runs=24 --json=FUZZ_smoke.json   # CI smoke + gate
+///
+/// Exit status: 0 = no violations, 1 = violations found, 2 = usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "trace/TraceBinaryIO.h"
+#include "verify/Shrinker.h"
+#include "verify/TraceFuzzer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+using namespace lifepred;
+
+namespace {
+
+/// Minimizes \p Trace under shadowCheckAll and writes it to \p Dir.
+void minimizeAndSave(const AllocationTrace &Trace, const std::string &Dir,
+                     const std::string &Stem) {
+  auto StillFails = [](const AllocationTrace &T) {
+    return !shadowCheckAll(T).clean();
+  };
+  ShrinkStats Stats;
+  AllocationTrace Minimal = shrinkTrace(Trace, StillFails, 2000, &Stats);
+  std::string Path;
+  if (writeCorpusTrace(Minimal, Dir, Stem, Path))
+    std::printf("  minimized %zu -> %zu records (%llu probes): %s\n",
+                Trace.size(), Minimal.size(),
+                static_cast<unsigned long long>(Stats.Probes), Path.c_str());
+  else
+    std::printf("  FAILED to write minimized repro to %s\n", Dir.c_str());
+}
+
+int replayFile(const std::string &Path) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS) {
+    std::printf("cannot open %s\n", Path.c_str());
+    return 2;
+  }
+  std::optional<AllocationTrace> Trace = readTraceBinary(IS);
+  if (!Trace) {
+    std::printf("%s: not a valid binary trace\n", Path.c_str());
+    return 2;
+  }
+  ShadowReport Report = shadowCheckAll(*Trace);
+  std::printf("%s: %zu records, %s\n", Path.c_str(), Trace->size(),
+              Report.summary().c_str());
+  for (const Violation &V : Report.Violations)
+    std::printf("  op %llu  %s: %s\n",
+                static_cast<unsigned long long>(V.Op), V.Invariant.c_str(),
+                V.Detail.c_str());
+  return Report.clean() ? 0 : 1;
+}
+
+int emitCorpus(const std::string &Dir, uint64_t Seed, size_t Objects) {
+  for (FuzzProfile Profile : allProfiles()) {
+    AllocationTrace Trace = generateFuzzTrace(Profile, Seed, Objects);
+    std::string Stem =
+        std::string(profileName(Profile)) + "_seed" + std::to_string(Seed);
+    std::string Path;
+    if (!writeCorpusTrace(Trace, Dir, Stem, Path)) {
+      std::printf("FAILED to write %s\n", Stem.c_str());
+      return 2;
+    }
+    std::printf("wrote %s (%zu records)\n", Path.c_str(), Trace.size());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  uint64_t Seed = static_cast<uint64_t>(Cl.getInt("seed", 1));
+  size_t Runs = static_cast<size_t>(Cl.getInt("runs", 50));
+  size_t Objects = static_cast<size_t>(Cl.getInt("objects", 4000));
+  size_t BinaryCases = static_cast<size_t>(Cl.getInt("binary-cases", 8));
+  bool Minimize = !Cl.has("no-minimize");
+  std::string CorpusOut = Cl.getString("corpus-out", "fuzz-repros");
+  std::string ProfileArg = Cl.getString("profile", "all");
+
+  if (Cl.has("replay"))
+    return replayFile(Cl.getString("replay", ""));
+  if (Cl.has("emit-corpus"))
+    return emitCorpus(Cl.getString("emit-corpus", "tests/corpus"), Seed,
+                      static_cast<size_t>(Cl.getInt("objects", 256)));
+
+  std::vector<FuzzProfile> Profiles;
+  if (ProfileArg == "all") {
+    Profiles = allProfiles();
+  } else if (std::optional<FuzzProfile> P = profileByName(ProfileArg)) {
+    Profiles.push_back(*P);
+  } else {
+    std::printf("unknown profile '%s'; known:", ProfileArg.c_str());
+    for (FuzzProfile Profile : allProfiles())
+      std::printf(" %s", profileName(Profile));
+    std::printf("\n");
+    return 2;
+  }
+
+  std::printf("lifepred_fuzz: %zu runs x %zu objects, seed %llu, "
+              "%zu profile(s)\n",
+              Runs, Objects, static_cast<unsigned long long>(Seed),
+              Profiles.size());
+
+  double Start = wallTimeSeconds();
+  uint64_t TotalEvents = 0;
+  uint64_t TotalViolations = 0;
+  std::map<std::string, uint64_t> EventsByProfile;
+
+  for (size_t Run = 0; Run < Runs; ++Run) {
+    FuzzProfile Profile = Profiles[Run % Profiles.size()];
+    uint64_t CaseSeed = Seed + Run;
+    ShadowReport Report = runFuzzCase(Profile, CaseSeed, Objects);
+    TotalEvents += Report.Events;
+    EventsByProfile[profileName(Profile)] += Report.Events;
+    if (!Report.clean()) {
+      TotalViolations += Report.ViolationCount;
+      std::printf("VIOLATION run %zu profile %s seed %llu: %s\n", Run,
+                  profileName(Profile),
+                  static_cast<unsigned long long>(CaseSeed),
+                  Report.summary().c_str());
+      for (const Violation &V : Report.Violations)
+        std::printf("  op %llu  %s: %s\n",
+                    static_cast<unsigned long long>(V.Op),
+                    V.Invariant.c_str(), V.Detail.c_str());
+      if (Minimize)
+        minimizeAndSave(generateFuzzTrace(Profile, CaseSeed, Objects),
+                        CorpusOut,
+                        std::string(profileName(Profile)) + "_seed" +
+                            std::to_string(CaseSeed));
+    }
+  }
+
+  // Binary reader robustness batch rides along with every fuzz run.
+  BinaryFuzzStats BinStats;
+  std::string BinError;
+  bool BinOk = BinaryCases == 0 ||
+               fuzzBinaryRoundTrip(Seed, BinaryCases, BinError, &BinStats);
+  if (!BinOk) {
+    ++TotalViolations;
+    std::printf("VIOLATION binary round-trip: %s\n", BinError.c_str());
+  }
+
+  double Wall = wallTimeSeconds() - Start;
+  std::printf("fuzz: %llu events across %zu runs, %llu violations, "
+              "binary mutants %llu (%llu accepted)\n",
+              static_cast<unsigned long long>(TotalEvents), Runs,
+              static_cast<unsigned long long>(TotalViolations),
+              static_cast<unsigned long long>(BinStats.Cases),
+              static_cast<unsigned long long>(BinStats.Accepted));
+
+  JsonReport Report("fuzz_smoke", Options);
+  Report.add("fuzz.runs", static_cast<double>(Runs));
+  Report.add("fuzz.objects", static_cast<double>(Objects));
+  Report.add("fuzz.violations", static_cast<double>(TotalViolations));
+  Report.add("fuzz.binary_cases", static_cast<double>(BinStats.Cases));
+  Report.add("fuzz.binary_accepted", static_cast<double>(BinStats.Accepted));
+  for (const auto &[Name, Events] : EventsByProfile)
+    Report.add("fuzz." + Name + ".events", static_cast<double>(Events));
+  Report.setThroughput(TotalEvents, Wall);
+  Report.write();
+
+  return TotalViolations == 0 ? 0 : 1;
+}

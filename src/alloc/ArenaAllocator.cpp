@@ -51,7 +51,10 @@ uint64_t ArenaAllocator::allocate(uint32_t Size, bool PredictedShortLived) {
   }
 
   // Objects have no per-object overhead in an arena; only 8-byte alignment.
-  uint64_t Need = alignTo(Size, 8);
+  // Zero-size requests still consume one granule: a zero-width bump would
+  // hand out the same address twice and corrupt the live count / payload
+  // map (found by the trace fuzzer).
+  uint64_t Need = alignTo(Size == 0 ? 1 : Size, 8);
   if (Need > arenaBytes()) {
     // Predicted short-lived but cannot ever fit an arena (GHOST's 6 KB
     // objects) — general heap.
@@ -106,6 +109,60 @@ void ArenaAllocator::free(uint64_t Address) {
   }
   ++Stats.GeneralFrees;
   General.free(Address);
+}
+
+//===----------------------------------------------------------------------===//
+// Invariant audit (verify layer).
+//===----------------------------------------------------------------------===//
+
+bool ArenaAllocator::auditInvariants(std::string &Error) const {
+  auto Fail = [&Error](std::string Message) {
+    Error = std::move(Message);
+    return false;
+  };
+
+  if (Current >= Cfg.ArenaCount)
+    return Fail("current arena index out of range");
+  for (unsigned I = 0; I < Cfg.ArenaCount; ++I) {
+    if (Arenas[I].AllocPtr > arenaBytes())
+      return Fail("arena " + std::to_string(I) +
+                  " bump pointer past the arena end");
+    if (Arenas[I].AllocPtr % 8 != 0)
+      return Fail("arena " + std::to_string(I) + " bump pointer unaligned");
+  }
+
+  // The payload map and the per-arena live counts must describe the same
+  // population — the soundness condition for batch reset (LiveCount == 0
+  // really means no live object remains in the arena).
+  std::vector<uint32_t> Counts(Cfg.ArenaCount, 0);
+  uint64_t Live = 0;
+  for (const auto &[Addr, Payload] : ArenaPayload) {
+    if (!isArenaAddress(Addr))
+      return Fail("payload map entry outside the arena area at " +
+                  std::to_string(Addr));
+    unsigned Index = arenaIndexFor(Addr);
+    uint64_t Offset = Addr - Cfg.ArenaBase - Index * arenaBytes();
+    if (Offset >= Arenas[Index].AllocPtr)
+      return Fail("live object above the bump pointer in arena " +
+                  std::to_string(Index));
+    if (Offset + Payload > arenaBytes())
+      return Fail("live object overflows arena " + std::to_string(Index));
+    ++Counts[Index];
+    Live += Payload;
+  }
+  for (unsigned I = 0; I < Cfg.ArenaCount; ++I)
+    if (Counts[I] != Arenas[I].LiveCount)
+      return Fail("arena " + std::to_string(I) + " live count " +
+                  std::to_string(Arenas[I].LiveCount) +
+                  " disagrees with payload map population " +
+                  std::to_string(Counts[I]));
+  if (Live != ArenaLiveBytes)
+    return Fail("arena payload sums to " + std::to_string(Live) +
+                " but ArenaLiveBytes is " + std::to_string(ArenaLiveBytes));
+  if (MaxArenaLiveBytes < ArenaLiveBytes)
+    return Fail("MaxArenaLiveBytes below current arena live bytes");
+
+  return General.auditInvariants(Error);
 }
 
 //===----------------------------------------------------------------------===//

@@ -139,6 +139,14 @@ public:
   void exportTelemetry(StatsRegistry &Registry,
                        const std::string &Prefix) const;
 
+  /// Structural self-audit for the verify layer: per-arena bump-pointer
+  /// bounds and alignment, live-counter consistency against the payload
+  /// map (batch-reset soundness), arena-live-byte accounting, and the
+  /// embedded general heap's full audit.  O(live objects) per call; costs
+  /// nothing unless called.  Returns false and fills \p Error at the first
+  /// broken invariant.
+  bool auditInvariants(std::string &Error) const;
+
 private:
   /// Per-arena state: the paper's alloc pointer and live count, plus a
   /// reset-generation counter for the audit trail.

@@ -10,6 +10,7 @@
 #include "telemetry/StatsRegistry.h"
 
 #include <cassert>
+#include <unordered_set>
 
 using namespace lifepred;
 
@@ -68,6 +69,47 @@ void BsdAllocator::free(uint64_t Address) {
   LiveBytes -= It->second;
   Live.erase(It);
   Buckets[Bucket].push_back(Address);
+}
+
+//===----------------------------------------------------------------------===//
+// Invariant audit (verify layer).
+//===----------------------------------------------------------------------===//
+
+bool BsdAllocator::auditInvariants(std::string &Error) const {
+  auto Fail = [&Error](std::string Message) {
+    Error = std::move(Message);
+    return false;
+  };
+
+  uint64_t Live = 0;
+  for (const auto &[Addr, Payload] : this->Live) {
+    if (Addr < Cfg.BaseAddress || Addr >= HeapEnd)
+      return Fail("live block outside the heap at " + std::to_string(Addr));
+    if ((uint64_t(1) << bucketFor(Payload)) > heapBytes())
+      return Fail("live block class larger than the heap at " +
+                  std::to_string(Addr));
+    Live += Payload;
+  }
+  if (Live != LiveBytes)
+    return Fail("live payload sums to " + std::to_string(Live) +
+                " but LiveBytes is " + std::to_string(LiveBytes));
+  if (MaxHeap < heapBytes())
+    return Fail("MaxHeap below current heap size");
+
+  std::unordered_set<uint64_t> Parked;
+  for (size_t Bucket = 0; Bucket < Buckets.size(); ++Bucket) {
+    for (uint64_t Addr : Buckets[Bucket]) {
+      if (Addr < Cfg.BaseAddress || Addr >= HeapEnd)
+        return Fail("parked block outside the heap at " +
+                    std::to_string(Addr) + " in class " +
+                    std::to_string(Bucket));
+      if (this->Live.count(Addr))
+        return Fail("address both live and parked: " + std::to_string(Addr));
+      if (!Parked.insert(Addr).second)
+        return Fail("address parked twice: " + std::to_string(Addr));
+    }
+  }
+  return true;
 }
 
 //===----------------------------------------------------------------------===//

@@ -58,6 +58,7 @@ public:
   uint64_t liveBytes() const override { return LiveBytes; }
 
   const Counters &counters() const { return Stats; }
+  const Config &config() const { return Cfg; }
 
   /// The size class (bucket index) serving \p Size (test support).
   unsigned bucketFor(uint32_t Size) const;
@@ -74,6 +75,13 @@ public:
   /// "<Prefix>allocs", "<Prefix>page_refills", ... — read-only.
   void exportTelemetry(StatsRegistry &Registry,
                        const std::string &Prefix) const;
+
+  /// Structural self-audit for the verify layer: live-byte accounting,
+  /// address-range containment of every live and parked block, and
+  /// free-list distinctness (no address both live and parked, no address
+  /// parked twice).  O(blocks) per call; costs nothing unless called.
+  /// Returns false and fills \p Error at the first broken invariant.
+  bool auditInvariants(std::string &Error) const;
 
 private:
   Config Cfg;

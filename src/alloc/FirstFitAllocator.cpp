@@ -405,6 +405,123 @@ void FirstFitAllocator::exportTelemetry(StatsRegistry &Registry,
   raisePeak(Registry.gauge(Prefix + "free_blocks"), FreeCount);
 }
 
+//===----------------------------------------------------------------------===//
+// Invariant audit (verify layer).
+//===----------------------------------------------------------------------===//
+
+bool FirstFitAllocator::auditInvariants(std::string &Error) const {
+  auto Fail = [&Error](std::string Message) {
+    Error = std::move(Message);
+    return false;
+  };
+
+  // Address list: blocks tile [BaseAddress, HeapEnd) contiguously, the
+  // boundary tags link both ways, the address map resolves every block
+  // start, and no two free blocks are adjacent (coalescing idempotence).
+  uint64_t Expect = Cfg.BaseAddress;
+  uint64_t Live = 0;
+  size_t FreeSeen = 0, Walked = 0;
+  bool PrevFree = false;
+  uint32_t Prev = Nil;
+  for (uint32_t N = Head; N != Nil; N = Nodes[N].AddrNext) {
+    const BlockNode &B = Nodes[N];
+    if (++Walked > Nodes.size())
+      return Fail("address list cycle");
+    if (B.Addr != Expect)
+      return Fail("blocks do not tile the heap at " + std::to_string(B.Addr));
+    if (B.AddrPrev != Prev)
+      return Fail("broken AddrPrev boundary tag at " + std::to_string(B.Addr));
+    if (B.Size == 0)
+      return Fail("zero-sized block at " + std::to_string(B.Addr));
+    if (nodeAt(B.Addr) != N)
+      return Fail("stale address map entry at " + std::to_string(B.Addr));
+    if (B.Free && PrevFree)
+      return Fail("adjacent free blocks at " + std::to_string(B.Addr) +
+                  " (missed coalesce)");
+    if (B.Free)
+      ++FreeSeen;
+    else {
+      if (blockNeed(B.Payload) > B.Size)
+        return Fail("payload overflows block at " + std::to_string(B.Addr));
+      Live += B.Payload;
+    }
+    Expect = B.Addr + B.Size;
+    PrevFree = B.Free;
+    Prev = N;
+  }
+  if (Expect != HeapEnd)
+    return Fail("blocks tile to " + std::to_string(Expect) +
+                " but HeapEnd is " + std::to_string(HeapEnd) +
+                " (byte conservation broken)");
+  if (Tail != Prev)
+    return Fail("Tail does not name the highest-addressed block");
+  if (Live != LiveBytes)
+    return Fail("live payload sums to " + std::to_string(Live) +
+                " but LiveBytes is " + std::to_string(LiveBytes));
+  if (MaxHeap < heapBytes())
+    return Fail("MaxHeap below current heap size");
+
+  // Free list: exactly the free blocks, sorted by address, doubly linked.
+  uint64_t LastAddr = 0;
+  size_t FreeWalked = 0;
+  uint32_t FreePrev = Nil;
+  for (uint32_t N = FreeHead; N != Nil; N = Nodes[N].FreeNext) {
+    if (++FreeWalked > FreeCount)
+      return Fail("free-list cycle or length above FreeCount");
+    if (!Nodes[N].Free)
+      return Fail("allocated block on the free list at " +
+                  std::to_string(Nodes[N].Addr));
+    if (Nodes[N].FreePrev != FreePrev)
+      return Fail("broken FreePrev link at " + std::to_string(Nodes[N].Addr));
+    if (FreePrev != Nil && Nodes[N].Addr <= LastAddr)
+      return Fail("free list not address-sorted at " +
+                  std::to_string(Nodes[N].Addr));
+    LastAddr = Nodes[N].Addr;
+    FreePrev = N;
+  }
+  if (FreeWalked != FreeCount || FreeWalked != FreeSeen)
+    return Fail("free-list length " + std::to_string(FreeWalked) +
+                " disagrees with FreeCount " + std::to_string(FreeCount) +
+                " / free blocks seen " + std::to_string(FreeSeen));
+  if (FreeTail != FreePrev)
+    return Fail("FreeTail does not name the last free block");
+
+  // Rover cache: RoverNode is lower_bound(Rover) on the free list.
+  uint32_t Lower = Nil;
+  for (uint32_t N = FreeHead; N != Nil; N = Nodes[N].FreeNext)
+    if (Nodes[N].Addr >= Rover) {
+      Lower = N;
+      break;
+    }
+  if (Lower != RoverNode)
+    return Fail("rover cache stale: lower_bound(Rover) mismatch");
+
+  // BestFit bins: together they hold exactly the free blocks, each block
+  // in its home bin with intact links.
+  if (Cfg.Policy == FitPolicy::BestFit && Cfg.BestFitBins) {
+    size_t Binned = 0;
+    for (unsigned B = 0; B < BinCount; ++B) {
+      uint32_t BinPrev = Nil;
+      for (uint32_t N = Bins[B]; N != Nil; N = Nodes[N].BinNext) {
+        if (++Binned > FreeCount)
+          return Fail("bin cycle or bin population above FreeCount");
+        if (!Nodes[N].Free)
+          return Fail("allocated block in bin " + std::to_string(B));
+        if (binIndex(Nodes[N].Size) != B)
+          return Fail("block of size " + std::to_string(Nodes[N].Size) +
+                      " filed in wrong bin " + std::to_string(B));
+        if (Nodes[N].BinPrev != BinPrev)
+          return Fail("broken BinPrev link in bin " + std::to_string(B));
+        BinPrev = N;
+      }
+    }
+    if (Binned != FreeCount)
+      return Fail("bins hold " + std::to_string(Binned) +
+                  " blocks but FreeCount is " + std::to_string(FreeCount));
+  }
+  return true;
+}
+
 void FirstFitAllocator::free(uint64_t Address) {
   ++Stats.Frees;
   uint32_t N = nodeAt(Address);

@@ -108,6 +108,14 @@ public:
   void exportTelemetry(StatsRegistry &Registry,
                        const std::string &Prefix) const;
 
+  /// Exhaustive structural self-audit for the verify layer: heap tiling
+  /// (byte conservation), free-list and bin consistency, coalescing
+  /// idempotence (no two adjacent free blocks), live-byte accounting, and
+  /// the rover cache.  O(blocks) per call and costs nothing unless called,
+  /// mirroring the attachTelemetry zero-cost-when-detached convention.
+  /// Returns false and fills \p Error at the first broken invariant.
+  bool auditInvariants(std::string &Error) const;
+
 private:
   /// Node-index sentinel (no block).
   static constexpr uint32_t Nil = ~uint32_t(0);

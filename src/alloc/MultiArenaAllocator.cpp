@@ -55,7 +55,9 @@ uint64_t MultiArenaAllocator::bumpAllocate(BandState &Band, uint32_t Size,
 uint64_t MultiArenaAllocator::allocate(uint32_t Size, uint8_t BandIndex) {
   if (BandIndex < BandStates.size()) {
     BandState &Band = BandStates[BandIndex];
-    uint64_t Need = alignTo(Size, 8);
+    // Zero-size requests consume one granule so no two objects ever share
+    // a bump address (see ArenaAllocator::allocate).
+    uint64_t Need = alignTo(Size == 0 ? 1 : Size, 8);
     if (Need <= Band.arenaBytes()) {
       Arena &Current = Band.Arenas[Band.Current];
       if (Current.AllocPtr + Need <= Band.arenaBytes())
@@ -117,6 +119,76 @@ uint64_t MultiArenaAllocator::maxHeapBytes() const {
 
 uint64_t MultiArenaAllocator::liveBytes() const {
   return ArenaLiveBytes + General.liveBytes();
+}
+
+//===----------------------------------------------------------------------===//
+// Invariant audit (verify layer).
+//===----------------------------------------------------------------------===//
+
+bool MultiArenaAllocator::auditInvariants(std::string &Error) const {
+  auto Fail = [&Error](std::string Message) {
+    Error = std::move(Message);
+    return false;
+  };
+
+  // Band areas are laid out contiguously and never overlap the general
+  // heap.
+  uint64_t Base = 1 << 20;
+  for (size_t I = 0; I < BandStates.size(); ++I) {
+    const BandState &Band = BandStates[I];
+    if (Band.Base != Base)
+      return Fail("band " + std::to_string(I) + " area not contiguous");
+    Base += Band.Cfg.AreaBytes;
+    if (Band.Current >= Band.Cfg.ArenaCount)
+      return Fail("band " + std::to_string(I) +
+                  " current arena index out of range");
+    for (unsigned A = 0; A < Band.Cfg.ArenaCount; ++A) {
+      if (Band.Arenas[A].AllocPtr > Band.arenaBytes())
+        return Fail("band " + std::to_string(I) + " arena " +
+                    std::to_string(A) + " bump pointer past the arena end");
+      if (Band.Arenas[A].AllocPtr % 8 != 0)
+        return Fail("band " + std::to_string(I) + " arena " +
+                    std::to_string(A) + " bump pointer unaligned");
+    }
+  }
+  if (Base > Cfg.General.BaseAddress)
+    return Fail("band areas overlap the general heap");
+
+  // Payload map vs per-arena live counts, attributed by address range.
+  std::vector<std::vector<uint32_t>> Counts;
+  for (const BandState &Band : BandStates)
+    Counts.emplace_back(Band.Cfg.ArenaCount, 0);
+  uint64_t Live = 0;
+  for (const auto &[Addr, Payload] : ArenaPayload) {
+    uint8_t Band = bandForAddress(Addr);
+    if (Band == GeneralBand)
+      return Fail("payload map entry outside every band area at " +
+                  std::to_string(Addr));
+    const BandState &State = BandStates[Band];
+    unsigned Index = arenaIndexFor(Band, Addr);
+    uint64_t Offset = Addr - State.Base - Index * State.arenaBytes();
+    if (Offset >= State.Arenas[Index].AllocPtr)
+      return Fail("live object above the bump pointer in band " +
+                  std::to_string(Band) + " arena " + std::to_string(Index));
+    if (Offset + Payload > State.arenaBytes())
+      return Fail("live object overflows band " + std::to_string(Band) +
+                  " arena " + std::to_string(Index));
+    ++Counts[Band][Index];
+    Live += Payload;
+  }
+  for (size_t I = 0; I < BandStates.size(); ++I)
+    for (unsigned A = 0; A < BandStates[I].Cfg.ArenaCount; ++A)
+      if (Counts[I][A] != BandStates[I].Arenas[A].LiveCount)
+        return Fail("band " + std::to_string(I) + " arena " +
+                    std::to_string(A) + " live count disagrees with the " +
+                    "payload map population");
+  if (Live != ArenaLiveBytes)
+    return Fail("arena payload sums to " + std::to_string(Live) +
+                " but ArenaLiveBytes is " + std::to_string(ArenaLiveBytes));
+  if (MaxArenaLiveBytes < ArenaLiveBytes)
+    return Fail("MaxArenaLiveBytes below current arena live bytes");
+
+  return General.auditInvariants(Error);
 }
 
 //===----------------------------------------------------------------------===//

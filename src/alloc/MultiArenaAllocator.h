@@ -92,6 +92,7 @@ public:
   uint64_t generalBytes() const { return GeneralBytes; }
 
   const FirstFitAllocator &general() const { return General; }
+  const Config &config() const { return Cfg; }
 
   /// Payload bytes currently live across all band areas.
   uint64_t arenaLiveBytes() const { return ArenaLiveBytes; }
@@ -138,6 +139,14 @@ public:
   /// ("<Prefix>general.*") into \p Registry — read-only.
   void exportTelemetry(StatsRegistry &Registry,
                        const std::string &Prefix) const;
+
+  /// Structural self-audit for the verify layer: band-area layout, per-band
+  /// bump-pointer bounds and alignment, live-counter consistency against
+  /// the payload map, arena-live-byte accounting, and the embedded general
+  /// heap's full audit.  O(live objects) per call; costs nothing unless
+  /// called.  Returns false and fills \p Error at the first broken
+  /// invariant.
+  bool auditInvariants(std::string &Error) const;
 
 private:
   struct Arena {

@@ -83,8 +83,10 @@ private:
       Scheduled.pop();
       if (Freed[A.Id])
         continue; // The object died before this reference came due.
-      // Stride through the object's cache lines.
-      uint64_t Offset = (static_cast<uint64_t>(A.Index) * 32) % Sizes[A.Id];
+      // Stride through the object's cache lines (zero-size objects still
+      // occupy one addressable byte).
+      uint64_t Offset = (static_cast<uint64_t>(A.Index) * 32) %
+                        std::max(Sizes[A.Id], 1u);
       Cache.access(Addresses[A.Id] + Offset);
     }
   }

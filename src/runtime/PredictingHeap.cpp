@@ -46,7 +46,10 @@ void *PredictingHeap::bump(size_t Need, size_t Size) {
 }
 
 void *PredictingHeap::allocateImpl(size_t Size, bool Predicted) {
-  size_t Need = alignTo(Size, Cfg.Alignment);
+  // Zero-size requests consume one granule so every returned pointer is
+  // distinct (malloc(0) semantics; a zero-width bump would hand out the
+  // same arena pointer twice).
+  size_t Need = alignTo(Size == 0 ? 1 : Size, Cfg.Alignment);
   if (Predicted && Need <= arenaBytes()) {
     if (Arenas[Current].AllocPtr + Need <= arenaBytes())
       return bump(Need, Size);
@@ -158,6 +161,45 @@ void PredictingHeap::deallocate(void *Ptr) {
     return;
   }
   ::operator delete(Ptr);
+}
+
+bool PredictingHeap::auditInvariants(std::string &Error) const {
+  auto Fail = [&Error](std::string Message) {
+    Error = std::move(Message);
+    return false;
+  };
+
+  if (Current >= Cfg.ArenaCount)
+    return Fail("current arena index out of range");
+  for (unsigned I = 0; I < Cfg.ArenaCount; ++I) {
+    if (Arenas[I].AllocPtr > arenaBytes())
+      return Fail("arena " + std::to_string(I) +
+                  " bump pointer past the arena end");
+    if (Arenas[I].AllocPtr % Cfg.Alignment != 0)
+      return Fail("arena " + std::to_string(I) + " bump pointer unaligned");
+  }
+
+  // With a recorder attached, LiveIds names every live object; each
+  // recorded arena pointer must lie below its arena's bump pointer and the
+  // per-arena population must not exceed the live count (batch-reset
+  // soundness for the real heap).
+  std::vector<uint32_t> Counts(Cfg.ArenaCount, 0);
+  for (const auto &[Ptr, Id] : LiveIds) {
+    if (!isArenaPointer(Ptr))
+      continue;
+    auto Offset = static_cast<size_t>(
+        static_cast<const unsigned char *>(Ptr) - Area.get());
+    unsigned Index = static_cast<unsigned>(Offset / arenaBytes());
+    if (Offset - Index * arenaBytes() >= Arenas[Index].AllocPtr)
+      return Fail("recorded live object above the bump pointer in arena " +
+                  std::to_string(Index));
+    ++Counts[Index];
+  }
+  for (unsigned I = 0; I < Cfg.ArenaCount; ++I)
+    if (Counts[I] > Arenas[I].LiveCount)
+      return Fail("arena " + std::to_string(I) +
+                  " holds more recorded live objects than its live count");
+  return true;
 }
 
 void PredictingHeap::exportTelemetry(StatsRegistry &Registry,

@@ -81,6 +81,13 @@ public:
   void exportTelemetry(StatsRegistry &Registry,
                        const std::string &Prefix) const;
 
+  /// Structural self-audit for the verify layer: per-arena bump-pointer
+  /// bounds and alignment, and (with a recorder attached) containment of
+  /// every recorded live arena pointer in an arena with a positive live
+  /// count.  Costs nothing unless called.  Returns false and fills
+  /// \p Error at the first broken invariant.
+  bool auditInvariants(std::string &Error) const;
+
   /// Attaches a per-object flight recorder.  Attach before the first
   /// allocate(); the heap then assigns object ids in allocation order and
   /// drives a byte clock (bytes allocated so far), so the audit trail of a

@@ -1,0 +1,159 @@
+//===- verify/Shrinker.cpp - Violating-trace minimization ------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Shrinker.h"
+
+#include "trace/TraceBinaryIO.h"
+
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+using namespace lifepred;
+
+AllocationTrace
+lifepred::cloneTraceSubset(const AllocationTrace &Source,
+                           const std::vector<uint32_t> &Indices) {
+  AllocationTrace Out;
+  Out.reserveRecords(Indices.size());
+  // Re-intern only the chains the kept records use; internChain dedups, so
+  // the mapping falls out of the existing mechanism.
+  std::vector<uint32_t> ChainMap(Source.chainCount(), ~uint32_t(0));
+  for (uint32_t Index : Indices) {
+    AllocRecord Record = Source.records()[Index];
+    uint32_t &Mapped = ChainMap[Record.ChainIndex];
+    if (Mapped == ~uint32_t(0))
+      Mapped = Out.internChain(Source.chain(Record.ChainIndex));
+    Record.ChainIndex = Mapped;
+    Out.append(Record);
+  }
+  Out.setNonHeapRefs(Source.nonHeapRefs());
+  return Out;
+}
+
+namespace {
+
+/// Tests a candidate, charging the probe budget.
+bool probe(const FailurePredicate &StillFails, const AllocationTrace &T,
+           uint64_t MaxProbes, ShrinkStats &Stats) {
+  if (Stats.Probes >= MaxProbes)
+    return false;
+  ++Stats.Probes;
+  return StillFails(T);
+}
+
+} // namespace
+
+AllocationTrace lifepred::shrinkTrace(const AllocationTrace &Seed,
+                                      const FailurePredicate &StillFails,
+                                      uint64_t MaxProbes,
+                                      ShrinkStats *StatsOut) {
+  ShrinkStats Stats;
+  std::vector<uint32_t> Kept(Seed.size());
+  std::iota(Kept.begin(), Kept.end(), 0);
+
+  // Phase 1: ddmin chunk removal.  Try dropping windows of half the trace,
+  // halving the window down to single records; restart at the current
+  // window size after any successful removal.
+  for (size_t Chunk = std::max<size_t>(Kept.size() / 2, 1); Chunk >= 1;) {
+    bool Removed = false;
+    for (size_t Start = 0; Start < Kept.size() && Stats.Probes < MaxProbes;) {
+      std::vector<uint32_t> Candidate;
+      Candidate.reserve(Kept.size());
+      size_t End = std::min(Start + Chunk, Kept.size());
+      Candidate.insert(Candidate.end(), Kept.begin(),
+                       Kept.begin() + Start);
+      Candidate.insert(Candidate.end(), Kept.begin() + End, Kept.end());
+      if (!Candidate.empty() &&
+          probe(StillFails, cloneTraceSubset(Seed, Candidate), MaxProbes,
+                Stats)) {
+        Kept = std::move(Candidate);
+        ++Stats.Reductions;
+        Removed = true;
+        // Do not advance: the window now covers fresh records.
+      } else {
+        Start += Chunk;
+      }
+    }
+    if (Chunk == 1 && !Removed)
+      break;
+    if (!Removed)
+      Chunk = std::max<size_t>(Chunk / 2, 1);
+  }
+
+  // Phase 2: per-record field simplification on the survivor set.  Each
+  // candidate rewrites one field of one record toward its most canonical
+  // value; adopted only if the failure persists.
+  AllocationTrace Current = cloneTraceSubset(Seed, Kept);
+  auto TrySimplify = [&](size_t Index, auto Mutate) {
+    if (Stats.Probes >= MaxProbes)
+      return;
+    AllocRecord Record = Current.records()[Index];
+    if (!Mutate(Record))
+      return;
+    AllocationTrace Rebuilt;
+    Rebuilt.reserveRecords(Current.size());
+    for (size_t I = 0; I < Current.size(); ++I) {
+      AllocRecord R = I == Index ? Record : Current.records()[I];
+      R.ChainIndex = Rebuilt.internChain(Current.chain(R.ChainIndex));
+      Rebuilt.append(R);
+    }
+    if (probe(StillFails, Rebuilt, MaxProbes, Stats)) {
+      Current = std::move(Rebuilt);
+      ++Stats.Reductions;
+    }
+  };
+
+  for (size_t I = 0; I < Current.size(); ++I) {
+    TrySimplify(I, [](AllocRecord &R) {
+      if (R.Size == 8)
+        return false;
+      R.Size = 8;
+      return true;
+    });
+    TrySimplify(I, [](AllocRecord &R) {
+      if (R.Lifetime == 0)
+        return false;
+      R.Lifetime = 0;
+      return true;
+    });
+    TrySimplify(I, [&Current](AllocRecord &R) {
+      uint32_t First = Current.records()[0].ChainIndex;
+      if (R.ChainIndex == First)
+        return false;
+      R.ChainIndex = First;
+      return true;
+    });
+    TrySimplify(I, [](AllocRecord &R) {
+      if (R.Refs == 0 && R.TypeId == 0)
+        return false;
+      R.Refs = 0;
+      R.TypeId = 0;
+      return true;
+    });
+  }
+
+  Stats.FinalRecords = Current.size();
+  if (StatsOut)
+    *StatsOut = Stats;
+  return Current;
+}
+
+bool lifepred::writeCorpusTrace(const AllocationTrace &Trace,
+                                const std::string &Dir,
+                                const std::string &Stem,
+                                std::string &PathOut) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    return false;
+  PathOut = (std::filesystem::path(Dir) / (Stem + ".lptrace")).string();
+  std::ofstream OS(PathOut, std::ios::binary);
+  if (!OS)
+    return false;
+  writeTraceBinary(Trace, OS);
+  return static_cast<bool>(OS);
+}

@@ -1,0 +1,63 @@
+//===- verify/Shrinker.h - Violating-trace minimization ---------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging minimization of violating traces.  When the fuzzer
+/// finds a trace the shadow heap rejects, the shrinker reduces it to a
+/// small witness: ddmin-style chunk removal over the record list (largest
+/// chunks first, halving down to single records), then per-record field
+/// simplification (canonical sizes, zero lifetimes, shared chains).  Every
+/// candidate is re-tested with the caller's failure predicate, so the
+/// result is the smallest trace found that still fails.  Minimized
+/// witnesses are written to tests/corpus/ and replayed forever as ctest
+/// cases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_VERIFY_SHRINKER_H
+#define LIFEPRED_VERIFY_SHRINKER_H
+
+#include "trace/AllocationTrace.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lifepred {
+
+/// Returns true when a candidate trace still exhibits the failure being
+/// minimized (e.g. !shadowCheckAll(T).clean()).
+using FailurePredicate = std::function<bool(const AllocationTrace &)>;
+
+/// Shrink-run statistics.
+struct ShrinkStats {
+  uint64_t Probes = 0;     ///< Predicate evaluations performed.
+  uint64_t Reductions = 0; ///< Candidates adopted (strictly simpler).
+  size_t FinalRecords = 0; ///< Record count of the result.
+};
+
+/// A new trace holding \p Source's records at \p Indices (in order), with
+/// only the chains those records use, re-interned densely.
+AllocationTrace cloneTraceSubset(const AllocationTrace &Source,
+                                 const std::vector<uint32_t> &Indices);
+
+/// Minimizes \p Seed under \p StillFails.  \p Seed must fail the
+/// predicate; the result also fails it and has no removable record or
+/// simplifiable field (within the \p MaxProbes budget).  Deterministic.
+AllocationTrace shrinkTrace(const AllocationTrace &Seed,
+                            const FailurePredicate &StillFails,
+                            uint64_t MaxProbes = 2000,
+                            ShrinkStats *Stats = nullptr);
+
+/// Writes \p Trace as \p Dir/\p Stem.lptrace (creating \p Dir if needed).
+/// Fills \p PathOut with the path written; false on I/O failure.
+bool writeCorpusTrace(const AllocationTrace &Trace, const std::string &Dir,
+                      const std::string &Stem, std::string &PathOut);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_VERIFY_SHRINKER_H

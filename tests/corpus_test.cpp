@@ -1,0 +1,77 @@
+//===- tests/corpus_test.cpp - Fuzz corpus replay --------------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays every checked-in corpus trace (tests/corpus/*.lptrace) through
+/// the full shadow oracle as a named ctest case.  The corpus holds the
+/// generator's seed traces plus any shrinker-minimized witnesses of past
+/// violations; a regression that re-breaks a fixed invariant fails here
+/// before the fuzzer ever runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceBinaryIO.h"
+#include "verify/ShadowSim.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+using namespace lifepred;
+
+#ifndef LIFEPRED_CORPUS_DIR
+#error "LIFEPRED_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Files;
+  std::error_code EC;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(LIFEPRED_CORPUS_DIR, EC))
+    if (Entry.path().extension() == ".lptrace")
+      Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+class CorpusReplayTest : public testing::TestWithParam<std::string> {};
+
+} // namespace
+
+TEST_P(CorpusReplayTest, ReplaysCleanUnderShadowOracle) {
+  std::ifstream IS(GetParam(), std::ios::binary);
+  ASSERT_TRUE(IS) << "cannot open " << GetParam();
+  std::optional<AllocationTrace> Trace = readTraceBinary(IS);
+  ASSERT_TRUE(Trace.has_value()) << GetParam() << " is not a binary trace";
+  ShadowReport Report = shadowCheckAll(*Trace);
+  EXPECT_TRUE(Report.clean())
+      << GetParam() << ": " << Report.summary()
+      << (Report.Violations.empty()
+              ? ""
+              : "; first: " + Report.Violations[0].Invariant + ": " +
+                    Report.Violations[0].Detail);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorpusReplayTest, testing::ValuesIn(corpusFiles()),
+    [](const testing::TestParamInfo<std::string> &Info) {
+      std::string Name = std::filesystem::path(Info.param).stem().string();
+      std::replace_if(
+          Name.begin(), Name.end(),
+          [](char C) { return !std::isalnum(static_cast<unsigned char>(C)); },
+          '_');
+      return Name;
+    });
+
+// The corpus directory must exist and hold at least the generator seeds;
+// an empty ValuesIn would silently skip the suite above.
+TEST(CorpusTest, CorpusIsNotEmpty) {
+  EXPECT_GE(corpusFiles().size(), 9u) << "expected one seed trace per profile";
+}

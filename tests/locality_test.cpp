@@ -9,6 +9,7 @@
 #include "locality/LocalityExperiment.h"
 #include "locality/PageSim.h"
 #include "support/Random.h"
+#include "verify/TraceFuzzer.h"
 
 #include "gtest/gtest.h"
 
@@ -153,4 +154,67 @@ TEST(LocalityExperimentTest, ArenaReducesPageFaultsOnChurn) {
   PagingResult Result = comparePaging(T, DB, Options);
   EXPECT_GT(Result.Accesses, 100000u);
   EXPECT_LT(Result.ArenaFaultPercent, Result.FirstFitFaultPercent);
+}
+
+TEST(CacheSimTest, DirectMappedConflictThrash) {
+  // Hand-computed: 1-way, 4 sets of 32-byte lines (128 B total).  Two
+  // addresses 128 bytes apart map to the same set and evict each other on
+  // every access: 6 accesses, 6 misses, 0 hits.
+  CacheSim::Config Cfg;
+  Cfg.CacheBytes = 128;
+  Cfg.LineBytes = 32;
+  Cfg.Ways = 1;
+  CacheSim C(Cfg);
+  for (int I = 0; I < 3; ++I) {
+    C.access(0);
+    C.access(128);
+  }
+  EXPECT_EQ(C.misses(), 6u);
+  EXPECT_EQ(C.hits(), 0u);
+  // The same pair in a 2-way cache coexists: 2 cold misses then 4 hits.
+  Cfg.Ways = 2;
+  CacheSim C2(Cfg);
+  for (int I = 0; I < 3; ++I) {
+    C2.access(0);
+    C2.access(128);
+  }
+  EXPECT_EQ(C2.misses(), 2u);
+  EXPECT_EQ(C2.hits(), 4u);
+}
+
+TEST(PageSimTest, SequentialSweepFaultCountExact) {
+  // Hand-computed: a 64 KB sweep at 256-byte stride touches 16 distinct
+  // 4 KB pages; with a 32-page budget nothing is evicted, so the second
+  // sweep is all hits: 16 faults out of 512 accesses.
+  PageSim P;
+  for (int Pass = 0; Pass < 2; ++Pass)
+    for (uint64_t Addr = 0; Addr < 65536; Addr += 256)
+      P.access(Addr);
+  EXPECT_EQ(P.faults(), 16u);
+  EXPECT_EQ(P.accesses(), 512u);
+  EXPECT_DOUBLE_EQ(P.faultRatePercent(), 100.0 * 16 / 512);
+}
+
+TEST(LocalityFuzzTest, FuzzProfilesExerciseCacheAndPagingSims) {
+  // Generated adversarial traces must flow through both locality sims
+  // without violating their accounting: identical access counts for both
+  // streams, rates within [0, 100], and totals that add up.
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  for (FuzzProfile Profile :
+       {FuzzProfile::Fragmentation, FuzzProfile::Burst, FuzzProfile::Mixed}) {
+    AllocationTrace T = generateFuzzTrace(Profile, 77, 400);
+    SiteDatabase DB = trainDatabase(profileTrace(T, Policy), Policy);
+    LocalityResult Cache = compareLocality(T, DB);
+    EXPECT_GT(Cache.Accesses, 0u) << profileName(Profile);
+    EXPECT_GE(Cache.FirstFitMissPercent, 0.0);
+    EXPECT_LE(Cache.FirstFitMissPercent, 100.0);
+    EXPECT_GE(Cache.ArenaMissPercent, 0.0);
+    EXPECT_LE(Cache.ArenaMissPercent, 100.0);
+    PagingResult Paging = comparePaging(T, DB);
+    EXPECT_EQ(Paging.Accesses, Cache.Accesses) << profileName(Profile);
+    EXPECT_GE(Paging.FirstFitFaultPercent, 0.0);
+    EXPECT_LE(Paging.FirstFitFaultPercent, 100.0);
+    EXPECT_GE(Paging.ArenaFaultPercent, 0.0);
+    EXPECT_LE(Paging.ArenaFaultPercent, 100.0);
+  }
 }

@@ -10,6 +10,7 @@
 #include "trace/TraceIO.h"
 #include "trace/TraceReplayer.h"
 #include "trace/TraceStats.h"
+#include "verify/TraceFuzzer.h"
 
 #include "gtest/gtest.h"
 
@@ -314,6 +315,22 @@ TEST(TraceBinaryIOTest, BinarySmallerThanTextAtRealisticMagnitudes) {
   writeTrace(T, Text);
   writeTraceBinary(T, Binary);
   EXPECT_LT(Binary.str().size(), Text.str().size());
+}
+
+TEST(TraceBinaryIOTest, StructuredMutationRoundTrip) {
+  // The verify-layer structured fuzzer: pristine round-trips must be
+  // byte-faithful, and truncations, bit flips, header splices, and
+  // trailing garbage must either parse into a structurally valid trace or
+  // be rejected cleanly -- never crash.
+  std::string Error;
+  BinaryFuzzStats Stats;
+  ASSERT_TRUE(fuzzBinaryRoundTrip(/*Seed=*/0xb17f11f, /*Cases=*/6, Error,
+                                  &Stats))
+      << Error;
+  EXPECT_EQ(Stats.Cases, Stats.Accepted + Stats.Rejected);
+  // Truncations of a valid stream must be rejected, so both buckets are
+  // exercised.
+  EXPECT_GT(Stats.Rejected, 0u);
 }
 
 TEST(TraceBinaryIOTest, FuzzRandomBytesNeverCrash) {

@@ -4,6 +4,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "trace/TraceBinaryIO.h"
+#include "verify/ShadowSim.h"
 #include "workloads/LifetimeDistribution.h"
 #include "workloads/ModelBuilder.h"
 #include "workloads/PaperData.h"
@@ -15,6 +17,7 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <sstream>
 
 using namespace lifepred;
 
@@ -417,4 +420,44 @@ TEST(PaperDataTest, LookupCoversAllPrograms) {
       EXPECT_GE(Data->ChainPredPercent[I], Data->ChainPredPercent[I - 1]);
   }
   EXPECT_EQ(paperData("NOPE"), nullptr);
+}
+
+TEST(WorkloadRunnerTest, SameSeedSerializesByteIdentical) {
+  // Stronger than record-by-record equality: the serialized bytes cover
+  // the chain table, non-heap refs, and totals too, so any hidden
+  // nondeterminism (hash-map iteration order, thread interleaving in the
+  // harness) shows up as a byte diff.
+  ProgramModel Model = cfracModel();
+  RunOptions O;
+  O.Scale = 0.002;
+  std::stringstream A, B;
+  {
+    FunctionRegistry Reg;
+    writeTraceBinary(runWorkload(Model, O, Reg), A);
+  }
+  {
+    FunctionRegistry Reg;
+    writeTraceBinary(runWorkload(Model, O, Reg), B);
+  }
+  EXPECT_EQ(A.str(), B.str());
+}
+
+TEST(WorkloadRunnerTest, GeneratedTracePassesShadowOracle) {
+  // Model-generated traces must satisfy every allocator invariant the
+  // fuzzer checks: all four families, both replay paths, and the
+  // schedule differential.
+  for (ProgramModel (*Make)() : {cfracModel, gawkModel}) {
+    ProgramModel Model = Make();
+    FunctionRegistry Reg;
+    RunOptions O;
+    O.Scale = 0.001;
+    AllocationTrace T = runWorkload(Model, O, Reg);
+    ASSERT_GT(T.size(), 0u) << Model.Name;
+    ShadowReport Report = shadowCheckAll(T);
+    EXPECT_TRUE(Report.clean())
+        << Model.Name << ": " << Report.summary()
+        << (Report.Violations.empty()
+                ? ""
+                : "; first: " + Report.Violations[0].Detail);
+  }
 }
