@@ -32,8 +32,10 @@ BenchOptions BenchOptions::fromCommandLine(const CommandLine &Cl) {
   Options.Scale = Cl.getDouble("scale", 1.0);
   Options.Seed = static_cast<uint64_t>(Cl.getInt("seed", 0x1993));
   Options.OnlyProgram = Cl.getString("program", "");
-  long Jobs = Cl.getInt("jobs", 1);
-  if (Jobs <= 0) // --jobs=0 means "use every core".
+  // Default to every core; an explicit --jobs=0 also means "use every
+  // core" and --jobs=1 is strictly serial.
+  long Jobs = Cl.getInt("jobs", 0);
+  if (Jobs <= 0)
     Options.Jobs = ThreadPool::defaultThreadCount();
   else
     Options.Jobs = static_cast<unsigned>(Jobs);
@@ -137,6 +139,23 @@ double lifepred::wallTimeSeconds() {
       .count();
 }
 
+uint64_t lifepred::peakRssKb() {
+#if defined(__linux__)
+  std::FILE *Status = std::fopen("/proc/self/status", "r");
+  if (!Status)
+    return 0;
+  unsigned long long Kb = 0;
+  char Line[256];
+  while (std::fgets(Line, sizeof(Line), Status))
+    if (std::sscanf(Line, "VmHWM: %llu", &Kb) == 1)
+      break;
+  std::fclose(Status);
+  return Kb;
+#else
+  return 0;
+#endif
+}
+
 bool JsonReport::write() const {
   if (Options.JsonPath.empty())
     return true;
@@ -172,7 +191,13 @@ bool JsonReport::write() const {
   Out += Buf;
   Out += "    \"program\": \"";
   appendJsonEscaped(Out, Manifest.Program);
-  Out += "\"\n  },\n";
+  Out += "\",\n";
+  // Sampled at write() time, i.e. after the bench's replay work: the
+  // streamed-replay residency evidence.  Manifest entries are provenance
+  // notes, not gated values, so run-to-run RSS jitter cannot fail a gate.
+  std::snprintf(Buf, sizeof(Buf), "    \"peak_rss_kb\": %llu\n  },\n",
+                static_cast<unsigned long long>(peakRssKb()));
+  Out += Buf;
   std::snprintf(Buf, sizeof(Buf), "  \"events\": %llu,\n",
                 static_cast<unsigned long long>(Events));
   Out += Buf;

@@ -56,7 +56,11 @@ struct BenchOptions {
   double Scale = 1.0;
   uint64_t Seed = 0x1993;
   std::string OnlyProgram;  ///< Empty = all five.
-  unsigned Jobs = 1;        ///< Worker threads; 1 = serial.
+  /// Worker threads.  The --jobs flag defaults to 0 = "every core"
+  /// (std::thread::hardware_concurrency); the manifest records the
+  /// *effective* count, never the 0 sentinel.  --jobs=1 is strictly
+  /// serial.
+  unsigned Jobs = 1;
   std::string JsonPath;     ///< Empty = no JSON report.
   std::string TraceOutPath; ///< --trace-out: chrome://tracing span file.
   std::string AuditOutPath; ///< --audit-out: lifetime audit report file.
@@ -176,6 +180,12 @@ std::unique_ptr<TraceEventWriter> makeTraceWriter(const BenchOptions &Options);
 
 /// Monotonic wall-clock seconds (for events/sec measurement).
 double wallTimeSeconds();
+
+/// Peak resident set size of this process in kilobytes (VmHWM from
+/// /proc/self/status), or 0 where that interface does not exist.  Recorded
+/// in the JSON manifest as "peak_rss_kb" — the streamed-replay residency
+/// evidence: a chunk-streamed run's peak stays flat as the trace grows.
+uint64_t peakRssKb();
 
 /// Number of replay events (allocs plus derived frees) in \p Trace.
 inline uint64_t replayEventCount(const AllocationTrace &Trace) {

@@ -50,6 +50,28 @@
 // --repeat=N (default 3) which replays every trace N times to lengthen
 // the timed region.
 //
+// Two additional modes exercise the billion-event tier (trace/ScheduleFile
+// + sim/StreamReplay):
+//
+//   --stream : compile each program's test trace to an on-disk .sched file
+//     (timed), then replay it streamed four ways — sequential first-fit,
+//     sequential BSD, batched-bitmap BSD, and chunk-sharded BSD across the
+//     thread pool.  The instrumented pass exports the streamed "firstfit."
+//     and "bsd." registries (byte-identical to the in-memory replays) plus
+//     the sharded "shard." merge, so a bench_compare gate pins the whole
+//     streamed tier.  --chunk-events=N sets the chunk granularity,
+//     --sched-out=<dir> keeps the schedule files.
+//
+//   --grand-challenge=N : synthesize an N-event schedule from the
+//     grandchallenge fuzz profile in bounded segments (the writer appends
+//     segment by segment, so memory stays O(segment) while the file grows
+//     to billions of events), then replay it streamed: batched-bitmap
+//     single-thread and chunk-sharded aggregate.  A one-segment in-memory
+//     compiled replay (the PR 4 path) is timed as the speedup reference.
+//     The .sched file defaults to the working directory (not /tmp, which
+//     may be a RAM-backed filesystem) and is deleted unless --sched-out or
+//     --keep-sched is given.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -58,12 +80,15 @@
 #include "core/Pipeline.h"
 #include "sim/MultiArenaSimulator.h"
 #include "sim/SimTelemetry.h"
+#include "sim/StreamReplay.h"
 #include "sim/TraceSimulator.h"
 #include "support/TableFormatter.h"
 #include "telemetry/FlightRecorder.h"
 #include "telemetry/LifetimeAudit.h"
 #include "telemetry/TraceEventWriter.h"
+#include "trace/ScheduleFile.h"
 #include "trace/TraceReplayer.h"
+#include "verify/TraceFuzzer.h"
 
 #include <cstdio>
 #include <iostream>
@@ -128,11 +153,306 @@ struct Cell {
   }
 };
 
+ScheduleFileWriter::Config scheduleConfig(const CommandLine &Cl) {
+  ScheduleFileWriter::Config Config;
+  long ChunkEvents = Cl.getInt("chunk-events", 0);
+  if (ChunkEvents > 0)
+    Config.EventsPerChunk = static_cast<uint64_t>(ChunkEvents);
+  return Config;
+}
+
+/// --stream: the streamed-replay tier over the paper workloads.  Each
+/// program's test trace is compiled to an on-disk schedule (timed), then
+/// replayed four ways from the file.  The instrumented pass exports the
+/// streamed registries, so a --json gate pins the tier's telemetry.
+int runStreamBench(const CommandLine &Cl, const BenchOptions &Options) {
+  unsigned Repeat = static_cast<unsigned>(Cl.getInt("repeat", 3));
+  if (Repeat < 1)
+    Repeat = 1;
+  std::string SchedDir = Cl.getString("sched-out", "");
+  bool KeepSched = !SchedDir.empty() || Cl.has("keep-sched");
+  ScheduleFileWriter::Config SchedConfig = scheduleConfig(Cl);
+
+  printBanner("Throughput (streamed)",
+              "on-disk schedule replay events per second", Options);
+  std::printf("chunk events: %llu; repeats per file: %u\n\n",
+              static_cast<unsigned long long>(SchedConfig.EventsPerChunk),
+              Repeat);
+
+  ThreadPool Pool(Options.Jobs);
+  std::vector<ProgramTraces> All = makeAllTraces(Options, Pool);
+  if (All.empty()) {
+    std::fprintf(stderr, "error: unknown program '%s'\n",
+                 Options.OnlyProgram.c_str());
+    return 1;
+  }
+
+  constexpr unsigned ShapeCount = 4;
+  const char *const ShapeNames[ShapeCount] = {"stream-ff", "stream-bsd",
+                                              "stream-batch", "stream-shard"};
+
+  // Timed compile-to-disk phase, then the files are replayed read-only.
+  double CompileSeconds = 0.0;
+  uint64_t ScheduleBytes = 0;
+  uint64_t ScheduleEvents = 0;
+  uint64_t ScheduleChunks = 0;
+  std::vector<std::string> Paths(All.size());
+  std::vector<ScheduleFile> Files;
+  for (size_t I = 0; I < All.size(); ++I) {
+    Paths[I] = (SchedDir.empty() ? std::string() : SchedDir + "/") +
+               All[I].Model.Name + ".sched";
+    double Start = wallTimeSeconds();
+    ScheduleFileWriter Writer(Paths[I], SchedConfig);
+    Writer.append(All[I].Test);
+    if (!Writer.finish()) {
+      std::fprintf(stderr, "error: %s\n", Writer.error().c_str());
+      return 1;
+    }
+    CompileSeconds += wallTimeSeconds() - Start;
+    std::string Error;
+    std::optional<ScheduleFile> File = ScheduleFile::open(Paths[I], Error);
+    if (!File) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    ScheduleBytes += File->fileBytes();
+    ScheduleEvents += File->eventCount();
+    ScheduleChunks += File->chunkCount();
+    Files.push_back(std::move(*File));
+  }
+
+  // Timed streamed replays.  The sharded shape fans out on the pool
+  // itself, so the shapes run sequentially and each times only itself.
+  std::vector<Cell> Cells(All.size() * ShapeCount);
+  for (size_t I = 0; I < All.size(); ++I) {
+    for (unsigned Shape = 0; Shape < ShapeCount; ++Shape) {
+      Cell &C = Cells[I * ShapeCount + Shape];
+      C.Events = uint64_t(Repeat) * Files[I].eventCount();
+      double Start = wallTimeSeconds();
+      for (unsigned R = 0; R < Repeat; ++R) {
+        switch (Shape) {
+        case 0:
+          streamSimulateFirstFit(Files[I]);
+          break;
+        case 1:
+          streamSimulateBsd(Files[I]);
+          break;
+        case 2:
+          streamSimulateBsdBatched(Files[I]);
+          break;
+        case 3:
+          streamReplayBsdSharded(Files[I], Pool);
+          break;
+        }
+      }
+      C.Seconds = wallTimeSeconds() - Start;
+    }
+  }
+
+  TableFormatter Table({"Program", "Replay", "Events", "Seconds",
+                        "Events/sec", "vs stream-bsd"});
+  JsonReport Report("stream_throughput", Options);
+  Cell ReplayTotal;
+  for (size_t I = 0; I < All.size(); ++I) {
+    const Cell &Sequential = Cells[I * ShapeCount + 1];
+    for (unsigned Shape = 0; Shape < ShapeCount; ++Shape) {
+      const Cell &C = Cells[I * ShapeCount + Shape];
+      ReplayTotal.Events += C.Events;
+      ReplayTotal.Seconds += C.Seconds;
+      Table.beginRow();
+      Table.addCell(Shape == 0 ? All[I].Model.Name : "");
+      Table.addCell(ShapeNames[Shape]);
+      Table.addInt(static_cast<int64_t>(C.Events));
+      Table.addReal(C.Seconds, 3);
+      Table.addInt(static_cast<int64_t>(C.eventsPerSec()));
+      Table.addReal(Sequential.Seconds > 0.0 && C.Seconds > 0.0
+                        ? Sequential.Seconds / C.Seconds
+                        : 0.0,
+                    2);
+      Report.add(std::string(All[I].Model.Name) + "." + ShapeNames[Shape] +
+                     ".events_per_sec",
+                 C.eventsPerSec());
+    }
+  }
+  Table.print(std::cout);
+  std::printf("\nschedule compile: %.3f s for %llu events (%llu KB on disk, "
+              "%llu chunks)\n",
+              CompileSeconds, static_cast<unsigned long long>(ScheduleEvents),
+              static_cast<unsigned long long>(ScheduleBytes / 1024),
+              static_cast<unsigned long long>(ScheduleChunks));
+  std::printf("streamed replays: %.0f events/sec aggregate (peak RSS %llu "
+              "KB)\n",
+              ReplayTotal.eventsPerSec(),
+              static_cast<unsigned long long>(peakRssKb()));
+
+  Report.setThroughput(ReplayTotal.Events, ReplayTotal.Seconds);
+  Report.add("compile.seconds", CompileSeconds);
+  Report.add("compile.schedule_bytes", static_cast<double>(ScheduleBytes));
+  Report.add("compile.events", static_cast<double>(ScheduleEvents));
+  Report.add("compile.chunks", static_cast<double>(ScheduleChunks));
+  Report.add("replay.events", static_cast<double>(ReplayTotal.Events));
+  Report.add("replay.seconds", ReplayTotal.Seconds);
+  Report.add("replay.events_per_sec", ReplayTotal.eventsPerSec());
+
+  // Untimed instrumented pass: the streamed sequential registries (pinned
+  // byte-identical to the in-memory replays by tests/schedule_test) plus
+  // the sharded merge (pinned jobs-invariant).  One registry per program,
+  // merged in program order.
+  if (!Options.JsonPath.empty()) {
+    StatsRegistry Telemetry;
+    std::vector<StatsRegistry> PerProgram(All.size());
+    for (size_t I = 0; I < All.size(); ++I) {
+      SimTelemetry FF;
+      FF.Registry = &PerProgram[I];
+      streamSimulateFirstFit(Files[I], CostModel(),
+                             FirstFitAllocator::Config(), &FF);
+      SimTelemetry Bsd;
+      Bsd.Registry = &PerProgram[I];
+      streamSimulateBsd(Files[I], CostModel(), BsdAllocator::Config(), &Bsd);
+      streamReplayBsdSharded(Files[I], Pool, BsdAllocator::Config(),
+                             &PerProgram[I]);
+    }
+    for (size_t I = 0; I < All.size(); ++I)
+      Telemetry.merge(PerProgram[I]);
+    Report.attachTelemetry(&Telemetry);
+    Report.write();
+  } else {
+    Report.write();
+  }
+
+  if (!KeepSched)
+    for (const std::string &Path : Paths)
+      std::remove(Path.c_str());
+  return 0;
+}
+
+/// --grand-challenge=N: synthesize an N-event schedule from the
+/// grandchallenge fuzz profile in bounded segments, then replay it
+/// streamed.  Memory stays O(segment + chunk) throughout; the file carries
+/// the events.
+int runGrandChallenge(const CommandLine &Cl, const BenchOptions &Options,
+                      uint64_t TargetEvents) {
+  if (TargetEvents == 0) {
+    std::fprintf(stderr, "error: --grand-challenge needs an event count\n");
+    return 1;
+  }
+  std::string SchedPath = Cl.getString("sched-out", "grand_challenge.sched");
+  bool KeepSched = Cl.has("sched-out") || Cl.has("keep-sched");
+  ScheduleFileWriter::Config SchedConfig = scheduleConfig(Cl);
+  long SegmentArg = Cl.getInt("segment-objects", 1 << 20);
+  size_t SegmentObjects =
+      SegmentArg > 0 ? static_cast<size_t>(SegmentArg) : size_t(1) << 20;
+
+  printBanner("Grand challenge",
+              "billion-event streamed schedule synthesis and replay",
+              Options);
+  std::printf("target events: %llu; segment objects: %zu; chunk events: "
+              "%llu\n\n",
+              static_cast<unsigned long long>(TargetEvents), SegmentObjects,
+              static_cast<unsigned long long>(SchedConfig.EventsPerChunk));
+
+  // Synthesis: bounded segments appended to the writer.  Every
+  // grandchallenge object is freed within its segment, so segments
+  // concatenate with empty live-in seams and peak memory is one segment's
+  // trace plus the writer's buffers.
+  double SynthStart = wallTimeSeconds();
+  ScheduleFileWriter Writer(SchedPath, SchedConfig);
+  uint64_t Segment = 0;
+  while (Writer.valid() && Writer.eventCount() < TargetEvents) {
+    AllocationTrace Trace = generateFuzzTrace(FuzzProfile::GrandChallenge,
+                                              Options.Seed + Segment,
+                                              SegmentObjects);
+    Writer.append(Trace);
+    ++Segment;
+  }
+  if (!Writer.finish()) {
+    std::fprintf(stderr, "error: %s\n", Writer.error().c_str());
+    return 1;
+  }
+  double SynthSeconds = wallTimeSeconds() - SynthStart;
+
+  std::string Error;
+  std::optional<ScheduleFile> File = ScheduleFile::open(SchedPath, Error);
+  if (!File) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("synthesized %llu events in %llu segments: %.3f s, %llu MB "
+              "on disk, %llu chunks\n",
+              static_cast<unsigned long long>(File->eventCount()),
+              static_cast<unsigned long long>(Segment), SynthSeconds,
+              static_cast<unsigned long long>(File->fileBytes() >> 20),
+              static_cast<unsigned long long>(File->chunkCount()));
+
+  // The PR 4 single-thread reference: one segment replayed through the
+  // in-memory compiled path (hash-map live table, LIFO free lists).
+  AllocationTrace RefTrace = generateFuzzTrace(FuzzProfile::GrandChallenge,
+                                               Options.Seed, SegmentObjects);
+  CompiledTrace RefCompiled(RefTrace);
+  uint64_t RefEvents = RefCompiled.schedule().size();
+  double RefStart = wallTimeSeconds();
+  simulateBsd(RefCompiled);
+  double RefSeconds = wallTimeSeconds() - RefStart;
+  double RefEvPerSec =
+      RefSeconds > 0.0 ? static_cast<double>(RefEvents) / RefSeconds : 0.0;
+
+  // The challenge replays: batched-bitmap single-thread, then sharded.
+  Cell Batch;
+  Batch.Events = File->eventCount();
+  double BatchStart = wallTimeSeconds();
+  streamSimulateBsdBatched(*File);
+  Batch.Seconds = wallTimeSeconds() - BatchStart;
+
+  ThreadPool Pool(Options.Jobs);
+  Cell Shard;
+  Shard.Events = File->eventCount();
+  double ShardStart = wallTimeSeconds();
+  streamReplayBsdSharded(*File, Pool);
+  Shard.Seconds = wallTimeSeconds() - ShardStart;
+
+  double Speedup = RefEvPerSec > 0.0 ? Batch.eventsPerSec() / RefEvPerSec : 0.0;
+  std::printf("\ncompiled reference (1 segment): %.0f events/sec\n",
+              RefEvPerSec);
+  std::printf("batched-bitmap streamed:        %.0f events/sec "
+              "(%.2fx the compiled path)\n",
+              Batch.eventsPerSec(), Speedup);
+  std::printf("sharded streamed (%u jobs):     %.0f events/sec\n",
+              Options.Jobs, Shard.eventsPerSec());
+  std::printf("peak RSS: %llu KB for a %llu MB schedule\n",
+              static_cast<unsigned long long>(peakRssKb()),
+              static_cast<unsigned long long>(File->fileBytes() >> 20));
+
+  JsonReport Report("grand_challenge", Options);
+  Report.setThroughput(Batch.Events + Shard.Events,
+                       Batch.Seconds + Shard.Seconds);
+  Report.add("compile.seconds", SynthSeconds);
+  Report.add("compile.schedule_bytes", static_cast<double>(File->fileBytes()));
+  Report.add("compile.events", static_cast<double>(File->eventCount()));
+  Report.add("compile.chunks", static_cast<double>(File->chunkCount()));
+  Report.add("replay.events", static_cast<double>(Batch.Events));
+  Report.add("replay.seconds", Batch.Seconds);
+  Report.add("replay.events_per_sec", Batch.eventsPerSec());
+  Report.add("grand.batch.events_per_sec", Batch.eventsPerSec());
+  Report.add("grand.shard.events_per_sec", Shard.eventsPerSec());
+  Report.add("grand.compiled_ref.events_per_sec", RefEvPerSec);
+  Report.add("grand.speedup_vs_compiled", Speedup);
+  Report.write();
+
+  if (!KeepSched)
+    std::remove(SchedPath.c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   CommandLine Cl(Argc, Argv);
   BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  if (Cl.has("grand-challenge"))
+    return runGrandChallenge(
+        Cl, Options, static_cast<uint64_t>(Cl.getInt("grand-challenge", 0)));
+  if (Cl.has("stream"))
+    return runStreamBench(Cl, Options);
   std::string PolicyName = Cl.getString("policy", "roving");
   unsigned Repeat = static_cast<unsigned>(Cl.getInt("repeat", 3));
   if (Repeat < 1)

@@ -16,6 +16,14 @@
 //   trace_tool emit-header <in.sitedb> <out.h>
 //       Emit the database as a linkable C++ header (constexpr key table
 //       plus an isPredictedShortLived() predicate).
+//   trace_tool compile <program|in.trace> --out=<file.sched>
+//                          [--scale=S] [--test] [--chunk-events=N]
+//       Compile a workload (or an existing trace file) into the mmap-able
+//       on-disk schedule format that the streamed replay tier consumes.
+//   trace_tool schedule-info <file.sched>
+//       Validate a schedule file's header and chunk index and print its
+//       layout; corrupt or truncated files are rejected with a diagnostic
+//       and a non-zero exit, never a crash.
 //   trace_tool report <old.json> <new.json> [--tol=R] [--time-tol=R]
 //       Diff two --json bench reports (same engine as bench_compare);
 //       non-zero exit on regression.
@@ -42,6 +50,7 @@
 #include "telemetry/FlightRecorder.h"
 #include "telemetry/ReportDiff.h"
 #include "telemetry/TraceEventWriter.h"
+#include "trace/ScheduleFile.h"
 #include "trace/TraceBinaryIO.h"
 #include "trace/TraceIO.h"
 #include "trace/TraceStats.h"
@@ -68,6 +77,11 @@ int usage() {
                "[--threshold=T]\n"
                "       trace_tool predict <in.trace> <in.sitedb>\n"
                "       trace_tool emit-header <in.sitedb> <out.h>\n"
+               "       trace_tool compile <program|in.trace> "
+               "--out=<file.sched>\n"
+               "                          [--scale=S] [--test] "
+               "[--chunk-events=N]\n"
+               "       trace_tool schedule-info <file.sched>\n"
                "       trace_tool report <old.json> <new.json> [--tol=R] "
                "[--time-tol=R] [--quiet]\n"
                "       trace_tool audit <program|all> [--scale=S] "
@@ -234,6 +248,106 @@ int main(int Argc, char **Argv) {
     }
     std::fprintf(stderr, "error: unknown program '%s'\n", Args[1].c_str());
     return 1;
+  }
+
+  if (Command == "compile") {
+    if (Args.size() != 2)
+      return usage();
+    std::string OutPath = Cl.getString("out", "");
+    if (OutPath.empty()) {
+      std::fprintf(stderr, "error: compile requires --out=<file.sched>\n");
+      return 1;
+    }
+    // The source is either a workload program name or a trace file.
+    std::optional<AllocationTrace> Trace;
+    for (ProgramModel &Model : allPrograms()) {
+      if (Model.Name != Args[1])
+        continue;
+      RunOptions Run;
+      Run.Scale = Cl.getDouble("scale", 0.1);
+      Run.Kind = Cl.has("test") ? RunKind::Test : RunKind::Train;
+      Run.Seed = static_cast<uint64_t>(Cl.getInt("seed", 0x1993));
+      FunctionRegistry Registry;
+      Trace = runWorkload(Model, Run, Registry);
+      break;
+    }
+    if (!Trace) {
+      Trace = loadTrace(Args[1]);
+      if (!Trace)
+        return 1;
+    }
+    ScheduleFileWriter::Config Config;
+    long ChunkEvents = Cl.getInt("chunk-events", 0);
+    if (ChunkEvents > 0)
+      Config.EventsPerChunk = static_cast<uint64_t>(ChunkEvents);
+    ScheduleFileWriter Writer(OutPath, Config);
+    Writer.append(*Trace);
+    if (!Writer.finish()) {
+      std::fprintf(stderr, "error: %s\n", Writer.error().c_str());
+      return 1;
+    }
+    std::printf("wrote %llu events (%llu allocs, %llu slots, %llu chunks) "
+                "to %s\n",
+                static_cast<unsigned long long>(Writer.eventCount()),
+                static_cast<unsigned long long>(Writer.allocCount()),
+                static_cast<unsigned long long>(Writer.slotCount()),
+                static_cast<unsigned long long>(Writer.chunkCount()),
+                OutPath.c_str());
+    return 0;
+  }
+
+  if (Command == "schedule-info") {
+    if (Args.size() != 2)
+      return usage();
+    std::string Error;
+    auto File = ScheduleFile::open(Args[1], Error);
+    if (!File) {
+      std::fprintf(stderr, "error: %s: %s\n", Args[1].c_str(),
+                   Error.c_str());
+      return 1;
+    }
+    std::printf("schedule:         %s\n", Args[1].c_str());
+    std::printf("file bytes:       %llu\n",
+                static_cast<unsigned long long>(File->fileBytes()));
+    std::printf("events:           %llu\n",
+                static_cast<unsigned long long>(File->eventCount()));
+    std::printf("allocs:           %llu\n",
+                static_cast<unsigned long long>(File->allocCount()));
+    std::printf("slots:            %llu\n",
+                static_cast<unsigned long long>(File->slotCount()));
+    std::printf("end clock:        %llu\n",
+                static_cast<unsigned long long>(File->endClock()));
+    std::printf("alloc bytes:      %llu\n",
+                static_cast<unsigned long long>(File->totalAllocBytes()));
+    std::printf("max live bytes:   %llu\n",
+                static_cast<unsigned long long>(File->maxLiveBytes()));
+    std::printf("events per chunk: %llu\n",
+                static_cast<unsigned long long>(File->eventsPerChunk()));
+    std::printf("chunks:           %llu\n",
+                static_cast<unsigned long long>(File->chunkCount()));
+    std::printf("live-in entries:  %llu\n",
+                static_cast<unsigned long long>(File->liveInCount()));
+    // Per-chunk summary, elided in the middle for huge schedules.
+    uint64_t Chunks = File->chunkCount();
+    for (uint64_t I = 0; I < Chunks; ++I) {
+      if (Chunks > 12 && I == 6) {
+        std::printf("  ... %llu chunks elided ...\n",
+                    static_cast<unsigned long long>(Chunks - 12));
+        I = Chunks - 6;
+      }
+      const ScheduleChunkInfo &Info = File->chunk(I);
+      std::printf("  chunk %4llu: events [%llu, %llu)  start clock %llu  "
+                  "live-in %llu objs / %llu B  peak live %llu B\n",
+                  static_cast<unsigned long long>(I),
+                  static_cast<unsigned long long>(Info.FirstEvent),
+                  static_cast<unsigned long long>(Info.FirstEvent +
+                                                  Info.EventCount),
+                  static_cast<unsigned long long>(Info.StartClock),
+                  static_cast<unsigned long long>(Info.LiveInCount),
+                  static_cast<unsigned long long>(Info.LiveInBytes),
+                  static_cast<unsigned long long>(Info.MaxLiveBytes));
+    }
+    return 0;
   }
 
   if (Command == "stats") {

@@ -20,6 +20,15 @@ BsdAllocator::BsdAllocator(Config Config)
     : Cfg(Config), HeapEnd(Config.BaseAddress) {
   assert(isPowerOf2(Cfg.MinBlockBytes) && "min block must be a power of 2");
   Buckets.resize(40);
+  if (Cfg.FreeList == FreeListKind::Bitmap) {
+    Bitmaps.resize(Buckets.size());
+    for (unsigned Bucket = 0; Bucket < Bitmaps.size(); ++Bucket) {
+      uint64_t BlockBytes = uint64_t(1) << Bucket;
+      uint64_t Extent =
+          BlockBytes >= Cfg.PageBytes ? BlockBytes : Cfg.PageBytes;
+      Bitmaps[Bucket].configure(BlockBytes, Extent / BlockBytes);
+    }
+  }
 }
 
 unsigned BsdAllocator::bucketFor(uint32_t Size) const {
@@ -34,26 +43,40 @@ uint64_t BsdAllocator::allocate(uint32_t Size) {
   unsigned Bucket = bucketFor(Size);
   Stats.BucketBits += Bucket;
   assert(Bucket < Buckets.size() && "size class out of range");
-  std::vector<uint64_t> &FreeList = Buckets[Bucket];
 
-  if (FreeList.empty()) {
-    // Carve a fresh extent into blocks of this class.  Oversize classes
-    // get a single block of their exact power-of-two size.
-    ++Stats.PageRefills;
-    uint64_t BlockBytes = uint64_t(1) << Bucket;
-    uint64_t Extent =
-        BlockBytes >= Cfg.PageBytes ? BlockBytes : Cfg.PageBytes;
-    uint64_t Page = HeapEnd;
-    HeapEnd += Extent;
-    raisePeak(MaxHeap, heapBytes());
-    // Push in reverse so the lowest address pops first.
-    for (uint64_t Offset = Extent; Offset >= BlockBytes;
-         Offset -= BlockBytes)
-      FreeList.push_back(Page + Offset - BlockBytes);
+  uint64_t Addr;
+  if (Cfg.FreeList == FreeListKind::Bitmap) {
+    BitmapFreeList &FreeList = Bitmaps[Bucket];
+    if (FreeList.empty()) {
+      ++Stats.PageRefills;
+      uint64_t BlockBytes = uint64_t(1) << Bucket;
+      uint64_t Extent =
+          BlockBytes >= Cfg.PageBytes ? BlockBytes : Cfg.PageBytes;
+      FreeList.addExtent(HeapEnd);
+      HeapEnd += Extent;
+      raisePeak(MaxHeap, heapBytes());
+    }
+    Addr = FreeList.pop();
+  } else {
+    std::vector<uint64_t> &FreeList = Buckets[Bucket];
+    if (FreeList.empty()) {
+      // Carve a fresh extent into blocks of this class.  Oversize classes
+      // get a single block of their exact power-of-two size.
+      ++Stats.PageRefills;
+      uint64_t BlockBytes = uint64_t(1) << Bucket;
+      uint64_t Extent =
+          BlockBytes >= Cfg.PageBytes ? BlockBytes : Cfg.PageBytes;
+      uint64_t Page = HeapEnd;
+      HeapEnd += Extent;
+      raisePeak(MaxHeap, heapBytes());
+      // Push in reverse so the lowest address pops first.
+      for (uint64_t Offset = Extent; Offset >= BlockBytes;
+           Offset -= BlockBytes)
+        FreeList.push_back(Page + Offset - BlockBytes);
+    }
+    Addr = FreeList.back();
+    FreeList.pop_back();
   }
-
-  uint64_t Addr = FreeList.back();
-  FreeList.pop_back();
   Live[Addr] = Size;
   LiveBytes += Size;
   if (ClassBytesHist)
@@ -68,7 +91,10 @@ void BsdAllocator::free(uint64_t Address) {
   unsigned Bucket = bucketFor(It->second);
   LiveBytes -= It->second;
   Live.erase(It);
-  Buckets[Bucket].push_back(Address);
+  if (Cfg.FreeList == FreeListKind::Bitmap)
+    Bitmaps[Bucket].push(Address);
+  else
+    Buckets[Bucket].push_back(Address);
 }
 
 //===----------------------------------------------------------------------===//
@@ -97,17 +123,36 @@ bool BsdAllocator::auditInvariants(std::string &Error) const {
     return Fail("MaxHeap below current heap size");
 
   std::unordered_set<uint64_t> Parked;
-  for (size_t Bucket = 0; Bucket < Buckets.size(); ++Bucket) {
-    for (uint64_t Addr : Buckets[Bucket]) {
-      if (Addr < Cfg.BaseAddress || Addr >= HeapEnd)
-        return Fail("parked block outside the heap at " +
-                    std::to_string(Addr) + " in class " +
-                    std::to_string(Bucket));
-      if (this->Live.count(Addr))
-        return Fail("address both live and parked: " + std::to_string(Addr));
-      if (!Parked.insert(Addr).second)
-        return Fail("address parked twice: " + std::to_string(Addr));
+  auto CheckParked = [&](uint64_t Addr, size_t Bucket, std::string &Err) {
+    if (Addr < Cfg.BaseAddress || Addr >= HeapEnd) {
+      Err = "parked block outside the heap at " + std::to_string(Addr) +
+            " in class " + std::to_string(Bucket);
+      return false;
     }
+    if (this->Live.count(Addr)) {
+      Err = "address both live and parked: " + std::to_string(Addr);
+      return false;
+    }
+    if (!Parked.insert(Addr).second) {
+      Err = "address parked twice: " + std::to_string(Addr);
+      return false;
+    }
+    return true;
+  };
+  for (size_t Bucket = 0; Bucket < Buckets.size(); ++Bucket)
+    for (uint64_t Addr : Buckets[Bucket]) {
+      std::string Err;
+      if (!CheckParked(Addr, Bucket, Err))
+        return Fail(std::move(Err));
+    }
+  for (size_t Bucket = 0; Bucket < Bitmaps.size(); ++Bucket) {
+    std::string Err;
+    Bitmaps[Bucket].forEachFree([&](uint64_t Addr) {
+      if (Err.empty())
+        CheckParked(Addr, Bucket, Err);
+    });
+    if (!Err.empty())
+      return Fail(std::move(Err));
   }
   return true;
 }
@@ -120,6 +165,8 @@ size_t BsdAllocator::freeBlockCount() const {
   size_t Count = 0;
   for (const std::vector<uint64_t> &FreeList : Buckets)
     Count += FreeList.size();
+  for (const BitmapFreeList &FreeList : Bitmaps)
+    Count += FreeList.freeCount();
   return Count;
 }
 

@@ -16,6 +16,7 @@
 #define LIFEPRED_ALLOC_BSDALLOCATOR_H
 
 #include "alloc/AllocatorSim.h"
+#include "support/BitmapFreeList.h"
 
 #include <cstdint>
 #include <string>
@@ -30,12 +31,27 @@ class Log2Histogram;
 /// Kingsley-style power-of-two segregated-storage simulator.
 class BsdAllocator : public AllocatorSim {
 public:
+  /// How a size class stores its free blocks.
+  enum class FreeListKind {
+    /// The classic LIFO stack: free pushes, allocate pops the most
+    /// recently freed block.  The paper's baseline behaviour.
+    Lifo,
+    /// One bit per block (support/BitmapFreeList.h): allocate claims the
+    /// lowest free address via find-first-set.  Placement differs from
+    /// Lifo, but every counter, the heap trajectory, and the exported
+    /// telemetry are bit-identical — refills happen iff the class is
+    /// empty, which is a placement-independent condition.  This is the
+    /// batched-replay fast path's policy.
+    Bitmap,
+  };
+
   /// Tunables.
   struct Config {
     uint64_t PageBytes = 8192;        ///< Refill granularity.
     uint64_t HeaderBytes = 8;         ///< Per-block bucket tag.
     uint64_t MinBlockBytes = 16;      ///< Smallest size class.
     uint64_t BaseAddress = uint64_t(1) << 41;
+    FreeListKind FreeList = FreeListKind::Lifo;
   };
 
   /// Operation counts for the instruction cost model.
@@ -88,8 +104,10 @@ private:
   Counters Stats;
   /// Telemetry sink; null until attachTelemetry().
   Log2Histogram *ClassBytesHist = nullptr;
-  /// Per-bucket LIFO free lists of addresses.
+  /// Per-bucket LIFO free lists of addresses (FreeListKind::Lifo).
   std::vector<std::vector<uint64_t>> Buckets;
+  /// Per-bucket bitmap free lists (FreeListKind::Bitmap).
+  std::vector<BitmapFreeList> Bitmaps;
   /// Bucket index by allocated address.
   std::unordered_map<uint64_t, uint32_t> Live;
   uint64_t HeapEnd;

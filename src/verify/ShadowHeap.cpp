@@ -148,7 +148,10 @@ ShadowBsd::ShadowBsd(const BsdAllocator &Observed, ViolationLog &Log,
                      uint64_t AuditStride)
     : Observed(&Observed), Log(Log), Cfg(Observed.config()),
       HeapEnd(Cfg.BaseAddress), AuditStride(AuditStride) {
-  Buckets.resize(40);
+  if (Cfg.FreeList == BsdAllocator::FreeListKind::Bitmap)
+    OrderedBuckets.resize(40);
+  else
+    Buckets.resize(40);
 }
 
 unsigned ShadowBsd::bucketFor(uint32_t Size) const {
@@ -162,6 +165,26 @@ uint64_t ShadowBsd::modelAllocate(uint32_t Size) {
   ++Model.Allocs;
   unsigned Bucket = bucketFor(Size);
   Model.BucketBits += Bucket;
+  if (Cfg.FreeList == BsdAllocator::FreeListKind::Bitmap) {
+    // Lowest-free-address policy, modelled with an ordered set rather
+    // than a bitmap: the production and shadow structures share nothing.
+    std::set<uint64_t> &Parked = OrderedBuckets[Bucket];
+    if (Parked.empty()) {
+      ++Model.PageRefills;
+      uint64_t BlockBytes = uint64_t(1) << Bucket;
+      uint64_t Extent =
+          BlockBytes >= Cfg.PageBytes ? BlockBytes : Cfg.PageBytes;
+      uint64_t Page = HeapEnd;
+      HeapEnd += Extent;
+      MaxHeap = std::max(MaxHeap, HeapEnd - Cfg.BaseAddress);
+      for (uint64_t Offset = 0; Offset < Extent; Offset += BlockBytes)
+        Parked.insert(Page + Offset);
+    }
+    uint64_t Addr = *Parked.begin();
+    Parked.erase(Parked.begin());
+    LiveBytesModel += Size;
+    return Addr;
+  }
   std::vector<uint64_t> &FreeList = Buckets[Bucket];
   if (FreeList.empty()) {
     ++Model.PageRefills;
@@ -193,6 +216,8 @@ void ShadowBsd::crossCheck() {
   size_t Parked = 0;
   for (const std::vector<uint64_t> &FreeList : Buckets)
     Parked += FreeList.size();
+  for (const std::set<uint64_t> &Ordered : OrderedBuckets)
+    Parked += Ordered.size();
   if (Observed->freeBlockCount() != Parked)
     Log.add(Op, "free-accounting",
             "observed free blocks " +
@@ -229,7 +254,10 @@ void ShadowBsd::onFree(uint64_t Addr) {
   if (!Diverged && Known && It != Payloads.end()) {
     ++Model.Frees;
     LiveBytesModel -= It->second;
-    Buckets[bucketFor(It->second)].push_back(Addr);
+    if (Cfg.FreeList == BsdAllocator::FreeListKind::Bitmap)
+      OrderedBuckets[bucketFor(It->second)].insert(Addr);
+    else
+      Buckets[bucketFor(It->second)].push_back(Addr);
   }
   if (It != Payloads.end())
     Payloads.erase(It);

@@ -41,6 +41,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -135,7 +136,11 @@ private:
 
 /// Lockstep checker for BsdAllocator: an independent Kingsley bucket
 /// model (vectors of parked addresses, exact refill/pop order) predicts
-/// every address.
+/// every address.  Honours the observed allocator's free-list policy: in
+/// FreeListKind::Bitmap mode the model keeps each class's parked blocks
+/// in an ordered std::set and predicts the *minimum* address — a
+/// deliberately different structure from the production bitmap, so the
+/// lowest-free-address policy is verified independently.
 class ShadowBsd {
 public:
   ShadowBsd(const BsdAllocator &Observed, ViolationLog &Log,
@@ -155,6 +160,8 @@ private:
   BsdAllocator::Config Cfg;
   BsdAllocator::Counters Model;
   std::vector<std::vector<uint64_t>> Buckets;
+  /// Ordered parked sets (FreeListKind::Bitmap mode only).
+  std::vector<std::set<uint64_t>> OrderedBuckets;
   std::unordered_map<uint64_t, uint32_t> Payloads;
   LiveSpanSet Spans;
   uint64_t HeapEnd;

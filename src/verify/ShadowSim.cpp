@@ -385,6 +385,12 @@ ShadowReport lifepred::shadowCheckAll(const AllocationTrace &Trace) {
   Report.merge(shadowCheckBsd(Trace, BsdAllocator::Config(),
                               ReplayPath::Compiled),
                "bsd/compiled");
+  BsdAllocator::Config BitmapConfig;
+  BitmapConfig.FreeList = BsdAllocator::FreeListKind::Bitmap;
+  Report.merge(shadowCheckBsd(Trace, BitmapConfig, ReplayPath::Oracle),
+               "bsd-bitmap/oracle");
+  Report.merge(shadowCheckBsd(Trace, BitmapConfig, ReplayPath::Compiled),
+               "bsd-bitmap/compiled");
 
   SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
   Profile Prof = profileTrace(Trace, Policy);

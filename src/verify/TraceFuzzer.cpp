@@ -35,6 +35,8 @@ const char *lifepred::profileName(FuzzProfile Profile) {
     return "burst";
   case FuzzProfile::Mixed:
     return "mixed";
+  case FuzzProfile::GrandChallenge:
+    return "grandchallenge";
   }
   return "unknown";
 }
@@ -44,7 +46,7 @@ std::vector<FuzzProfile> lifepred::allProfiles() {
           FuzzProfile::DeathCollision, FuzzProfile::Fragmentation,
           FuzzProfile::SiteChurn,      FuzzProfile::Oversize,
           FuzzProfile::Immortal,       FuzzProfile::Burst,
-          FuzzProfile::Mixed};
+          FuzzProfile::Mixed,          FuzzProfile::GrandChallenge};
 }
 
 std::optional<FuzzProfile> lifepred::profileByName(const std::string &Name) {
@@ -214,6 +216,29 @@ void genBurst(AllocationTrace &Trace, Rng &Rand, size_t Objects) {
   }
 }
 
+void genGrandChallenge(AllocationTrace &Trace, Rng &Rand, size_t Objects) {
+  // The billion-event bench's workload, kept deliberately self-contained:
+  // every lifetime is bounded, so the live set (and hence the schedule
+  // writer's slot space) stays O(1) in the object count and consecutive
+  // segments concatenate with empty live-in seams.  Sizes sweep the whole
+  // Kingsley bucket spectrum — mostly sub-128 B churn, a mid band, and
+  // rare page-scale spikes — so the batched replay touches many classes.
+  std::vector<uint32_t> Pool = makeChainPool(Trace, Rand, 64, 6);
+  uint64_t Clock = 0;
+  for (size_t I = 0; I < Objects; ++I) {
+    uint32_t Size;
+    uint64_t Draw = Rand.nextBelow(100);
+    if (Draw < 70)
+      Size = 8 + static_cast<uint32_t>(Rand.nextBelow(120));
+    else if (Draw < 95)
+      Size = 128 + static_cast<uint32_t>(Rand.nextBelow(896));
+    else
+      Size = 4096 + static_cast<uint32_t>(Rand.nextBelow(60 * 1024));
+    emit(Trace, Clock, Size, Rand.nextBelow(256 * 1024),
+         Pool[Rand.nextBelow(Pool.size())]);
+  }
+}
+
 void generateInto(AllocationTrace &Trace, FuzzProfile Profile, Rng &Rand,
                   size_t Objects);
 
@@ -252,6 +277,8 @@ void generateInto(AllocationTrace &Trace, FuzzProfile Profile, Rng &Rand,
     return genBurst(Trace, Rand, Objects);
   case FuzzProfile::Mixed:
     return genMixed(Trace, Rand, Objects);
+  case FuzzProfile::GrandChallenge:
+    return genGrandChallenge(Trace, Rand, Objects);
   }
 }
 

@@ -46,6 +46,13 @@ enum class FuzzProfile {
   Immortal,       ///< A quarter of all objects never freed.
   Burst,          ///< Alternating arena-friendly and arena-pinning phases.
   Mixed,          ///< Concatenation of sub-traces from the other profiles.
+  GrandChallenge, ///< The billion-event bench's synthetic workload: steady
+                  ///< small-object churn over the full bucket spectrum with
+                  ///< rare size spikes, bounded lifetimes, no immortals —
+                  ///< every segment is self-contained, so schedule segments
+                  ///< concatenate with empty live-in seams.  Shared by
+                  ///< bench_sim_throughput's grand-challenge mode and the
+                  ///< fuzzer so there is exactly one trace synthesizer.
 };
 
 /// Stable lowercase name of \p Profile (CLI and report key).
