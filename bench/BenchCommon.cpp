@@ -44,6 +44,11 @@ BenchOptions BenchOptions::fromCommandLine(const CommandLine &Cl) {
   Options.AuditOutPath = Cl.getString("audit-out", "");
   long Stride = Cl.getInt("timeline-stride", 0);
   Options.TimelineStride = Stride <= 0 ? 0 : static_cast<uint64_t>(Stride);
+  Options.Observe = Cl.has("observe");
+  long ObserveStride = Cl.getInt("observe-stride", 64 * 1024);
+  if (ObserveStride > 0)
+    Options.ObserveStride = static_cast<uint64_t>(ObserveStride);
+  Options.HeatmapOutPath = Cl.getString("heatmap-out", "");
   return Options;
 }
 
@@ -141,6 +146,12 @@ double lifepred::wallTimeSeconds() {
 
 uint64_t lifepred::peakRssKb() {
 #if defined(__linux__)
+  // Containers and stripped-down environments can run a Linux kernel
+  // without procfs mounted; treat a missing /proc/self/status exactly like
+  // a non-Linux platform instead of relying on fopen's failure mode.
+  std::error_code Ec;
+  if (!std::filesystem::exists("/proc/self/status", Ec))
+    return 0;
   std::FILE *Status = std::fopen("/proc/self/status", "r");
   if (!Status)
     return 0;

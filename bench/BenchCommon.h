@@ -67,6 +67,14 @@ struct BenchOptions {
   /// --timeline-stride: byte-clock sampling stride for the heap timeline
   /// section of the JSON report (0 = no timeline).
   uint64_t TimelineStride = 0;
+  /// --observe: run the heap observatory (fragmentation probes, latency
+  /// recorders, heatmap) on the untimed instrumented replays.
+  bool Observe = false;
+  /// --observe-stride: byte-clock stride of the observatory's probes and
+  /// heatmap columns.
+  uint64_t ObserveStride = 64 * 1024;
+  /// --heatmap-out: standalone heatmap JSON file (requires --observe).
+  std::string HeatmapOutPath;
 
   static BenchOptions fromCommandLine(const CommandLine &Cl);
 };

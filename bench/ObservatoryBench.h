@@ -1,0 +1,91 @@
+//===- bench/ObservatoryBench.h - Heap observatory bench hooks --*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The --observe surface shared by the bench binaries.  BenchObservatory
+/// pools one fragmentation probe and one latency recorder per (program,
+/// allocator family) — plus a single heatmap riding the first program's
+/// first-fit replay — and hooks them into the SimTelemetry of each untimed
+/// instrumented replay.  The simulators export the probes into that
+/// replay's registry under the family prefix, so the established
+/// jobs-invariance discipline (per-program registries merged in program
+/// order) covers every observatory key without extra argument.
+///
+/// Benches that run instrumented replays of their own (bench_sim_throughput)
+/// attach() into that pass; table benches call runObservatoryPass(), which
+/// replays all four families itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_BENCH_OBSERVATORYBENCH_H
+#define LIFEPRED_BENCH_OBSERVATORYBENCH_H
+
+#include "BenchCommon.h"
+
+#include "telemetry/FragmentationProbe.h"
+#include "telemetry/HeapHeatmap.h"
+#include "telemetry/LatencyRecorder.h"
+
+#include <memory>
+#include <vector>
+
+namespace lifepred {
+
+struct SimTelemetry;
+
+/// Observatory sink pool for one bench run.  Construction with --observe
+/// off yields an empty pool whose methods are all no-ops, so callers wire
+/// it unconditionally.
+class BenchObservatory {
+public:
+  /// The four allocator families the observatory covers.  Streamed benches
+  /// use the FirstFit/Bsd slots; unattached slots simply never export.
+  enum Family : unsigned { FirstFit = 0, Bsd = 1, Arena = 2, Multi = 3 };
+  static constexpr unsigned FamilyCount = 4;
+
+  BenchObservatory(const BenchOptions &Options, size_t ProgramCount);
+
+  bool enabled() const { return !Probes.empty(); }
+
+  /// Attaches the (program, family) probe pair to \p Telemetry; program
+  /// 0's FirstFit replay additionally carries the heatmap.  No-op when
+  /// --observe is off.
+  void attach(SimTelemetry &Telemetry, size_t Program, Family F);
+
+  FragmentationProbe *probe(size_t Program, Family F) {
+    return enabled() ? &Probes[Program * FamilyCount + F] : nullptr;
+  }
+  LatencyRecorder *latency(size_t Program, Family F) {
+    return enabled() ? &Latencies[Program * FamilyCount + F] : nullptr;
+  }
+  HeapHeatmap *heatmap() { return Map.get(); }
+
+  /// Prints the observatory summary table (families with zero samples are
+  /// skipped) and writes the heatmap JSON to Options.HeatmapOutPath.  Call
+  /// once, after every instrumented replay has run.
+  void finish(const BenchOptions &Options,
+              const std::vector<ProgramTraces> &All);
+
+private:
+  uint64_t Stride = 0;
+  std::vector<FragmentationProbe> Probes;
+  std::vector<LatencyRecorder> Latencies;
+  std::unique_ptr<HeapHeatmap> Map;
+};
+
+/// Standalone observatory pass for benches with no instrumented replay of
+/// their own: per program, compiles the test trace, trains the site and
+/// class databases, replays all four allocator families with observatory
+/// sinks attached, and merges the per-program registries into \p Registry
+/// in program order.  Returns false — doing nothing — when --observe is
+/// off; callers attach \p Registry to their JSON report on true.
+bool runObservatoryPass(const BenchOptions &Options,
+                        const std::vector<ProgramTraces> &All,
+                        ThreadPool &Pool, StatsRegistry &Registry);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_BENCH_OBSERVATORYBENCH_H

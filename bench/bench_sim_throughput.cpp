@@ -75,6 +75,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "ObservatoryBench.h"
 
 #include "alloc/LegacyFirstFitAllocator.h"
 #include "core/Pipeline.h"
@@ -297,23 +298,46 @@ int runStreamBench(const CommandLine &Cl, const BenchOptions &Options) {
   // Untimed instrumented pass: the streamed sequential registries (pinned
   // byte-identical to the in-memory replays by tests/schedule_test) plus
   // the sharded merge (pinned jobs-invariant).  One registry per program,
-  // merged in program order.
-  if (!Options.JsonPath.empty()) {
+  // merged in program order.  --observe attaches the heap observatory:
+  // probes on the sequential shapes, per-shard probes on the sharded one,
+  // and a separate batched replay whose probes export under "bsd.batch."
+  // (its counter export stays detached — it would double the sequential
+  // BSD keys).
+  if (!Options.JsonPath.empty() || Options.Observe) {
+    BenchObservatory Observatory(Options, All.size());
+    StreamObserveConfig ShardObserve;
+    ShardObserve.FragStrideBytes = Options.ObserveStride;
     StatsRegistry Telemetry;
     std::vector<StatsRegistry> PerProgram(All.size());
     for (size_t I = 0; I < All.size(); ++I) {
       SimTelemetry FF;
       FF.Registry = &PerProgram[I];
+      Observatory.attach(FF, I, BenchObservatory::FirstFit);
       streamSimulateFirstFit(Files[I], CostModel(),
                              FirstFitAllocator::Config(), &FF);
       SimTelemetry Bsd;
       Bsd.Registry = &PerProgram[I];
+      Observatory.attach(Bsd, I, BenchObservatory::Bsd);
       streamSimulateBsd(Files[I], CostModel(), BsdAllocator::Config(), &Bsd);
       streamReplayBsdSharded(Files[I], Pool, BsdAllocator::Config(),
-                             &PerProgram[I]);
+                             &PerProgram[I], /*ChunksPerShard=*/1,
+                             Options.Observe ? &ShardObserve : nullptr);
+      if (Options.Observe) {
+        FragmentationProbe BatchProbe(Options.ObserveStride);
+        LatencyRecorder BatchLatency;
+        SimTelemetry Batch;
+        Batch.Fragmentation = &BatchProbe;
+        Batch.Latency = &BatchLatency;
+        streamSimulateBsdBatched(Files[I], CostModel(),
+                                 BsdAllocator::Config(), /*BatchEvents=*/8192,
+                                 &Batch);
+        BatchProbe.exportTelemetry(PerProgram[I], "bsd.batch.");
+        BatchLatency.exportTelemetry(PerProgram[I], "bsd.batch.");
+      }
     }
     for (size_t I = 0; I < All.size(); ++I)
       Telemetry.merge(PerProgram[I]);
+    Observatory.finish(Options, All);
     Report.attachTelemetry(&Telemetry);
     Report.write();
   } else {
@@ -646,8 +670,10 @@ int main(int Argc, char **Argv) {
   // --jobs.  Runs after the timed region so it cannot perturb it.
   StatsRegistry Telemetry;
   HeapTimeline Timeline(Options.TimelineStride);
+  BenchObservatory Observatory(Options, All.size());
   bool Audit = !Options.AuditOutPath.empty();
-  if (!Options.JsonPath.empty() || TraceWriter || Audit) {
+  if (!Options.JsonPath.empty() || TraceWriter || Audit ||
+      Observatory.enabled()) {
     TraceSpan Span(TraceWriter.get(), "instrumented-replays");
     std::vector<StatsRegistry> PerProgram(All.size());
     std::vector<PredictionCounts> ArenaOutcomes(All.size());
@@ -669,18 +695,22 @@ int main(int Argc, char **Argv) {
       FF.Registry = &PerProgram[Index];
       if (Index == 0 && Options.TimelineStride > 0)
         FF.Timeline = &Timeline;
+      Observatory.attach(FF, Index, BenchObservatory::FirstFit);
       simulateFirstFit(Test, CostModel(), FFConfig, &FF);
       SimTelemetry Bsd;
       Bsd.Registry = &PerProgram[Index];
+      Observatory.attach(Bsd, Index, BenchObservatory::Bsd);
       simulateBsd(Test, CostModel(), BsdAllocator::Config(), &Bsd);
       SimTelemetry Arena;
       Arena.Registry = &PerProgram[Index];
       Arena.Recorder = Recorders[Index].get();
+      Observatory.attach(Arena, Index, BenchObservatory::Arena);
       simulateArena(Test, TrueDBs[Index], All[Index].Model.CallsPerAlloc,
                     CostModel(), ArenaAllocator::Config(), &Arena);
       ArenaOutcomes[Index] = Arena.Outcomes;
       SimTelemetry Multi;
       Multi.Registry = &PerProgram[Index];
+      Observatory.attach(Multi, Index, BenchObservatory::Multi);
       simulateMultiArena(Test, ClassDBs[Index], multiArenaConfig(), &Multi);
     });
     for (size_t I = 0; I < All.size(); ++I) {
@@ -716,6 +746,7 @@ int main(int Argc, char **Argv) {
       Timeline.exportTelemetry(Telemetry, "timeline.");
       Report.attachTimeline(&Timeline);
     }
+    Observatory.finish(Options, All);
     Report.attachTelemetry(&Telemetry);
   }
 

@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "ObservatoryBench.h"
 
 #include "core/Pipeline.h"
 #include "sim/SimTelemetry.h"
@@ -49,7 +50,8 @@ int main(int Argc, char **Argv) {
                         "Arena%", "paper", "NonArena%", "Bytes(K)",
                         "ArenaBytes%", "paper", "NonArenaBytes%"});
 
-  for (const ProgramTraces &Traces : makeAllTraces(Options)) {
+  std::vector<ProgramTraces> All = makeAllTraces(Options);
+  for (const ProgramTraces &Traces : All) {
     const PaperProgramData *Paper = paperData(Traces.Model.Name);
 
     Profile TrainProfile = profileTrace(Traces.Train, Policy);
@@ -90,5 +92,13 @@ int main(int Argc, char **Argv) {
   Table.print(std::cout);
   if (AuditFile)
     std::fclose(AuditFile);
+  if (Options.Observe) {
+    ThreadPool Pool(Options.Jobs);
+    StatsRegistry ObservatoryRegistry;
+    runObservatoryPass(Options, All, Pool, ObservatoryRegistry);
+    JsonReport Report("table7_arena_fractions", Options);
+    Report.attachTelemetry(&ObservatoryRegistry);
+    Report.write();
+  }
   return 0;
 }

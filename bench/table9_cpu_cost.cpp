@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "ObservatoryBench.h"
 
 #include "core/Pipeline.h"
 #include "sim/TraceSimulator.h"
@@ -108,6 +109,9 @@ int main(int Argc, char **Argv) {
   }
 
   Table.print(std::cout);
+  StatsRegistry ObservatoryRegistry;
+  if (runObservatoryPass(Options, All, Pool, ObservatoryRegistry))
+    Report.attachTelemetry(&ObservatoryRegistry);
   Report.write();
   return 0;
 }

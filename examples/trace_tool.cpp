@@ -27,6 +27,20 @@
 //   trace_tool report <old.json> <new.json> [--tol=R] [--time-tol=R]
 //       Diff two --json bench reports (same engine as bench_compare);
 //       non-zero exit on regression.
+//   trace_tool heatmap <program|in.trace> [--family=F] [--scale=S] [--test]
+//                         [--stride=N] [--json=F] [--heatmap-out=F]
+//                         [--trace-out=F]
+//       Replay a workload through one allocator family (firstfit, bsd,
+//       arena, or multiarena) with the heap observatory attached, and
+//       render the address-space x byte-clock occupancy heatmap as ASCII
+//       plus a fragmentation and latency summary.  --json writes a
+//       bench_compare-gateable report, --heatmap-out a standalone heatmap
+//       JSON, --trace-out chrome://tracing occupancy counters.
+//   trace_tool history <history-dir> [--metric=GLOB] [--window=N] [--tol=R]
+//       Render the perf-trajectory ledgers appended by bench_compare
+//       --append-history: one sparkline per metric, flagging metrics whose
+//       latest value regressed against the trailing window; exit 2 when
+//       any metric is flagged.
 //   trace_tool audit <program|all> [--scale=S] [--seed=N] [--jobs=J]
 //                       [--json=F] [--audit-out=F] [--trace-out=F]
 //       Run the Table 7 workload (train on the train trace, replay the
@@ -44,10 +58,15 @@
 
 #include "core/GeneratedAllocator.h"
 #include "core/Pipeline.h"
+#include "sim/MultiArenaSimulator.h"
 #include "sim/SimTelemetry.h"
 #include "sim/TraceSimulator.h"
 #include "support/CommandLine.h"
 #include "telemetry/FlightRecorder.h"
+#include "telemetry/FragmentationProbe.h"
+#include "telemetry/HeapHeatmap.h"
+#include "telemetry/LatencyRecorder.h"
+#include "telemetry/PerfLedger.h"
 #include "telemetry/ReportDiff.h"
 #include "telemetry/TraceEventWriter.h"
 #include "trace/ScheduleFile.h"
@@ -84,6 +103,13 @@ int usage() {
                "       trace_tool schedule-info <file.sched>\n"
                "       trace_tool report <old.json> <new.json> [--tol=R] "
                "[--time-tol=R] [--quiet]\n"
+               "       trace_tool heatmap <program|in.trace> "
+               "[--family=firstfit|bsd|arena|multiarena]\n"
+               "                          [--scale=S] [--test] [--stride=N] "
+               "[--json=F]\n"
+               "                          [--heatmap-out=F] [--trace-out=F]\n"
+               "       trace_tool history <history-dir> [--metric=GLOB] "
+               "[--window=N] [--tol=R]\n"
                "       trace_tool audit <program|all> [--scale=S] "
                "[--seed=N] [--jobs=J]\n"
                "                        [--json=F] [--audit-out=F] "
@@ -176,6 +202,152 @@ int runAudit(const CommandLine &Cl, const std::string &Target) {
   return 0;
 }
 
+std::optional<AllocationTrace> loadTrace(const std::string &Path);
+
+/// The heatmap subcommand: one replay with every observatory sink
+/// attached, rendered for a human at the terminal.
+int runHeatmap(const CommandLine &Cl, const std::string &Source) {
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  const std::string Family = Cl.getString("family", "firstfit");
+  long StrideArg = Cl.getInt("stride", 64 * 1024);
+  const uint64_t Stride = StrideArg > 0 ? uint64_t(StrideArg) : 1;
+
+  // The source is either a workload program name or a trace file, the
+  // same resolution order as `compile`.
+  std::optional<AllocationTrace> Trace;
+  double CallsPerAlloc = 1.0;
+  for (ProgramModel &Model : allPrograms()) {
+    if (Model.Name != Source)
+      continue;
+    RunOptions Run;
+    Run.Scale = Cl.getDouble("scale", 0.1);
+    Run.Kind = Cl.has("test") ? RunKind::Test : RunKind::Train;
+    Run.Seed = Options.Seed;
+    FunctionRegistry Registry;
+    Trace = runWorkload(Model, Run, Registry);
+    CallsPerAlloc = Model.CallsPerAlloc;
+    break;
+  }
+  if (!Trace) {
+    Trace = loadTrace(Source);
+    if (!Trace)
+      return 1;
+  }
+
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  CompiledTrace Test(*Trace, Policy);
+
+  FragmentationProbe Probe(Stride);
+  HeapHeatmap::Config MapConfig;
+  MapConfig.ClockStride = Stride;
+  HeapHeatmap Map(MapConfig);
+  LatencyRecorder Latency;
+  StatsRegistry Registry;
+  SimTelemetry Telemetry;
+  Telemetry.Registry = &Registry;
+  Telemetry.Fragmentation = &Probe;
+  Telemetry.Heatmap = &Map;
+  Telemetry.Latency = &Latency;
+
+  double Start = wallTimeSeconds();
+  if (Family == "firstfit") {
+    simulateFirstFit(Test, CostModel(), FirstFitAllocator::Config(),
+                     &Telemetry);
+  } else if (Family == "bsd") {
+    simulateBsd(Test, CostModel(), BsdAllocator::Config(), &Telemetry);
+  } else if (Family == "arena") {
+    // Self prediction: the database trains on the replayed trace itself.
+    SiteDatabase DB = trainDatabase(profileTrace(*Trace, Policy), Policy);
+    simulateArena(Test, DB, CallsPerAlloc, CostModel(),
+                  ArenaAllocator::Config(), &Telemetry);
+  } else if (Family == "multiarena") {
+    ClassDatabase DB = trainClassDatabase(profileTrace(*Trace, Policy),
+                                          Policy, {16 * 1024, 32 * 1024});
+    simulateMultiArena(Test, DB, MultiArenaAllocator::Config(), &Telemetry);
+  } else {
+    std::fprintf(stderr,
+                 "error: unknown family '%s' (expected firstfit, bsd, "
+                 "arena, or multiarena)\n",
+                 Family.c_str());
+    return 1;
+  }
+  double Wall = wallTimeSeconds() - Start;
+
+  std::printf("heatmap: %s over %s, %zu events, byte-clock stride %llu\n",
+              Family.c_str(), Source.c_str(), Trace->size() * 2,
+              static_cast<unsigned long long>(Stride));
+  Map.printAscii(stdout);
+
+  FragmentationProbe::Drift Drift = Probe.driftEstimate();
+  std::printf("fragmentation: %llu samples, index %llu ppm (peak %llu), "
+              "largest free block %llu B\n",
+              static_cast<unsigned long long>(Probe.sampleCount()),
+              static_cast<unsigned long long>(Probe.lastFragIndexPpm()),
+              static_cast<unsigned long long>(Probe.maxFragIndexPpm()),
+              static_cast<unsigned long long>(Probe.largestFreeBlock()));
+  std::printf("spans observed: %llu free, %llu live; heap drift %s%llu B "
+              "over %llu byte-clock\n",
+              static_cast<unsigned long long>(Probe.freeSpans().count()),
+              static_cast<unsigned long long>(Probe.liveSpans().count()),
+              Drift.ShrinkBytes ? "-" : "+",
+              static_cast<unsigned long long>(
+                  Drift.ShrinkBytes ? Drift.ShrinkBytes : Drift.GrowthBytes),
+              static_cast<unsigned long long>(Drift.WindowClock));
+  std::printf("alloc latency: %llu samples, p50 %.0f ns, p99 %.0f ns; "
+              "free p99 %.0f ns\n",
+              static_cast<unsigned long long>(
+                  Latency.samples(LatencyRecorder::OpAlloc)),
+              Latency.quantileNanos(LatencyRecorder::OpAlloc, 0.50),
+              Latency.quantileNanos(LatencyRecorder::OpAlloc, 0.99),
+              Latency.quantileNanos(LatencyRecorder::OpFree, 0.99));
+
+  if (!Options.JsonPath.empty()) {
+    JsonReport Report("heatmap", Options);
+    Report.setThroughput(Trace->size() * 2, Wall);
+    Report.attachTelemetry(&Registry);
+    Report.write();
+  }
+  if (!Options.HeatmapOutPath.empty()) {
+    std::string Out;
+    Map.writeJson(Out, "");
+    Out += "\n";
+    std::FILE *File = std::fopen(Options.HeatmapOutPath.c_str(), "w");
+    if (!File) {
+      std::fprintf(stderr, "error: cannot write --heatmap-out=%s\n",
+                   Options.HeatmapOutPath.c_str());
+      return 1;
+    }
+    std::fwrite(Out.data(), 1, Out.size(), File);
+    std::fclose(File);
+    std::printf("heatmap JSON written to %s\n",
+                Options.HeatmapOutPath.c_str());
+  }
+  if (std::unique_ptr<TraceEventWriter> Writer = makeTraceWriter(Options)) {
+    Map.exportTrace(*Writer);
+    Writer->close();
+    std::printf("chrome://tracing counters written to %s\n",
+                Options.TraceOutPath.c_str());
+  }
+  return 0;
+}
+
+/// The history subcommand: renders the perf-trajectory ledgers and exits
+/// 2 when any metric's latest value regressed against its trailing window.
+int runHistory(const CommandLine &Cl, const std::string &Dir) {
+  HistoryOptions Options;
+  Options.MetricGlob = Cl.getString("metric", "*");
+  long Window = Cl.getInt("window", 8);
+  if (Window > 0)
+    Options.Window = static_cast<size_t>(Window);
+  Options.Tolerance = Cl.getDouble("tol", 0.10);
+  int Flagged = renderHistory(Dir, Options, stdout);
+  if (Flagged < 0) {
+    std::fprintf(stderr, "error: no ledgers under %s\n", Dir.c_str());
+    return 1;
+  }
+  return Flagged > 0 ? 2 : 0;
+}
+
 std::optional<AllocationTrace> loadTrace(const std::string &Path) {
   // Try binary first (its magic makes the format self-identifying),
   // then fall back to text.
@@ -214,6 +386,18 @@ int main(int Argc, char **Argv) {
     if (Args.size() != 2)
       return usage();
     return runAudit(Cl, Args[1]);
+  }
+
+  if (Command == "heatmap") {
+    if (Args.size() != 2)
+      return usage();
+    return runHeatmap(Cl, Args[1]);
+  }
+
+  if (Command == "history") {
+    if (Args.size() != 2)
+      return usage();
+    return runHistory(Cl, Args[1]);
   }
 
   if (Command == "generate") {

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 namespace lifepred {
 
@@ -54,6 +55,22 @@ public:
   /// does not apply.  Only consulted at telemetry sampling points, never on
   /// the per-event path.
   virtual size_t freeBlockCount() const { return 0; }
+
+  /// Span callback: a contiguous (Address, Bytes) run of heap.
+  using SpanVisitor = std::function<void(uint64_t Address, uint64_t Bytes)>;
+
+  /// Invokes \p Visit for every free span the allocator could satisfy a
+  /// request from: free boundary-tag blocks, free size-class blocks, and
+  /// unconsumed arena tails.  Like freeBlockCount(), this is only called
+  /// at stride-gated sampling points — never on the per-event path — so
+  /// the virtual dispatch and std::function indirection are off the hot
+  /// path by construction.  The default emits nothing.
+  virtual void forEachFreeSpan(const SpanVisitor &Visit) const { (void)Visit; }
+
+  /// Invokes \p Visit for every live span.  Allocators that track payload
+  /// sizes report payload bytes; size-class allocators report the rounded
+  /// block size (the resident footprint of the object).  Default: nothing.
+  virtual void forEachLiveSpan(const SpanVisitor &Visit) const { (void)Visit; }
 };
 
 } // namespace lifepred

@@ -192,3 +192,20 @@ void ArenaAllocator::exportTelemetry(StatsRegistry &Registry,
   raisePeak(Registry.gauge(Prefix + "max_heap_bytes"), maxHeapBytes());
   General.exportTelemetry(Registry, Prefix + "general.");
 }
+
+void ArenaAllocator::forEachFreeSpan(const SpanVisitor &Visit) const {
+  General.forEachFreeSpan(Visit);
+  // Each arena's unconsumed bump tail is allocatable space the area holds
+  // but no object covers — the arena analogue of a free block.
+  for (unsigned I = 0; I < Cfg.ArenaCount; ++I) {
+    uint64_t Tail = arenaBytes() - Arenas[I].AllocPtr;
+    if (Tail != 0)
+      Visit(Cfg.ArenaBase + I * arenaBytes() + Arenas[I].AllocPtr, Tail);
+  }
+}
+
+void ArenaAllocator::forEachLiveSpan(const SpanVisitor &Visit) const {
+  General.forEachLiveSpan(Visit);
+  for (const auto &[Addr, Payload] : ArenaPayload)
+    Visit(Addr, Payload);
+}

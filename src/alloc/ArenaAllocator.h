@@ -130,6 +130,12 @@ public:
   /// The arena area keeps no free lists; only the general heap does.
   size_t freeBlockCount() const override { return General.freeBlockCount(); }
 
+  /// Free spans are the general heap's free blocks plus each arena's
+  /// unconsumed bump tail; live spans are the general heap's live payloads
+  /// plus the arena-held objects.
+  void forEachFreeSpan(const SpanVisitor &Visit) const override;
+  void forEachLiveSpan(const SpanVisitor &Visit) const override;
+
   /// Forwards to the general heap's histograms under "<Prefix>general.".
   void attachTelemetry(StatsRegistry &Registry, const std::string &Prefix);
 

@@ -186,3 +186,19 @@ void BsdAllocator::exportTelemetry(StatsRegistry &Registry,
   raisePeak(Registry.gauge(Prefix + "live_bytes"), liveBytes());
   raisePeak(Registry.gauge(Prefix + "free_blocks"), freeBlockCount());
 }
+
+void BsdAllocator::forEachFreeSpan(const SpanVisitor &Visit) const {
+  for (size_t Bucket = 0; Bucket < Buckets.size(); ++Bucket)
+    for (uint64_t Addr : Buckets[Bucket])
+      Visit(Addr, uint64_t(1) << Bucket);
+  for (size_t Bucket = 0; Bucket < Bitmaps.size(); ++Bucket)
+    Bitmaps[Bucket].forEachFree(
+        [&](uint64_t Addr) { Visit(Addr, uint64_t(1) << Bucket); });
+}
+
+void BsdAllocator::forEachLiveSpan(const SpanVisitor &Visit) const {
+  // Unordered iteration is fine: span consumers aggregate into
+  // order-independent sums, maxima, and bucket counts.
+  for (const auto &[Addr, Bucket] : Live)
+    Visit(Addr, uint64_t(1) << Bucket);
+}

@@ -82,6 +82,12 @@ public:
   /// Blocks parked across all size-class free lists.
   size_t freeBlockCount() const override;
 
+  /// Free spans are the parked blocks of every size class (span = rounded
+  /// block size); live spans are the live addresses at their class size —
+  /// Kingsley never splits, so block size is the resident footprint.
+  void forEachFreeSpan(const SpanVisitor &Visit) const override;
+  void forEachLiveSpan(const SpanVisitor &Visit) const override;
+
   /// Resolves the "<Prefix>class_bytes" histogram in \p Registry (rounded
   /// block size per allocation — the bucket distribution) and records into
   /// it on every subsequent allocate().

@@ -405,6 +405,18 @@ void FirstFitAllocator::exportTelemetry(StatsRegistry &Registry,
   raisePeak(Registry.gauge(Prefix + "free_blocks"), FreeCount);
 }
 
+void FirstFitAllocator::forEachFreeSpan(const SpanVisitor &Visit) const {
+  for (uint32_t N = Head; N != Nil; N = Nodes[N].AddrNext)
+    if (Nodes[N].Free)
+      Visit(Nodes[N].Addr, Nodes[N].Size);
+}
+
+void FirstFitAllocator::forEachLiveSpan(const SpanVisitor &Visit) const {
+  for (uint32_t N = Head; N != Nil; N = Nodes[N].AddrNext)
+    if (!Nodes[N].Free)
+      Visit(Nodes[N].Addr, Nodes[N].Payload);
+}
+
 //===----------------------------------------------------------------------===//
 // Invariant audit (verify layer).
 //===----------------------------------------------------------------------===//

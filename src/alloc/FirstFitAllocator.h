@@ -96,6 +96,11 @@ public:
   /// Number of blocks on the free list.
   size_t freeBlockCount() const override { return FreeCount; }
 
+  /// Walks the address-ordered block chain: free blocks report their full
+  /// boundary-tag size, live blocks their requested payload.
+  void forEachFreeSpan(const SpanVisitor &Visit) const override;
+  void forEachLiveSpan(const SpanVisitor &Visit) const override;
+
   /// Resolves per-allocation distribution histograms in \p Registry
   /// ("<Prefix>scan_len", and "<Prefix>bin_probe_len" under BestFitBins)
   /// and records into them on every subsequent allocate().  Detached (the

@@ -219,3 +219,20 @@ void MultiArenaAllocator::exportTelemetry(StatsRegistry &Registry,
   raisePeak(Registry.gauge(Prefix + "max_heap_bytes"), maxHeapBytes());
   General.exportTelemetry(Registry, Prefix + "general.");
 }
+
+void MultiArenaAllocator::forEachFreeSpan(const SpanVisitor &Visit) const {
+  General.forEachFreeSpan(Visit);
+  for (const BandState &Band : BandStates)
+    for (unsigned I = 0; I < Band.Cfg.ArenaCount; ++I) {
+      uint64_t Tail = Band.arenaBytes() - Band.Arenas[I].AllocPtr;
+      if (Tail != 0)
+        Visit(Band.Base + I * Band.arenaBytes() + Band.Arenas[I].AllocPtr,
+              Tail);
+    }
+}
+
+void MultiArenaAllocator::forEachLiveSpan(const SpanVisitor &Visit) const {
+  General.forEachLiveSpan(Visit);
+  for (const auto &[Addr, Payload] : ArenaPayload)
+    Visit(Addr, Payload);
+}

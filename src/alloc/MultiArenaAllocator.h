@@ -131,6 +131,12 @@ public:
   /// Band areas keep no free lists; only the general heap does.
   size_t freeBlockCount() const override { return General.freeBlockCount(); }
 
+  /// Free spans are the general heap's free blocks plus every band arena's
+  /// unconsumed bump tail; live spans are the general heap's live payloads
+  /// plus the arena-held objects of every band.
+  void forEachFreeSpan(const SpanVisitor &Visit) const override;
+  void forEachLiveSpan(const SpanVisitor &Visit) const override;
+
   /// Forwards to the general heap's histograms under "<Prefix>general.".
   void attachTelemetry(StatsRegistry &Registry, const std::string &Prefix);
 

@@ -9,6 +9,7 @@
 #include "sim/CompiledPrediction.h"
 #include "sim/SimTelemetry.h"
 #include "telemetry/FlightRecorder.h"
+#include "telemetry/LatencyRecorder.h"
 
 using namespace lifepred;
 
@@ -54,7 +55,8 @@ public:
                                  SimTelemetry *Telemetry)
       : Allocator(Allocator), Records(Trace.records().data()), DB(DB),
         Bands(Bands.data()), Telemetry(Telemetry),
-        Recorder(Telemetry ? Telemetry->Recorder : nullptr) {
+        Recorder(Telemetry ? Telemetry->Recorder : nullptr),
+        Latency(Telemetry ? Telemetry->Latency : nullptr) {
     Addresses.resize(Trace.size());
   }
 
@@ -63,26 +65,22 @@ public:
     LifetimeClass Band = Bands[Id];
     if (Recorder)
       Recorder->beginEvent(Clock);
-    Addresses[Id] = Allocator.allocate(Record.Size, Band);
+    Addresses[Id] = timedAllocatorOp(Latency, LatencyRecorder::OpAlloc, [&] {
+      return Allocator.allocate(Record.Size, Band);
+    });
     raisePeak(MaxLive, Allocator.liveBytes());
     if (Telemetry) {
       recordOutcome(Record, Band);
-      if (Telemetry->Timeline && Telemetry->Timeline->due(Clock)) {
-        HeapSample Sample;
-        Sample.Clock = Clock;
-        Sample.HeapBytes = Allocator.heapBytes();
-        Sample.LiveBytes = Allocator.liveBytes();
-        Sample.ArenaBytes = Allocator.arenaLiveBytes();
-        Sample.FreeBlocks = Allocator.freeBlockCount();
-        Telemetry->Timeline->record(Sample);
-      }
+      observeSample(Telemetry, Clock, Allocator, Allocator.arenaLiveBytes());
     }
     if (Recorder)
       recordAudit(Id, Record, Clock, Band);
   }
 
   void onFree(uint32_t Id, uint64_t Clock) {
-    Allocator.free(Addresses[Id]);
+    timedAllocatorOp(Latency, LatencyRecorder::OpFree,
+                     [&] { Allocator.free(Addresses[Id]); });
+    observeSample(Telemetry, Clock, Allocator, Allocator.arenaLiveBytes());
     if (Recorder)
       Recorder->recordFree(Id, Clock);
   }
@@ -140,6 +138,7 @@ private:
   const LifetimeClass *Bands;
   SimTelemetry *Telemetry;
   FlightRecorder *Recorder;
+  LatencyRecorder *Latency;
   std::vector<uint64_t> Addresses;
   uint64_t MaxLive = 0;
 };
@@ -179,6 +178,7 @@ lifepred::simulateMultiArena(const CompiledTrace &Compiled,
                                         "multiarena.pred.");
     raisePeak(Telemetry->Registry->gauge("multiarena.pred.sites"),
               Telemetry->PerSite.size());
+    exportObservatory(Telemetry, "multiarena.");
   }
 
   MultiArenaSimResult Result;

@@ -28,7 +28,11 @@
 
 namespace lifepred {
 
+class AllocatorSim;
 class FlightRecorder;
+class FragmentationProbe;
+class HeapHeatmap;
+class LatencyRecorder;
 
 /// Confusion-matrix counts for lifetime prediction, using the paper's
 /// terminology: an object is *actually* short-lived when its traced
@@ -89,7 +93,30 @@ struct SimTelemetry {
   /// of the replay.  One recorder per replay — recorders are not merged;
   /// fan-out code exports them per program in task order.
   FlightRecorder *Recorder = nullptr;
+  /// Heap observatory sinks (telemetry/FragmentationProbe.h etc.).  Each is
+  /// stride- or period-gated independently; the simulators export probe
+  /// results into Registry under the allocator family's prefix at the end
+  /// of the replay.  All default to detached.
+  FragmentationProbe *Fragmentation = nullptr;
+  HeapHeatmap *Heatmap = nullptr;
+  LatencyRecorder *Latency = nullptr;
 };
+
+/// Records byte-clock observatory samples of \p Allocator when any of the
+/// attached sinks (timeline, fragmentation probe, heatmap) is due at
+/// \p Clock.  One fragmentation/heatmap scan shares a single span walk.
+/// \p ArenaBytes is supplied by the caller because only the arena
+/// allocators have the concept.  Null-telemetry calls return immediately;
+/// the instrumented consumers pay three compares per event when all sinks
+/// are attached.
+void observeSample(SimTelemetry *Telemetry, uint64_t Clock,
+                   const AllocatorSim &Allocator, uint64_t ArenaBytes);
+
+/// Exports the observatory sinks (probe state, latency distributions) into
+/// Telemetry->Registry under \p Prefix.  Called by each simulator after
+/// the replay, mirroring the allocator exportTelemetry discipline; no-op
+/// for detached members.
+void exportObservatory(SimTelemetry *Telemetry, const std::string &Prefix);
 
 } // namespace lifepred
 

@@ -10,6 +10,9 @@
 #include "support/BitmapFreeList.h"
 #include "support/MathExtras.h"
 #include "support/ThreadPool.h"
+#include "telemetry/FragmentationProbe.h"
+#include "telemetry/HeapHeatmap.h"
+#include "telemetry/LatencyRecorder.h"
 #include "trace/CompiledTrace.h"
 
 #include <algorithm>
@@ -18,21 +21,6 @@
 using namespace lifepred;
 
 namespace {
-
-/// Byte-clock timeline sample, identical to TraceSimulator.cpp's helper so
-/// streamed and in-memory instrumented replays emit the same samples.
-void sampleTimeline(SimTelemetry *Telemetry, uint64_t Clock,
-                    const AllocatorSim &Allocator) {
-  if (!Telemetry || !Telemetry->Timeline || !Telemetry->Timeline->due(Clock))
-    return;
-  HeapSample Sample;
-  Sample.Clock = Clock;
-  Sample.HeapBytes = Allocator.heapBytes();
-  Sample.LiveBytes = Allocator.liveBytes();
-  Sample.ArenaBytes = 0;
-  Sample.FreeBlocks = Allocator.freeBlockCount();
-  Telemetry->Timeline->record(Sample);
-}
 
 /// Sequential chunk-by-chunk replay of \p File into \p Allocator — the same
 /// allocator calls, in the same order, as the in-memory consumers, with a
@@ -43,6 +31,8 @@ uint64_t replayStream(const ScheduleFile &File, AllocatorT &Allocator,
                       SimTelemetry *Telemetry) {
   std::vector<uint64_t> Slots(File.slotCount());
   uint64_t MaxLive = 0;
+  LatencyRecorder *Latency =
+      Instrumented && Telemetry ? Telemetry->Latency : nullptr;
   File.adviseSequential();
   for (uint64_t Chunk = 0; Chunk < File.chunkCount(); ++Chunk) {
     const ScheduleEvent *Events = File.chunkEvents(Chunk);
@@ -50,12 +40,20 @@ uint64_t replayStream(const ScheduleFile &File, AllocatorT &Allocator,
     for (uint64_t I = 0; I < Count; ++I) {
       const ScheduleEvent &Event = Events[I];
       if (Event.TaggedSlot & EventSchedule::FreeBit) {
-        Allocator.free(Slots[Event.TaggedSlot & ~EventSchedule::FreeBit]);
+        timedAllocatorOp(Latency, LatencyRecorder::OpFree, [&] {
+          Allocator.free(Slots[Event.TaggedSlot & ~EventSchedule::FreeBit]);
+        });
+        // Frees sample too, matching the in-memory consumers: the trace
+        // tail is all frees and the observatory must see the heap drain.
+        if (Instrumented)
+          observeSample(Telemetry, Event.Clock, Allocator, /*ArenaBytes=*/0);
       } else {
-        Slots[Event.TaggedSlot] = Allocator.allocate(Event.Size);
+        Slots[Event.TaggedSlot] =
+            timedAllocatorOp(Latency, LatencyRecorder::OpAlloc,
+                             [&] { return Allocator.allocate(Event.Size); });
         raisePeak(MaxLive, Allocator.liveBytes());
         if (Instrumented)
-          sampleTimeline(Telemetry, Event.Clock, Allocator);
+          observeSample(Telemetry, Event.Clock, Allocator, /*ArenaBytes=*/0);
       }
     }
     File.dropChunk(Chunk);
@@ -197,16 +195,20 @@ public:
           const uint32_t Cell = uint32_t(Record >> 32) & CellMask;
           if (Record & FreeRecordBit) {
             SegBytes -= uint32_t(Record);
-            FreeList.push(Cells[Cell]);
+            timedAllocatorOp(Latency, LatencyRecorder::OpFree,
+                             [&] { FreeList.push(Cells[Cell]); });
           } else {
-            if (FreeList.empty()) {
-              ++Stats.PageRefills;
-              FreeList.addExtent(HeapEnd);
-              HeapEnd += extentBytes(Bucket);
-              raisePeak(MaxHeap, heapBytes());
-            }
             SegBytes += uint32_t(Record);
-            Cells[Cell] = FreeList.pop();
+            Cells[Cell] =
+                timedAllocatorOp(Latency, LatencyRecorder::OpAlloc, [&] {
+                  if (FreeList.empty()) {
+                    ++Stats.PageRefills;
+                    FreeList.addExtent(HeapEnd);
+                    HeapEnd += extentBytes(Bucket);
+                    raisePeak(MaxHeap, heapBytes());
+                  }
+                  return FreeList.pop();
+                });
             ++SegAllocs;
           }
         }
@@ -235,6 +237,41 @@ public:
 
   void attachTelemetry(StatsRegistry &Registry, const std::string &Prefix) {
     ClassBytesHist = &Registry.histogram(Prefix + "class_bytes");
+  }
+
+  /// Attaches a latency recorder; null detaches (one predictable branch per
+  /// replayed record when detached).
+  void attachObservatory(LatencyRecorder *Recorder) { Latency = Recorder; }
+
+  /// Feeds one stride-gated fragmentation sample at \p Clock.  A size-class
+  /// heap has no span coalescing, so the per-class free/live block counts
+  /// *are* the span population: O(BucketCount), no bitmap walk.
+  void sampleFragmentation(FragmentationProbe &Probe, uint64_t Clock) const {
+    if (!Probe.due(Clock))
+      return;
+    Probe.beginSample(Clock, heapBytes(), LiveBytes);
+    for (uint32_t Bucket = 0; Bucket < BucketCount; ++Bucket) {
+      const BitmapFreeList &FreeList = Buckets[Bucket];
+      Probe.addFreeSpans(blockBytes(Bucket), FreeList.freeCount());
+      Probe.addLiveSpans(blockBytes(Bucket),
+                         FreeList.blockCount() - FreeList.freeCount());
+    }
+    Probe.endSample();
+  }
+
+  /// Feeds one stride-gated heatmap column at \p Clock by walking every
+  /// class's allocated-block bitmap.  O(blocks) — chunk-boundary callers
+  /// only, never the per-event path.
+  void sampleHeatmap(HeapHeatmap &Map, uint64_t Clock) const {
+    if (!Map.due(Clock))
+      return;
+    Map.beginColumn(Clock);
+    for (uint32_t Bucket = 0; Bucket < BucketCount; ++Bucket) {
+      const uint64_t Bytes = blockBytes(Bucket);
+      Buckets[Bucket].forEachLive(
+          [&Map, Bytes](uint64_t Address) { Map.addSpan(Address, Bytes); });
+    }
+    Map.endColumn();
   }
 
   /// Same keys and values as BsdAllocator::exportTelemetry.
@@ -271,6 +308,7 @@ private:
   BsdAllocator::Config Cfg;
   BsdAllocator::Counters Stats;
   Log2Histogram *ClassBytesHist = nullptr;
+  LatencyRecorder *Latency = nullptr;
   std::vector<BitmapFreeList> Buckets;
   /// Packed batch record: bit 63 = free, bits 32..62 = cell, low 32 = size.
   static constexpr uint64_t FreeRecordBit = uint64_t(1) << 63;
@@ -300,8 +338,10 @@ StreamSimResult lifepred::streamSimulateFirstFit(
   if (Telemetry && Telemetry->Registry)
     Allocator.attachTelemetry(*Telemetry->Registry, "firstfit.");
   uint64_t MaxLive = replayStream(File, Allocator, Telemetry);
-  if (Telemetry && Telemetry->Registry)
+  if (Telemetry && Telemetry->Registry) {
     Allocator.exportTelemetry(*Telemetry->Registry, "firstfit.");
+    exportObservatory(Telemetry, "firstfit.");
+  }
 
   StreamSimResult Result;
   Result.MaxHeapBytes = Allocator.maxHeapBytes();
@@ -320,8 +360,10 @@ StreamSimResult lifepred::streamSimulateBsd(const ScheduleFile &File,
   if (Telemetry && Telemetry->Registry)
     Allocator.attachTelemetry(*Telemetry->Registry, "bsd.");
   uint64_t MaxLive = replayStream(File, Allocator, Telemetry);
-  if (Telemetry && Telemetry->Registry)
+  if (Telemetry && Telemetry->Registry) {
     Allocator.exportTelemetry(*Telemetry->Registry, "bsd.");
+    exportObservatory(Telemetry, "bsd.");
+  }
 
   StreamSimResult Result;
   Result.MaxHeapBytes = Allocator.maxHeapBytes();
@@ -339,14 +381,29 @@ StreamSimResult lifepred::streamSimulateBsdBatched(
   BatchedKingsley Core(Config, File.slotCount());
   if (Telemetry && Telemetry->Registry)
     Core.attachTelemetry(*Telemetry->Registry, "bsd.");
+  if (Telemetry)
+    Core.attachObservatory(Telemetry->Latency);
   File.adviseSequential();
   for (uint64_t Chunk = 0; Chunk < File.chunkCount(); ++Chunk) {
-    Core.replayBatched(File.chunkEvents(Chunk), File.chunk(Chunk).EventCount,
-                       BatchEvents);
+    const uint64_t Count = File.chunk(Chunk).EventCount;
+    Core.replayBatched(File.chunkEvents(Chunk), Count, BatchEvents);
+    // Observatory samples land on chunk boundaries (the clock of the
+    // chunk's last event): batching permutes order *within* a batch, but a
+    // chunk boundary is a batch boundary, where heap state is placement-
+    // consistent with the sequential replay's size-class view.
+    if (Telemetry && Count != 0) {
+      const uint64_t Clock = File.chunkEvents(Chunk)[Count - 1].Clock;
+      if (Telemetry->Fragmentation)
+        Core.sampleFragmentation(*Telemetry->Fragmentation, Clock);
+      if (Telemetry->Heatmap)
+        Core.sampleHeatmap(*Telemetry->Heatmap, Clock);
+    }
     File.dropChunk(Chunk);
   }
-  if (Telemetry && Telemetry->Registry)
+  if (Telemetry && Telemetry->Registry) {
     Core.exportTelemetry(*Telemetry->Registry, "bsd.");
+    exportObservatory(Telemetry, "bsd.");
+  }
 
   StreamSimResult Result;
   Result.MaxHeapBytes = Core.maxHeapBytes();
@@ -357,11 +414,10 @@ StreamSimResult lifepred::streamSimulateBsdBatched(
   return Result;
 }
 
-ShardedBsdResult lifepred::streamReplayBsdSharded(const ScheduleFile &File,
-                                                  ThreadPool &Pool,
-                                                  BsdAllocator::Config Config,
-                                                  StatsRegistry *Registry,
-                                                  uint64_t ChunksPerShard) {
+ShardedBsdResult lifepred::streamReplayBsdSharded(
+    const ScheduleFile &File, ThreadPool &Pool, BsdAllocator::Config Config,
+    StatsRegistry *Registry, uint64_t ChunksPerShard,
+    const StreamObserveConfig *Observe) {
   if (ChunksPerShard == 0)
     ChunksPerShard = 1;
   const uint64_t ChunkCount = File.chunkCount();
@@ -379,10 +435,30 @@ ShardedBsdResult lifepred::streamReplayBsdSharded(const ScheduleFile &File,
   };
   std::vector<ShardOut> Outs(ShardCount);
 
+  // Per-shard observatory sinks, constructed up front and merged with the
+  // rest of the shard telemetry in shard index order.
+  std::vector<FragmentationProbe> Probes;
+  std::vector<LatencyRecorder> Latencies;
+  std::vector<HeapHeatmap> Heatmaps;
+  if (Observe) {
+    Probes.reserve(ShardCount);
+    Latencies.reserve(ShardCount);
+    if (Observe->MergedHeatmap)
+      Heatmaps.reserve(ShardCount);
+    for (uint64_t Shard = 0; Shard < ShardCount; ++Shard) {
+      Probes.emplace_back(Observe->FragStrideBytes);
+      Latencies.emplace_back(Observe->LatencyPeriod);
+      if (Observe->MergedHeatmap)
+        Heatmaps.emplace_back(Observe->MergedHeatmap->config());
+    }
+  }
+
   parallelForIndex(Pool, ShardCount, [&](size_t Shard) {
     const uint64_t First = Shard * ChunksPerShard;
     const uint64_t Last = std::min(First + ChunksPerShard, ChunkCount);
     BatchedKingsley Core(Config, File.slotCount());
+    if (Observe)
+      Core.attachObservatory(&Latencies[Shard]);
     // Warm-up: re-create the live set at the shard's entry so the frees it
     // will replay have blocks to release.  These allocations are heap
     // machinery, not trace events; they are counted separately.
@@ -394,9 +470,18 @@ ShardedBsdResult lifepred::streamReplayBsdSharded(const ScheduleFile &File,
     ShardOut &Out = Outs[Shard];
     Out.Warmup = Entry.LiveInCount;
     for (uint64_t Chunk = First; Chunk < Last; ++Chunk) {
-      Core.replayBatched(File.chunkEvents(Chunk),
-                         File.chunk(Chunk).EventCount, /*BatchEvents=*/8192);
-      Out.Events += File.chunk(Chunk).EventCount;
+      const uint64_t Count = File.chunk(Chunk).EventCount;
+      Core.replayBatched(File.chunkEvents(Chunk), Count,
+                         /*BatchEvents=*/8192);
+      if (Observe && Count != 0) {
+        // Chunk boundaries use the file's global byte clock, so shard
+        // samples land on a common grid and shard heatmap columns align.
+        const uint64_t Clock = File.chunkEvents(Chunk)[Count - 1].Clock;
+        Core.sampleFragmentation(Probes[Shard], Clock);
+        if (!Heatmaps.empty())
+          Core.sampleHeatmap(Heatmaps[Shard], Clock);
+      }
+      Out.Events += Count;
       File.dropChunk(Chunk);
     }
     Out.Counters = Core.counters();
@@ -429,7 +514,18 @@ ShardedBsdResult lifepred::streamReplayBsdSharded(const ScheduleFile &File,
       raisePeak(Registry->gauge("shard.max_heap_bytes"), Out.MaxHeap);
       raisePeak(Registry->gauge("shard.live_bytes"), Out.LiveBytes);
       raisePeak(Registry->gauge("shard.free_blocks"), Out.FreeBlocks);
+      if (Observe) {
+        const size_t Shard = &Out - Outs.data();
+        Probes[Shard].exportTelemetry(*Registry, "shard.");
+        Latencies[Shard].exportTelemetry(*Registry, "shard.");
+      }
     }
+  }
+  if (Observe && Observe->MergedHeatmap) {
+    for (const HeapHeatmap &Map : Heatmaps)
+      Observe->MergedHeatmap->merge(Map);
+    if (Registry)
+      Observe->MergedHeatmap->exportTelemetry(*Registry, "shard.");
   }
   if (Registry)
     raisePeak(Registry->gauge("shard.count"), ShardCount);

@@ -49,6 +49,10 @@
 #include <cstdint>
 
 namespace lifepred {
+class HeapHeatmap;
+}
+
+namespace lifepred {
 
 class ThreadPool;
 class StatsRegistry;
@@ -99,16 +103,35 @@ struct ShardedBsdResult {
   uint64_t Shards = 0;
 };
 
+/// Observatory configuration for the sharded replay, which runs one probe
+/// set per shard (a SimTelemetry holds exactly one of each sink, so it
+/// cannot express per-shard collection).  Per-shard probes export into the
+/// registry under "shard." in shard index order; since the shard partition
+/// is jobs-independent, so is every exported value.
+struct StreamObserveConfig {
+  /// Byte-clock stride of each shard's fragmentation probe.
+  uint64_t FragStrideBytes = uint64_t(1) << 20;
+  /// Sample period of each shard's latency recorder.
+  uint32_t LatencyPeriod = 64;
+  /// When non-null, each shard builds a heatmap with this sink's geometry
+  /// and the results merge here cell-wise in shard index order — columns
+  /// use the file's global byte clock, so shard columns align.
+  HeapHeatmap *MergedHeatmap = nullptr;
+};
+
 /// Replays \p File as shards of \p ChunksPerShard consecutive chunks, fanned
 /// across \p Pool.  Each shard runs the batched Kingsley core on a fresh
 /// heap warmed from its first chunk's live-in table.  A non-null
 /// \p Registry receives each shard's counters under "shard.", merged in
 /// shard index order — the partition is a property of the file and
-/// \p ChunksPerShard alone, so output is identical at any pool size.
+/// \p ChunksPerShard alone, so output is identical at any pool size.  A
+/// non-null \p Observe additionally runs per-shard fragmentation probes,
+/// latency recorders, and (optionally) heatmaps, exported the same way.
 ShardedBsdResult streamReplayBsdSharded(
     const ScheduleFile &File, ThreadPool &Pool,
     BsdAllocator::Config Config = BsdAllocator::Config(),
-    StatsRegistry *Registry = nullptr, uint64_t ChunksPerShard = 1);
+    StatsRegistry *Registry = nullptr, uint64_t ChunksPerShard = 1,
+    const StreamObserveConfig *Observe = nullptr);
 
 } // namespace lifepred
 

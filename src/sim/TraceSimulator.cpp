@@ -18,6 +18,7 @@
 #include "sim/CompiledPrediction.h"
 #include "sim/SimTelemetry.h"
 #include "telemetry/FlightRecorder.h"
+#include "telemetry/LatencyRecorder.h"
 
 #include <unordered_set>
 #include <vector>
@@ -25,22 +26,6 @@
 using namespace lifepred;
 
 namespace {
-
-/// Records a byte-clock sample of \p Allocator if one is due.  \p ArenaBytes
-/// is supplied by the caller because only the arena allocators have the
-/// concept.
-void sampleTimeline(SimTelemetry *Telemetry, uint64_t Clock,
-                    const AllocatorSim &Allocator, uint64_t ArenaBytes) {
-  if (!Telemetry || !Telemetry->Timeline || !Telemetry->Timeline->due(Clock))
-    return;
-  HeapSample Sample;
-  Sample.Clock = Clock;
-  Sample.HeapBytes = Allocator.heapBytes();
-  Sample.LiveBytes = Allocator.liveBytes();
-  Sample.ArenaBytes = ArenaBytes;
-  Sample.FreeBlocks = Allocator.freeBlockCount();
-  Telemetry->Timeline->record(Sample);
-}
 
 /// Uninstrumented replay into any concrete allocator: the hot path.
 template <typename AllocatorT>
@@ -77,17 +62,27 @@ public:
                                const AllocationTrace &Trace,
                                SimTelemetry *Telemetry)
       : Allocator(Allocator), Records(Trace.records().data()),
-        Telemetry(Telemetry) {
+        Telemetry(Telemetry),
+        Latency(Telemetry ? Telemetry->Latency : nullptr) {
     Addresses.resize(Trace.size());
   }
 
   void onAlloc(uint32_t Id, uint64_t Clock) {
-    Addresses[Id] = Allocator.allocate(Records[Id].Size);
+    Addresses[Id] = timedAllocatorOp(Latency, LatencyRecorder::OpAlloc, [&] {
+      return Allocator.allocate(Records[Id].Size);
+    });
     raisePeak(MaxLive, Allocator.liveBytes());
-    sampleTimeline(Telemetry, Clock, Allocator, /*ArenaBytes=*/0);
+    observeSample(Telemetry, Clock, Allocator, /*ArenaBytes=*/0);
   }
 
-  void onFree(uint32_t Id, uint64_t) { Allocator.free(Addresses[Id]); }
+  void onFree(uint32_t Id, uint64_t Clock) {
+    timedAllocatorOp(Latency, LatencyRecorder::OpFree,
+                     [&] { Allocator.free(Addresses[Id]); });
+    // Frees shatter and coalesce spans, so the observatory samples on
+    // both event kinds — the trace tail is all frees, and alloc-only
+    // sampling would never see the heap drain.
+    observeSample(Telemetry, Clock, Allocator, /*ArenaBytes=*/0);
+  }
 
   uint64_t maxLiveBytes() const { return MaxLive; }
 
@@ -95,6 +90,7 @@ private:
   AllocatorT &Allocator;
   const AllocRecord *Records;
   SimTelemetry *Telemetry;
+  LatencyRecorder *Latency;
   std::vector<uint64_t> Addresses;
   uint64_t MaxLive = 0;
 };
@@ -184,7 +180,8 @@ public:
                             SimTelemetry *Telemetry)
       : Allocator(Allocator), Records(Trace.records().data()), DB(DB),
         Predicted(Predicted), Telemetry(Telemetry),
-        Recorder(Telemetry ? Telemetry->Recorder : nullptr) {
+        Recorder(Telemetry ? Telemetry->Recorder : nullptr),
+        Latency(Telemetry ? Telemetry->Latency : nullptr) {
     Addresses.resize(Trace.size());
   }
 
@@ -195,7 +192,9 @@ public:
       // Pin/reset callbacks fire from inside allocate(); give them the
       // clock this allocation will be recorded at.
       Recorder->beginEvent(Clock);
-    Addresses[Id] = Allocator.allocate(Record.Size, PredictedShort);
+    Addresses[Id] = timedAllocatorOp(Latency, LatencyRecorder::OpAlloc, [&] {
+      return Allocator.allocate(Record.Size, PredictedShort);
+    });
     raisePeak(MaxLive, Allocator.liveBytes());
     if (Telemetry) {
       // NeverFreed is the maximal lifetime, so never-freed objects always
@@ -203,8 +202,7 @@ public:
       bool ActuallyShort = Record.Lifetime <= DB.threshold();
       Telemetry->Outcomes.add(PredictedShort, ActuallyShort);
       Telemetry->PerSite[Record.ChainIndex].add(PredictedShort, ActuallyShort);
-      sampleTimeline(Telemetry, Clock, Allocator,
-                     Allocator.arenaLiveBytes());
+      observeSample(Telemetry, Clock, Allocator, Allocator.arenaLiveBytes());
     }
     if (Recorder) {
       AuditPlacement Placement;
@@ -219,7 +217,10 @@ public:
   }
 
   void onFree(uint32_t Id, uint64_t Clock) {
-    Allocator.free(Addresses[Id]);
+    timedAllocatorOp(Latency, LatencyRecorder::OpFree,
+                     [&] { Allocator.free(Addresses[Id]); });
+    if (Telemetry)
+      observeSample(Telemetry, Clock, Allocator, Allocator.arenaLiveBytes());
     if (Recorder)
       Recorder->recordFree(Id, Clock);
   }
@@ -238,6 +239,7 @@ private:
   const PredictedShortBits &Predicted;
   SimTelemetry *Telemetry;
   FlightRecorder *Recorder;
+  LatencyRecorder *Latency;
   std::vector<uint64_t> Addresses;
   uint64_t MaxLive = 0;
 };
@@ -253,8 +255,10 @@ lifepred::simulateFirstFit(const CompiledTrace &Compiled,
   if (Telemetry && Telemetry->Registry)
     Allocator.attachTelemetry(*Telemetry->Registry, "firstfit.");
   uint64_t MaxLive = replayBaseline(Compiled, Allocator, Telemetry);
-  if (Telemetry && Telemetry->Registry)
+  if (Telemetry && Telemetry->Registry) {
     Allocator.exportTelemetry(*Telemetry->Registry, "firstfit.");
+    exportObservatory(Telemetry, "firstfit.");
+  }
 
   BaselineSimResult Result;
   Result.MaxHeapBytes = Allocator.maxHeapBytes();
@@ -280,8 +284,10 @@ BaselineSimResult lifepred::simulateBsd(const CompiledTrace &Compiled,
   if (Telemetry && Telemetry->Registry)
     Allocator.attachTelemetry(*Telemetry->Registry, "bsd.");
   uint64_t MaxLive = replayBaseline(Compiled, Allocator, Telemetry);
-  if (Telemetry && Telemetry->Registry)
+  if (Telemetry && Telemetry->Registry) {
     Allocator.exportTelemetry(*Telemetry->Registry, "bsd.");
+    exportObservatory(Telemetry, "bsd.");
+  }
 
   BaselineSimResult Result;
   Result.MaxHeapBytes = Allocator.maxHeapBytes();
@@ -308,8 +314,15 @@ BaselineSimResult lifepred::simulateBsdBatched(const CompiledTrace &Compiled,
     Allocator.attachTelemetry(*Telemetry->Registry, "bsd.");
   BatchedBsdConsumer Consumer(Allocator, Compiled.trace());
   forEachEventBatched(Compiled.schedule(), Consumer, BatchEvents);
-  if (Telemetry && Telemetry->Registry)
+  // Batched replay permutes the event order inside a batch, so mid-replay
+  // heap states are not comparable to the sequential path; the observatory
+  // samples the (placement-consistent) end state once instead.
+  observeSample(Telemetry, Compiled.schedule().endClock(), Allocator,
+                /*ArenaBytes=*/0);
+  if (Telemetry && Telemetry->Registry) {
     Allocator.exportTelemetry(*Telemetry->Registry, "bsd.");
+    exportObservatory(Telemetry, "bsd.");
+  }
 
   BaselineSimResult Result;
   Result.MaxHeapBytes = Allocator.maxHeapBytes();
@@ -350,6 +363,7 @@ ArenaSimResult lifepred::simulateArena(const CompiledTrace &Compiled,
     Telemetry->Outcomes.exportTelemetry(*Telemetry->Registry, "arena.pred.");
     raisePeak(Telemetry->Registry->gauge("arena.pred.sites"),
               Telemetry->PerSite.size());
+    exportObservatory(Telemetry, "arena.");
   }
 
   ArenaSimResult Result;

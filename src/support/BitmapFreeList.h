@@ -114,6 +114,14 @@ public:
         F(ExtentBases[Bit / PerExtent] + (Bit % PerExtent) * BlockBytes);
   }
 
+  /// Invokes \p F with the address of every allocated block — the bitmap
+  /// complement of forEachFree (heatmap/observatory support).
+  template <typename FnT> void forEachLive(FnT &&F) const {
+    for (uint64_t Bit = 0; Bit < Blocks; ++Bit)
+      if (!(Words[Bit >> 6] & (uint64_t(1) << (Bit & 63))))
+        F(ExtentBases[Bit / PerExtent] + (Bit % PerExtent) * BlockBytes);
+  }
+
 private:
   uint64_t bitFor(uint64_t Addr) const {
     // One-entry extent cache: replay placement is lowest-address-first, so

@@ -1,0 +1,172 @@
+//===- telemetry/FragmentationProbe.cpp - Fragmentation forensics ----------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/FragmentationProbe.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace lifepred;
+
+void FragmentationProbe::beginSample(uint64_t Clock, uint64_t HeapBytes,
+                                     uint64_t LiveBytes) {
+  assert(!InSample && "beginSample while a sample is open");
+  InSample = true;
+  CurClock = Clock;
+  CurHeap = HeapBytes;
+  CurLive = LiveBytes;
+  CurFreeBytes = 0;
+  CurLargestFree = 0;
+}
+
+void FragmentationProbe::addFreeSpans(uint64_t Bytes, uint64_t Count) {
+  assert(InSample && "span outside beginSample/endSample");
+  if (Count == 0)
+    return;
+  FreeSpanHist.recordMany(Bytes, Count);
+  CurFreeBytes += Bytes * Count;
+  if (Bytes > CurLargestFree)
+    CurLargestFree = Bytes;
+}
+
+void FragmentationProbe::addLiveSpans(uint64_t Bytes, uint64_t Count) {
+  assert(InSample && "span outside beginSample/endSample");
+  LiveSpanHist.recordMany(Bytes, Count);
+}
+
+void FragmentationProbe::endSample() {
+  assert(InSample && "endSample without beginSample");
+  InSample = false;
+  ++Samples;
+  LastFragPpm =
+      CurFreeBytes == 0
+          ? 0
+          : (CurFreeBytes - CurLargestFree) * uint64_t(1000000) / CurFreeBytes;
+  if (LastFragPpm > MaxFragPpm)
+    MaxFragPpm = LastFragPpm;
+  if (CurLargestFree > PeakLargestFree)
+    PeakLargestFree = CurLargestFree;
+  if (CurFreeBytes > PeakFreeBytes)
+    PeakFreeBytes = CurFreeBytes;
+  Points.push_back({CurClock, CurHeap});
+  // Next boundary strictly after this sample's clock.
+  NextClock = (CurClock / Stride + 1) * Stride;
+}
+
+FragmentationProbe::Drift FragmentationProbe::driftEstimate() const {
+  Drift Result;
+  if (Points.size() < 2)
+    return Result;
+  // Back half of the replay by byte clock: heap delta from the first
+  // sample at or past the midpoint to the last sample.  Steady churn
+  // should hold this near zero; sustained growth is the RSS-drift smell.
+  uint64_t EndClock = Points.back().Clock;
+  uint64_t Midpoint = EndClock / 2;
+  const HeapPoint *First = &Points.back();
+  for (const HeapPoint &P : Points)
+    if (P.Clock >= Midpoint) {
+      First = &P;
+      break;
+    }
+  const HeapPoint &Last = Points.back();
+  Result.WindowClock = Last.Clock - First->Clock;
+  if (Last.HeapBytes >= First->HeapBytes)
+    Result.GrowthBytes = Last.HeapBytes - First->HeapBytes;
+  else
+    Result.ShrinkBytes = First->HeapBytes - Last.HeapBytes;
+  return Result;
+}
+
+void FragmentationProbe::exportTelemetry(StatsRegistry &Registry,
+                                         const std::string &Prefix) const {
+  // Gauges take the maximum across repeated exports (same semantics as the
+  // registry merge), so several probes can share one registry key space.
+  auto Peak = [&Registry](const std::string &Name, uint64_t Value) {
+    uint64_t &Gauge = Registry.gauge(Name);
+    if (Value > Gauge)
+      Gauge = Value;
+  };
+  Registry.counter(Prefix + "frag.samples") += Samples;
+  Registry.counter(Prefix + "frag.free_spans") += FreeSpanHist.count();
+  Registry.counter(Prefix + "frag.live_spans") += LiveSpanHist.count();
+  Peak(Prefix + "frag.index_ppm", MaxFragPpm);
+  Peak(Prefix + "frag.largest_free_block", PeakLargestFree);
+  Peak(Prefix + "frag.peak_free_bytes", PeakFreeBytes);
+  Drift D = driftEstimate();
+  Peak(Prefix + "frag.drift_growth_bytes", D.GrowthBytes);
+  Peak(Prefix + "frag.drift_shrink_bytes", D.ShrinkBytes);
+  Peak(Prefix + "frag.drift_window_clock", D.WindowClock);
+  Registry.histogram(Prefix + "frag.free_span_bytes").merge(FreeSpanHist);
+  Registry.histogram(Prefix + "frag.live_span_bytes").merge(LiveSpanHist);
+}
+
+namespace {
+
+void appendHistogramJson(std::string &Out, const std::string &Indent,
+                         const Log2Histogram &Hist) {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+                "\"max\": %llu, \"buckets\": [",
+                static_cast<unsigned long long>(Hist.count()),
+                static_cast<unsigned long long>(Hist.sum()),
+                static_cast<unsigned long long>(Hist.min()),
+                static_cast<unsigned long long>(Hist.max()));
+  Out += Buf;
+  // Sparse [bucket_low, count] pairs: 65 mostly-empty buckets would bury
+  // the signal.
+  bool FirstPair = true;
+  for (unsigned B = 0; B < Log2Histogram::BucketCount; ++B) {
+    if (Hist.bucketCount(B) == 0)
+      continue;
+    std::snprintf(Buf, sizeof(Buf), "%s[%llu, %llu]", FirstPair ? "" : ", ",
+                  static_cast<unsigned long long>(Log2Histogram::bucketLow(B)),
+                  static_cast<unsigned long long>(Hist.bucketCount(B)));
+    Out += Buf;
+    FirstPair = false;
+  }
+  Out += "]}";
+  (void)Indent;
+}
+
+} // namespace
+
+void FragmentationProbe::writeJson(std::string &Out,
+                                   const std::string &Indent) const {
+  char Buf[192];
+  Drift D = driftEstimate();
+  Out += "{\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "%s  \"stride_bytes\": %llu,\n%s  \"samples\": %llu,\n",
+                Indent.c_str(), static_cast<unsigned long long>(Stride),
+                Indent.c_str(), static_cast<unsigned long long>(Samples));
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "%s  \"frag_index_ppm\": %llu,\n"
+                "%s  \"max_frag_index_ppm\": %llu,\n",
+                Indent.c_str(), static_cast<unsigned long long>(LastFragPpm),
+                Indent.c_str(), static_cast<unsigned long long>(MaxFragPpm));
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "%s  \"largest_free_block\": %llu,\n"
+                "%s  \"peak_free_bytes\": %llu,\n",
+                Indent.c_str(),
+                static_cast<unsigned long long>(PeakLargestFree),
+                Indent.c_str(), static_cast<unsigned long long>(PeakFreeBytes));
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "%s  \"drift\": {\"growth_bytes\": %llu, "
+                "\"shrink_bytes\": %llu, \"window_clock\": %llu},\n",
+                Indent.c_str(), static_cast<unsigned long long>(D.GrowthBytes),
+                static_cast<unsigned long long>(D.ShrinkBytes),
+                static_cast<unsigned long long>(D.WindowClock));
+  Out += Buf;
+  Out += Indent + "  \"free_span_bytes\": ";
+  appendHistogramJson(Out, Indent, FreeSpanHist);
+  Out += ",\n" + Indent + "  \"live_span_bytes\": ";
+  appendHistogramJson(Out, Indent, LiveSpanHist);
+  Out += "\n" + Indent + "}";
+}

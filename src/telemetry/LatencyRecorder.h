@@ -1,0 +1,115 @@
+//===- telemetry/LatencyRecorder.h - Per-op latency tails -------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sampled wall-clock latency of individual allocator operations.  Every
+/// Nth operation (a deterministic countdown, so the *sampling schedule* is
+/// a pure function of the trace even though the *measured values* are
+/// not) is timed with a calibrated steady_clock read; samples feed a
+/// nanosecond Log2Histogram plus P2 quantile markers for p50/p90/p99/p999
+/// per op kind.
+///
+/// Reporting convention: every exported key contains "latency", which
+/// ReportDiff classifies as a timing metric — bench_compare checks the
+/// key *schema* but never gates the values, because wall-clock numbers
+/// are machine-dependent by nature.  Detached recorders (the null pointer
+/// default throughout the simulators) cost one predictable branch per op.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_TELEMETRY_LATENCYRECORDER_H
+#define LIFEPRED_TELEMETRY_LATENCYRECORDER_H
+
+#include "quantile/P2Markers.h"
+#include "telemetry/StatsRegistry.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace lifepred {
+
+/// Sampled per-op latency distributions for one replay.
+class LatencyRecorder {
+public:
+  /// Operation kinds tracked separately.
+  enum OpKind : unsigned { OpAlloc = 0, OpFree = 1 };
+  static constexpr unsigned KindCount = 2;
+
+  /// Times one operation in every \p SamplePeriod (minimum 1 = every op).
+  explicit LatencyRecorder(uint32_t SamplePeriod = 64);
+
+  uint32_t samplePeriod() const { return Period; }
+
+  /// True when the next operation should be timed.  One decrement and one
+  /// compare per op — the entire attached-but-not-sampling cost.
+  bool due() {
+    if (--Countdown != 0)
+      return false;
+    Countdown = Period;
+    return true;
+  }
+
+  /// Monotonic nanoseconds.
+  static uint64_t nowNanos();
+
+  /// Measured cost of one nowNanos() round trip, estimated once per
+  /// process (minimum observed back-to-back delta).  record() subtracts
+  /// this so the histogram reflects the operation, not the clock.
+  static uint64_t clockOverheadNanos();
+
+  /// Records one sampled operation of \p ElapsedNanos (pre-subtraction).
+  void record(OpKind Kind, uint64_t ElapsedNanos);
+
+  uint64_t samples(OpKind Kind) const { return Kinds[Kind].Hist.count(); }
+  const Log2Histogram &histogram(OpKind Kind) const {
+    return Kinds[Kind].Hist;
+  }
+  /// P2 quantile estimate in nanoseconds (0 when no samples).
+  double quantileNanos(OpKind Kind, double Phi) const;
+
+  /// Exports under "<Prefix>latency.<kind>.": the sample count, P2
+  /// p50/p90/p99/p999 and max gauges (all "_ns"-suffixed), and the
+  /// nanosecond histogram.  Every key contains "latency" and is therefore
+  /// timing-classified by ReportDiff.
+  void exportTelemetry(StatsRegistry &Registry,
+                       const std::string &Prefix) const;
+
+private:
+  struct PerKind {
+    Log2Histogram Hist;
+    P2Markers Quantiles;
+  };
+
+  uint32_t Period;
+  uint32_t Countdown;
+  std::array<PerKind, KindCount> Kinds;
+};
+
+/// Runs \p Op once, timing it through \p Recorder when one is attached and
+/// a sample is due.  The null-recorder fast path is a single predictable
+/// branch, preserving the zero-cost-when-detached convention.
+template <typename OpT>
+inline auto timedAllocatorOp(LatencyRecorder *Recorder,
+                             LatencyRecorder::OpKind Kind, OpT &&Op) {
+  if (!Recorder || !Recorder->due())
+    return Op();
+  uint64_t Begin = LatencyRecorder::nowNanos();
+  if constexpr (std::is_void_v<decltype(Op())>) {
+    Op();
+    Recorder->record(Kind, LatencyRecorder::nowNanos() - Begin);
+  } else {
+    auto Result = Op();
+    Recorder->record(Kind, LatencyRecorder::nowNanos() - Begin);
+    return Result;
+  }
+}
+
+} // namespace lifepred
+
+#endif // LIFEPRED_TELEMETRY_LATENCYRECORDER_H

@@ -1,0 +1,250 @@
+//===- telemetry/PerfLedger.cpp - Perf-trajectory ledger -------------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/PerfLedger.h"
+
+#include "support/Json.h"
+#include "telemetry/ReportDiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace lifepred;
+
+namespace {
+
+std::string nowIsoUtc() {
+  std::time_t Now = std::time(nullptr);
+  std::tm Tm{};
+#if defined(_WIN32)
+  gmtime_s(&Tm, &Now);
+#else
+  gmtime_r(&Now, &Tm);
+#endif
+  char Buf[32];
+  std::strftime(Buf, sizeof(Buf), "%Y-%m-%dT%H:%M:%SZ", &Tm);
+  return Buf;
+}
+
+/// Throughput-like metrics regress by dropping; everything else by rising.
+bool higherIsBetter(const std::string &Key) {
+  return Key.find("per_sec") != std::string::npos ||
+         Key.find("speedup") != std::string::npos;
+}
+
+} // namespace
+
+bool lifepred::appendRunRecord(const std::string &ReportPath,
+                               const std::string &HistoryDir,
+                               std::string &Error) {
+  std::ifstream In(ReportPath);
+  if (!In) {
+    Error = "cannot open " + ReportPath;
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  std::optional<JsonValue> Report = parseJson(Buffer.str());
+  if (!Report || !Report->isObject()) {
+    Error = ReportPath + " is not a JSON report";
+    return false;
+  }
+
+  std::string Bench = "unknown";
+  if (const JsonValue *Name = Report->find("bench"); Name && Name->isString())
+    Bench = Name->string();
+
+  std::string Line = "{\"bench\": \"";
+  appendJsonEscaped(Line, Bench);
+  Line += "\", \"time\": \"" + nowIsoUtc() + "\"";
+  if (const JsonValue *Manifest = Report->find("manifest");
+      Manifest && Manifest->isObject()) {
+    for (const char *Key : {"git_sha", "build_type", "program"})
+      if (const JsonValue *V = Manifest->find(Key); V && V->isString()) {
+        Line += std::string(", \"") + Key + "\": \"";
+        appendJsonEscaped(Line, V->string());
+        Line += "\"";
+      }
+    for (const char *Key : {"jobs", "seed", "scale"})
+      if (const JsonValue *V = Manifest->find(Key); V && V->isNumber()) {
+        char Buf[64];
+        std::snprintf(Buf, sizeof(Buf), ", \"%s\": %.6g", Key, V->number());
+        Line += Buf;
+      }
+  }
+  for (const char *Key : {"events", "wall_seconds", "events_per_sec"})
+    if (const JsonValue *V = Report->find(Key); V && V->isNumber()) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), ", \"%s\": %.6g", Key, V->number());
+      Line += Buf;
+    }
+  Line += ", \"values\": {";
+  if (const JsonValue *Values = Report->find("values");
+      Values && Values->isObject()) {
+    bool First = true;
+    for (const auto &[Name, Value] : Values->members()) {
+      if (!Value.isNumber())
+        continue;
+      Line += First ? "" : ", ";
+      First = false;
+      Line += "\"";
+      appendJsonEscaped(Line, Name);
+      char Buf[48];
+      std::snprintf(Buf, sizeof(Buf), "\": %.6g", Value.number());
+      Line += Buf;
+    }
+  }
+  Line += "}}\n";
+
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  fs::create_directories(HistoryDir, Ec);
+  if (Ec) {
+    Error = "cannot create " + HistoryDir + ": " + Ec.message();
+    return false;
+  }
+  fs::path LedgerPath = fs::path(HistoryDir) / (Bench + ".jsonl");
+  std::ofstream Out(LedgerPath, std::ios::app);
+  if (!Out) {
+    Error = "cannot append to " + LedgerPath.string();
+    return false;
+  }
+  Out << Line;
+  return static_cast<bool>(Out);
+}
+
+bool lifepred::readLedger(const std::string &LedgerPath,
+                          std::vector<LedgerRecord> &Records,
+                          std::string &Error) {
+  std::ifstream In(LedgerPath);
+  if (!In) {
+    Error = "cannot open " + LedgerPath;
+    return false;
+  }
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::optional<JsonValue> Parsed = parseJson(Line);
+    if (!Parsed || !Parsed->isObject())
+      continue; // Old or foreign line shapes never poison the ledger.
+    LedgerRecord Record;
+    if (const JsonValue *V = Parsed->find("bench"); V && V->isString())
+      Record.Bench = V->string();
+    if (const JsonValue *V = Parsed->find("time"); V && V->isString())
+      Record.TimeIso = V->string();
+    if (const JsonValue *V = Parsed->find("git_sha"); V && V->isString())
+      Record.GitSha = V->string();
+    if (const JsonValue *V = Parsed->find("build_type"); V && V->isString())
+      Record.BuildType = V->string();
+    Record.Events = static_cast<uint64_t>(Parsed->numberOr("events", 0));
+    Record.WallSeconds = Parsed->numberOr("wall_seconds", 0);
+    Record.EventsPerSec = Parsed->numberOr("events_per_sec", 0);
+    if (const JsonValue *Values = Parsed->find("values");
+        Values && Values->isObject())
+      for (const auto &[Name, Value] : Values->members())
+        if (Value.isNumber())
+          Record.Values.emplace_back(Name, Value.number());
+    Records.push_back(std::move(Record));
+  }
+  return true;
+}
+
+std::string lifepred::sparkline(const std::vector<double> &Series) {
+  static const char *Blocks[] = {"▁", "▂", "▃", "▄",
+                                 "▅", "▆", "▇", "█"};
+  if (Series.empty())
+    return "";
+  double Min = Series[0], Max = Series[0];
+  for (double V : Series) {
+    Min = std::min(Min, V);
+    Max = std::max(Max, V);
+  }
+  std::string Out;
+  for (double V : Series) {
+    size_t Level =
+        Max == Min
+            ? 0
+            : static_cast<size_t>((V - Min) / (Max - Min) * 7.0 + 0.5);
+    Out += Blocks[std::min<size_t>(Level, 7)];
+  }
+  return Out;
+}
+
+int lifepred::renderHistory(const std::string &HistoryDir,
+                            const HistoryOptions &Options, std::FILE *Out) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  if (!fs::is_directory(HistoryDir, Ec) || Ec) {
+    std::fprintf(Out, "no history at %s (run bench_compare "
+                      "--append-history <report.json> first)\n",
+                 HistoryDir.c_str());
+    return -1;
+  }
+
+  std::vector<fs::path> Ledgers;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(HistoryDir))
+    if (Entry.path().extension() == ".jsonl")
+      Ledgers.push_back(Entry.path());
+  std::sort(Ledgers.begin(), Ledgers.end());
+
+  int Flagged = 0;
+  for (const fs::path &Ledger : Ledgers) {
+    std::vector<LedgerRecord> Records;
+    std::string Error;
+    if (!readLedger(Ledger.string(), Records, Error) || Records.empty())
+      continue;
+    std::fprintf(Out, "== %s (%zu runs, latest %s) ==\n",
+                 Ledger.stem().string().c_str(), Records.size(),
+                 Records.back().TimeIso.c_str());
+
+    // Series per metric key, in ledger (append) order.  Headline metrics
+    // first, then every values.* key.
+    std::map<std::string, std::vector<double>> Series;
+    for (const LedgerRecord &Record : Records) {
+      Series["events_per_sec"].push_back(Record.EventsPerSec);
+      Series["wall_seconds"].push_back(Record.WallSeconds);
+      for (const auto &[Name, Value] : Record.Values)
+        Series["values." + Name].push_back(Value);
+    }
+
+    for (const auto &[Key, Full] : Series) {
+      if (!globMatch(Options.MetricGlob, Key))
+        continue;
+      size_t Count = std::min(Full.size(), Options.Window);
+      std::vector<double> Tail(Full.end() - Count, Full.end());
+      double Last = Tail.back();
+
+      // Deviation of the last run vs the mean of the runs before it.
+      const char *Flag = "";
+      if (Tail.size() >= 3) {
+        double Mean = 0.0;
+        for (size_t I = 0; I + 1 < Tail.size(); ++I)
+          Mean += Tail[I];
+        Mean /= static_cast<double>(Tail.size() - 1);
+        double Magnitude = std::max(std::fabs(Mean), std::fabs(Last));
+        double Delta = Magnitude == 0.0 ? 0.0 : (Last - Mean) / Magnitude;
+        bool Bad = higherIsBetter(Key) ? Delta < -Options.Tolerance
+                                       : Delta > Options.Tolerance;
+        bool Timing = isTimingMetric(Key);
+        if (Bad) {
+          Flag = Timing ? "  <- drift (timing, advisory)" : "  <- REGRESSION";
+          if (!Timing)
+            ++Flagged;
+        }
+      }
+      std::fprintf(Out, "  %-40s %s  %.6g%s\n", Key.c_str(),
+                   sparkline(Tail).c_str(), Last, Flag);
+    }
+  }
+  return Flagged;
+}

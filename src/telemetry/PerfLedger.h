@@ -1,0 +1,80 @@
+//===- telemetry/PerfLedger.h - Perf-trajectory ledger ----------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bench-trajectory ledger: an append-only JSONL file per bench under
+/// bench/history/, one line per run, carrying the run's manifest
+/// (provenance) and headline metrics.  `bench_compare --append-history`
+/// appends a schema-v2 report to the ledger after a run; `trace_tool
+/// history` renders per-metric sparklines over the ledger and flags the
+/// latest value when it deviates from the trailing window — a regression
+/// check over *time*, complementing bench_compare's check against a
+/// single pinned baseline.
+///
+/// Direction awareness: throughput-like keys (per_sec, speedup) regress
+/// downward, everything else (seconds, heap bytes, wasted bytes) regresses
+/// upward.  Timing keys are rendered but flagged only advisorily — the
+/// ledger typically spans machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_TELEMETRY_PERFLEDGER_H
+#define LIFEPRED_TELEMETRY_PERFLEDGER_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lifepred {
+
+/// One ledger line: a run's provenance and headline metrics.
+struct LedgerRecord {
+  std::string Bench;
+  std::string TimeIso;   ///< UTC wall time the record was appended.
+  std::string GitSha;
+  std::string BuildType;
+  uint64_t Events = 0;
+  double WallSeconds = 0.0;
+  double EventsPerSec = 0.0;
+  /// The report's values.* metrics, name-sorted.
+  std::vector<std::pair<std::string, double>> Values;
+};
+
+/// Appends \p ReportPath (a schema-v2 bench report) to the ledger file
+/// "<HistoryDir>/<bench>.jsonl", creating the directory as needed.
+/// Returns false and fills \p Error on unreadable input or write failure.
+bool appendRunRecord(const std::string &ReportPath,
+                     const std::string &HistoryDir, std::string &Error);
+
+/// Parses every line of one ledger file.  Unparseable lines are skipped
+/// (the ledger is append-only across versions); returns false only when
+/// the file cannot be read at all.
+bool readLedger(const std::string &LedgerPath,
+                std::vector<LedgerRecord> &Records, std::string &Error);
+
+/// Rendering/flagging options for renderHistory.
+struct HistoryOptions {
+  std::string MetricGlob = "*"; ///< Keys to render (globMatch syntax).
+  size_t Window = 8;            ///< Trailing records per sparkline.
+  double Tolerance = 0.10;      ///< Relative deviation that flags.
+};
+
+/// Unicode sparkline of \p Series scaled to its own min/max.
+std::string sparkline(const std::vector<double> &Series);
+
+/// Renders every ledger under \p HistoryDir: one sparkline per metric key
+/// with the latest value, flagging metrics whose last value deviates from
+/// the mean of the preceding window beyond the tolerance in the bad
+/// direction.  Returns the number of flagged regressions, or -1 when the
+/// directory is unreadable.
+int renderHistory(const std::string &HistoryDir,
+                  const HistoryOptions &Options, std::FILE *Out);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_TELEMETRY_PERFLEDGER_H

@@ -7,6 +7,7 @@
 #include "telemetry/ReportDiff.h"
 
 #include "support/Json.h"
+#include "telemetry/PerfLedger.h"
 
 #include <cmath>
 #include <cstdio>
@@ -19,7 +20,8 @@ using namespace lifepred;
 bool lifepred::isTimingMetric(std::string_view Key) {
   return Key.find("seconds") != std::string_view::npos ||
          Key.find("per_sec") != std::string_view::npos ||
-         Key.find("speedup") != std::string_view::npos;
+         Key.find("speedup") != std::string_view::npos ||
+         Key.find("latency") != std::string_view::npos;
 }
 
 bool lifepred::globMatch(std::string_view Pattern, std::string_view Text) {
@@ -214,12 +216,18 @@ int usage() {
   std::fprintf(stderr,
                "usage: bench_compare <old.json> <new.json> [--tol=R] "
                "[--time-tol=R] [--ignore=GLOB]... [--quiet]\n"
+               "       bench_compare --append-history <report.json> "
+               "[--history-dir=DIR]\n"
                "  --tol=R       relative tolerance for value metrics "
                "(default 1e-9)\n"
                "  --time-tol=R  relative tolerance for timing metrics "
                "(default: not compared)\n"
                "  --ignore=GLOB exclude matching metric keys from the diff "
                "('*' any run, '?' one char); repeatable\n"
+               "  --append-history   append the report's manifest and "
+               "headline metrics to the perf-trajectory ledger\n"
+               "  --history-dir=DIR  ledger directory (default "
+               "bench/history)\n"
                "exit status: 0 no regression, 1 regression, 2 bad "
                "invocation or unreadable input\n");
   return 2;
@@ -231,6 +239,8 @@ int lifepred::runBenchCompare(const std::vector<std::string> &Args) {
   std::vector<std::string> Paths;
   DiffOptions Options;
   bool Quiet = false;
+  bool AppendHistory = false;
+  std::string HistoryDir = "bench/history";
   for (const std::string &Arg : Args) {
     if (Arg.rfind("--tol=", 0) == 0)
       Options.ValueTolerance = std::atof(Arg.c_str() + 6);
@@ -240,10 +250,27 @@ int lifepred::runBenchCompare(const std::vector<std::string> &Args) {
       Options.IgnoreGlobs.push_back(Arg.substr(9));
     else if (Arg == "--quiet")
       Quiet = true;
+    else if (Arg == "--append-history")
+      AppendHistory = true;
+    else if (Arg.rfind("--history-dir=", 0) == 0)
+      HistoryDir = Arg.substr(14);
     else if (Arg.rfind("--", 0) == 0)
       return usage();
     else
       Paths.push_back(Arg);
+  }
+  if (AppendHistory) {
+    if (Paths.size() != 1)
+      return usage();
+    std::string Error;
+    if (!appendRunRecord(Paths[0], HistoryDir, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+    if (!Quiet)
+      std::printf("appended %s to %s\n", Paths[0].c_str(),
+                  HistoryDir.c_str());
+    return 0;
   }
   if (Paths.size() != 2)
     return usage();

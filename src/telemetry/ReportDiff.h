@@ -70,7 +70,7 @@ struct DiffResult {
 };
 
 /// True for metrics measuring time rather than behaviour (matched by key:
-/// "seconds", "per_sec", "speedup").
+/// "seconds", "per_sec", "speedup", "latency").
 bool isTimingMetric(std::string_view Key);
 
 /// Shell-style glob match over the whole of \p Text: '*' matches any run

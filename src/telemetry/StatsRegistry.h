@@ -67,6 +67,21 @@ public:
       MaxValue = Value;
   }
 
+  /// Records \p Count occurrences of \p Value in O(1) — equivalent to
+  /// calling record(Value) \p Count times.  Size-class scans ("N blocks of
+  /// B bytes") use this to stay O(classes) per sample.
+  void recordMany(uint64_t Value, uint64_t Count) {
+    if (Count == 0)
+      return;
+    Buckets[bucketIndex(Value)] += Count;
+    Total += Count;
+    Sum += Value * Count;
+    if (Value < MinValue)
+      MinValue = Value;
+    if (Value > MaxValue)
+      MaxValue = Value;
+  }
+
   /// Element-wise accumulation of \p Other into this histogram.
   void merge(const Log2Histogram &Other);
 

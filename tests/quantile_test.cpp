@@ -222,3 +222,51 @@ TEST(QuantileHistogramTest, CellCountIsConfigurable) {
     H.add(I);
   EXPECT_EQ(H.count(), 100u);
 }
+
+//===----------------------------------------------------------------------===//
+// P2Markers versus the exact reference (observatory satellite tests)
+//===----------------------------------------------------------------------===//
+
+TEST(P2MarkersTest, MatchesExactOnSortedStream) {
+  // An ascending stream is the estimator's stress case: every observation
+  // lands above every marker.  The estimate must still track the exact
+  // quantile within a few percent of the value range.
+  P2Markers M({0.5, 0.9, 0.99});
+  ExactQuantiles Exact;
+  for (int I = 1; I <= 2000; ++I) {
+    M.add(static_cast<double>(I));
+    Exact.add(static_cast<double>(I));
+  }
+  const double Range = Exact.max() - Exact.min();
+  for (double Phi : {0.5, 0.9, 0.99})
+    EXPECT_NEAR(M.quantile(Phi), Exact.quantile(Phi), 0.05 * Range)
+        << "phi=" << Phi;
+}
+
+TEST(P2MarkersTest, MatchesExactOnDescendingStream) {
+  P2Markers M({0.5, 0.9});
+  ExactQuantiles Exact;
+  for (int I = 2000; I >= 1; --I) {
+    M.add(static_cast<double>(I));
+    Exact.add(static_cast<double>(I));
+  }
+  const double Range = Exact.max() - Exact.min();
+  for (double Phi : {0.5, 0.9})
+    EXPECT_NEAR(M.quantile(Phi), Exact.quantile(Phi), 0.05 * Range)
+        << "phi=" << Phi;
+}
+
+TEST(P2MarkersTest, ConstantStreamIsExactEverywhere) {
+  // Every marker must collapse onto the single observed value, so any
+  // quantile query returns it exactly — no interpolation drift.
+  P2Markers M({0.25, 0.5, 0.75});
+  ExactQuantiles Exact;
+  for (int I = 0; I < 500; ++I) {
+    M.add(42.0);
+    Exact.add(42.0);
+  }
+  for (double Phi : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(M.quantile(Phi), 42.0) << "phi=" << Phi;
+    EXPECT_DOUBLE_EQ(Exact.quantile(Phi), 42.0) << "phi=" << Phi;
+  }
+}

@@ -932,3 +932,67 @@ TEST(SimTelemetryTest, MultiArenaOutcomesCoverEveryAllocation) {
   EXPECT_EQ(Plain.GeneralAllocs, R.GeneralAllocs);
   EXPECT_EQ(Plain.GeneralBytes, R.GeneralBytes);
 }
+
+//===----------------------------------------------------------------------===//
+// Log2Histogram edge cases (observatory satellite tests)
+//===----------------------------------------------------------------------===//
+
+TEST(Log2HistogramTest, OverflowBucketHoldsMaxValues) {
+  // ~0 has 64 significant bits, so it lands in the last bucket, whose
+  // lower bound is 2^63 — the quantile floor for any all-overflow stream.
+  const unsigned Last = Log2Histogram::BucketCount - 1;
+  EXPECT_EQ(Log2Histogram::bucketIndex(~uint64_t(0)), Last);
+  EXPECT_EQ(Log2Histogram::bucketLow(Last), uint64_t(1) << 63);
+
+  Log2Histogram H;
+  H.record(~uint64_t(0));
+  H.record(~uint64_t(0) - 1);
+  EXPECT_EQ(H.bucketCount(Last), 2u);
+  EXPECT_EQ(H.max(), ~uint64_t(0));
+  EXPECT_EQ(H.quantileLowerBound(0.5), uint64_t(1) << 63);
+  EXPECT_EQ(H.quantileLowerBound(1.0), uint64_t(1) << 63);
+  // The sum saturates arithmetic concerns aside: two near-2^64 values wrap
+  // modulo 2^64, which is fine — sum() is documentation, quantiles gate.
+}
+
+TEST(Log2HistogramTest, QuantileLowerBoundEdges) {
+  Log2Histogram Empty;
+  EXPECT_EQ(Empty.quantileLowerBound(0.5), 0u);
+
+  // A single value: every phi (including the out-of-range ones, which
+  // clamp) returns its bucket's lower bound.
+  Log2Histogram One;
+  One.record(5); // bucket index 3, bucket low 4.
+  for (double Phi : {0.0, 0.001, 0.5, 1.0, 2.0})
+    EXPECT_EQ(One.quantileLowerBound(Phi), 4u) << "phi=" << Phi;
+
+  // Two buckets: the rank boundary lands exactly between them.
+  Log2Histogram Two;
+  Two.record(1);   // bucket 1, low 1.
+  Two.record(100); // bucket 7, low 64.
+  EXPECT_EQ(Two.quantileLowerBound(0.5), 1u);
+  EXPECT_EQ(Two.quantileLowerBound(0.51), 64u);
+  EXPECT_EQ(Two.quantileLowerBound(1.0), 64u);
+
+  // Zero is its own bucket with lower bound 0.
+  Log2Histogram Zero;
+  Zero.record(0);
+  EXPECT_EQ(Zero.quantileLowerBound(1.0), 0u);
+  EXPECT_EQ(Zero.count(), 1u);
+}
+
+TEST(Log2HistogramTest, RecordManyMatchesRepeatedRecord) {
+  Log2Histogram Bulk, Loop;
+  Bulk.recordMany(24, 1000);
+  Bulk.recordMany(8192, 3);
+  Bulk.recordMany(7, 0); // No-op: zero count must not disturb min/max.
+  for (int I = 0; I < 1000; ++I)
+    Loop.record(24);
+  for (int I = 0; I < 3; ++I)
+    Loop.record(8192);
+  EXPECT_EQ(Bulk, Loop);
+  EXPECT_EQ(Bulk.count(), 1003u);
+  EXPECT_EQ(Bulk.sum(), uint64_t(24) * 1000 + uint64_t(8192) * 3);
+  EXPECT_EQ(Bulk.min(), 24u);
+  EXPECT_EQ(Bulk.max(), 8192u);
+}
