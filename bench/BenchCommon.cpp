@@ -49,6 +49,10 @@ BenchOptions BenchOptions::fromCommandLine(const CommandLine &Cl) {
   if (ObserveStride > 0)
     Options.ObserveStride = static_cast<uint64_t>(ObserveStride);
   Options.HeatmapOutPath = Cl.getString("heatmap-out", "");
+  Options.DriftOutPath = Cl.getString("drift-out", "");
+  long DriftWindow = Cl.getInt("drift-window", 0);
+  if (DriftWindow > 0)
+    Options.DriftWindowBytes = static_cast<uint64_t>(DriftWindow);
   return Options;
 }
 

@@ -75,6 +75,12 @@ struct BenchOptions {
   uint64_t ObserveStride = 64 * 1024;
   /// --heatmap-out: standalone heatmap JSON file (requires --observe).
   std::string HeatmapOutPath;
+  /// --drift-out: standalone drift-report JSON file; also turns on the
+  /// drift observatory for the instrumented predicting replays.
+  std::string DriftOutPath;
+  /// --drift-window: byte-clock window width for the drift observatory
+  /// (0 = DriftObservatory::autoWindowBytes per program).
+  uint64_t DriftWindowBytes = 0;
 
   static BenchOptions fromCommandLine(const CommandLine &Cl);
 };

@@ -48,7 +48,11 @@
 // Flags: the common --scale/--seed/--program/--jobs/--json/--trace-out/
 // --audit-out/--timeline-stride, plus --policy (default roving) and
 // --repeat=N (default 3) which replays every trace N times to lengthen
-// the timed region.
+// the timed region.  --drift-out=<file> attaches the prediction drift
+// observatory to each program's untimed arena replay and writes the
+// windowed drift reports (confusion timelines, CUSUM change points,
+// per-site quantile divergence) as ordered JSON, folding drift.* headline
+// keys into the report; --drift-window=B overrides the auto window width.
 //
 // Two additional modes exercise the billion-event tier (trace/ScheduleFile
 // + sim/StreamReplay):
@@ -84,6 +88,7 @@
 #include "sim/StreamReplay.h"
 #include "sim/TraceSimulator.h"
 #include "support/TableFormatter.h"
+#include "telemetry/DriftObservatory.h"
 #include "telemetry/FlightRecorder.h"
 #include "telemetry/LifetimeAudit.h"
 #include "telemetry/TraceEventWriter.h"
@@ -521,7 +526,7 @@ int main(int Argc, char **Argv) {
       TrueDBs[Index] = trainDatabase(TrainProfile, KeyPolicy);
       ClassDBs[Index] =
           trainClassDatabase(TrainProfile, KeyPolicy, MultiArenaThresholds);
-      if (!Options.AuditOutPath.empty())
+      if (!Options.AuditOutPath.empty() || !Options.DriftOutPath.empty())
         TrainProfiles[Index] = std::move(TrainProfile);
     });
   }
@@ -672,7 +677,8 @@ int main(int Argc, char **Argv) {
   HeapTimeline Timeline(Options.TimelineStride);
   BenchObservatory Observatory(Options, All.size());
   bool Audit = !Options.AuditOutPath.empty();
-  if (!Options.JsonPath.empty() || TraceWriter || Audit ||
+  bool Drift = !Options.DriftOutPath.empty();
+  if (!Options.JsonPath.empty() || TraceWriter || Audit || Drift ||
       Observatory.enabled()) {
     TraceSpan Span(TraceWriter.get(), "instrumented-replays");
     std::vector<StatsRegistry> PerProgram(All.size());
@@ -681,6 +687,10 @@ int main(int Argc, char **Argv) {
     // its task and is read back in program order below, so the audit output
     // is bit-identical at any --jobs.
     std::vector<std::unique_ptr<FlightRecorder>> Recorders(All.size());
+    // One drift observatory per program's arena replay, built and read in
+    // program order — the --drift-out report is bit-identical at any
+    // --jobs.
+    std::vector<std::unique_ptr<DriftObservatory>> DriftObs(All.size());
     if (Audit) {
       FlightRecorder::Config RecorderConfig;
       RecorderConfig.Seed = Options.Seed;
@@ -704,6 +714,14 @@ int main(int Argc, char **Argv) {
       SimTelemetry Arena;
       Arena.Registry = &PerProgram[Index];
       Arena.Recorder = Recorders[Index].get();
+      if (Drift) {
+        DriftConfig Config;
+        Config.EndClock = Test.schedule().endClock();
+        Config.WindowBytes = Options.DriftWindowBytes;
+        Config.Threshold = TrueDBs[Index].threshold();
+        DriftObs[Index] = std::make_unique<DriftObservatory>(Config);
+        Arena.Drift = DriftObs[Index].get();
+      }
       Observatory.attach(Arena, Index, BenchObservatory::Arena);
       simulateArena(Test, TrueDBs[Index], All[Index].Model.CallsPerAlloc,
                     CostModel(), ArenaAllocator::Config(), &Arena);
@@ -741,6 +759,58 @@ int main(int Argc, char **Argv) {
       }
       if (AuditFile)
         std::fclose(AuditFile);
+    }
+    if (Drift) {
+      std::string DriftJson =
+          "{\n  \"schema_version\": 1,\n  \"reports\": [\n";
+      uint64_t TotalWindows = 0;
+      uint64_t TotalChangePoints = 0;
+      bool HaveWorst = false;
+      DriftSiteScore Worst;
+      for (size_t I = 0; I < All.size(); ++I) {
+        std::string Name = All[I].Model.Name;
+        TrainedQuantileMap Trained =
+            buildTrainedQuantiles(All[I].Test, TrainProfiles[I], KeyPolicy);
+        DriftReport ProgramDrift =
+            buildDriftReport(*DriftObs[I], &Trained, Name + ".arena");
+        writeDriftJson(ProgramDrift, DriftJson, "    ");
+        DriftJson += I + 1 != All.size() ? ",\n" : "\n";
+        exportDriftTelemetry(ProgramDrift, Telemetry, "drift." + Name + ".");
+        if (TraceWriter)
+          emitDriftTrack(ProgramDrift, *TraceWriter,
+                         900 + static_cast<unsigned>(I) * 2);
+        TotalWindows += ProgramDrift.Windows.size();
+        TotalChangePoints += ProgramDrift.changePointCount();
+        Report.add(Name + ".drift.windows",
+                   static_cast<double>(ProgramDrift.Windows.size()));
+        Report.add(Name + ".drift.changepoint_count",
+                   static_cast<double>(ProgramDrift.changePointCount()));
+        if (ProgramDrift.hasWorstSite() &&
+            (!HaveWorst || ProgramDrift.worstSite().Score > Worst.Score)) {
+          HaveWorst = true;
+          Worst = ProgramDrift.worstSite();
+        }
+      }
+      DriftJson += "  ]\n}\n";
+      Report.add("drift.windows", static_cast<double>(TotalWindows));
+      Report.add("drift.changepoint_count",
+                 static_cast<double>(TotalChangePoints));
+      if (HaveWorst) {
+        Report.add("drift.worst_site_id", static_cast<double>(Worst.Site));
+        Report.add("drift.worst_site_window",
+                   static_cast<double>(Worst.Window));
+        Report.add("drift.worst_site_score", Worst.Score);
+      }
+      std::FILE *DriftFile = std::fopen(Options.DriftOutPath.c_str(), "w");
+      if (!DriftFile) {
+        std::fprintf(stderr, "warning: cannot write --drift-out=%s\n",
+                     Options.DriftOutPath.c_str());
+      } else {
+        std::fwrite(DriftJson.data(), 1, DriftJson.size(), DriftFile);
+        std::fclose(DriftFile);
+        std::printf("drift JSON written to %s\n",
+                    Options.DriftOutPath.c_str());
+      }
     }
     if (Options.TimelineStride > 0) {
       Timeline.exportTelemetry(Telemetry, "timeline.");

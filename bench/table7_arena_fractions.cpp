@@ -11,7 +11,11 @@
 // --audit-out=<file> attaches a flight recorder to every program's replay
 // and writes the lifetime audit report: which sites mispredicted, and
 // which surviving objects pinned which arenas (the causal record behind
-// CFRAC's collapse).
+// CFRAC's collapse).  --drift-out=<file> attaches the prediction drift
+// observatory instead-or-additionally and writes the windowed drift
+// reports (confusion timelines, CUSUM change points, per-site quantile
+// divergence) as ordered JSON — the same collapse, localized in byte-clock
+// time; --drift-window=B overrides the auto window width.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +26,7 @@
 #include "sim/SimTelemetry.h"
 #include "sim/TraceSimulator.h"
 #include "support/TableFormatter.h"
+#include "telemetry/DriftObservatory.h"
 #include "telemetry/FlightRecorder.h"
 
 #include <cstdio>
@@ -50,8 +55,12 @@ int main(int Argc, char **Argv) {
                         "Arena%", "paper", "NonArena%", "Bytes(K)",
                         "ArenaBytes%", "paper", "NonArenaBytes%"});
 
+  bool WantDrift = !Options.DriftOutPath.empty();
+  std::string DriftJson = "{\n  \"schema_version\": 1,\n  \"reports\": [\n";
+
   std::vector<ProgramTraces> All = makeAllTraces(Options);
-  for (const ProgramTraces &Traces : All) {
+  for (size_t Index = 0; Index < All.size(); ++Index) {
+    const ProgramTraces &Traces = All[Index];
     const PaperProgramData *Paper = paperData(Traces.Model.Name);
 
     Profile TrainProfile = profileTrace(Traces.Train, Policy);
@@ -60,18 +69,36 @@ int main(int Argc, char **Argv) {
     FlightRecorder::Config RecorderConfig;
     RecorderConfig.Seed = Options.Seed;
     FlightRecorder Recorder(RecorderConfig);
+    std::unique_ptr<DriftObservatory> DriftObs;
+    if (WantDrift) {
+      DriftConfig Config;
+      Config.EndClock = Test.schedule().endClock();
+      Config.WindowBytes = Options.DriftWindowBytes;
+      Config.Threshold = DB.threshold();
+      DriftObs = std::make_unique<DriftObservatory>(Config);
+    }
     SimTelemetry Telemetry;
     Telemetry.Recorder = AuditFile ? &Recorder : nullptr;
+    Telemetry.Drift = DriftObs.get();
+    bool Instrument = AuditFile || WantDrift;
     ArenaSimResult Sim =
         simulateArena(Test, DB, Traces.Model.CallsPerAlloc,
                       CostModel(), ArenaAllocator::Config(),
-                      AuditFile ? &Telemetry : nullptr);
-    if (AuditFile) {
+                      Instrument ? &Telemetry : nullptr);
+    if (Instrument) {
       TrainedQuantileMap Trained =
           buildTrainedQuantiles(Traces.Test, TrainProfile, Policy);
-      AuditReport Audit = buildAuditReport(
-          Recorder, &Trained, std::string(Traces.Model.Name) + ".arena");
-      printAuditReport(Audit, AuditFile);
+      if (AuditFile) {
+        AuditReport Audit = buildAuditReport(
+            Recorder, &Trained, std::string(Traces.Model.Name) + ".arena");
+        printAuditReport(Audit, AuditFile);
+      }
+      if (WantDrift) {
+        DriftReport Drift = buildDriftReport(
+            *DriftObs, &Trained, std::string(Traces.Model.Name) + ".arena");
+        writeDriftJson(Drift, DriftJson, "    ");
+        DriftJson += Index + 1 != All.size() ? ",\n" : "\n";
+      }
     }
 
     uint64_t TotalAllocs = Sim.Arena.ArenaAllocs + Sim.Arena.GeneralAllocs;
@@ -92,6 +119,19 @@ int main(int Argc, char **Argv) {
   Table.print(std::cout);
   if (AuditFile)
     std::fclose(AuditFile);
+  if (WantDrift) {
+    DriftJson += "  ]\n}\n";
+    std::FILE *DriftFile = std::fopen(Options.DriftOutPath.c_str(), "w");
+    if (!DriftFile) {
+      std::fprintf(stderr, "warning: cannot write --drift-out=%s\n",
+                   Options.DriftOutPath.c_str());
+    } else {
+      std::fwrite(DriftJson.data(), 1, DriftJson.size(), DriftFile);
+      std::fclose(DriftFile);
+      std::printf("drift JSON written to %s\n",
+                  Options.DriftOutPath.c_str());
+    }
+  }
   if (Options.Observe) {
     ThreadPool Pool(Options.Jobs);
     StatsRegistry ObservatoryRegistry;

@@ -51,6 +51,19 @@
 //       --json writes a bench_compare-gateable report, --audit-out copies
 //       the text report to a file, --trace-out adds chrome://tracing
 //       arena-occupancy spans.
+//   trace_tool drift <program|all> [--scale=S] [--seed=N] [--jobs=J]
+//                       [--drift-window=B] [--drift-shape=SHAPE]
+//                       [--json=F] [--drift-out=F] [--trace-out=F]
+//       Run the Table 7 workload with the prediction drift observatory
+//       attached: per-byte-clock-window confusion timelines, rolling
+//       accuracy with CUSUM change-point flags, per-site observed-vs-
+//       trained lifetime-quantile divergence, and misprediction cost
+//       attribution (bytes pinned by false-shorts; bytes a correct short
+//       call would have arena'd).  --drift-shape picks the drive path
+//       (memory, stream, batch, or shard) — all four produce byte-
+//       identical reports at any --jobs.  --json writes a
+//       bench_compare-gateable report, --drift-out an ordered drift JSON,
+//       --trace-out chrome://tracing accuracy/pinned-bytes tracks.
 //
 //===----------------------------------------------------------------------===//
 
@@ -58,10 +71,12 @@
 
 #include "core/GeneratedAllocator.h"
 #include "core/Pipeline.h"
+#include "sim/CompiledPrediction.h"
 #include "sim/MultiArenaSimulator.h"
 #include "sim/SimTelemetry.h"
 #include "sim/TraceSimulator.h"
 #include "support/CommandLine.h"
+#include "telemetry/DriftObservatory.h"
 #include "telemetry/FlightRecorder.h"
 #include "telemetry/FragmentationProbe.h"
 #include "telemetry/HeapHeatmap.h"
@@ -110,9 +125,16 @@ int usage() {
                "                          [--heatmap-out=F] [--trace-out=F]\n"
                "       trace_tool history <history-dir> [--metric=GLOB] "
                "[--window=N] [--tol=R]\n"
+               "                          [--limit=N]\n"
                "       trace_tool audit <program|all> [--scale=S] "
                "[--seed=N] [--jobs=J]\n"
                "                        [--json=F] [--audit-out=F] "
+               "[--trace-out=F]\n"
+               "       trace_tool drift <program|all> [--scale=S] "
+               "[--seed=N] [--jobs=J]\n"
+               "                        [--drift-window=B] "
+               "[--drift-shape=memory|stream|batch|shard]\n"
+               "                        [--json=F] [--drift-out=F] "
                "[--trace-out=F]\n");
   return 1;
 }
@@ -197,6 +219,265 @@ int runAudit(const CommandLine &Cl, const std::string &Target) {
     std::fclose(AuditFile);
   Report.attachTelemetry(&Telemetry);
   Report.write();
+  if (TraceWriter)
+    TraceWriter->close();
+  return 0;
+}
+
+/// How a drift replay feeds the observatory.  Every shape reduces to the
+/// same per-allocation recordAlloc stream — a pure function of (trace,
+/// predicted bits, threshold) — so their observatories are byte-identical;
+/// the shapes exist to prove the windowed merge is drive-order invariant.
+enum class DriftShape { Memory, Stream, Batch, Shard };
+
+/// The pure drift fill over schedule events [First, Last).
+void fillDriftRange(const EventSchedule &Schedule,
+                    const AllocationTrace &Trace,
+                    const PredictedShortBits &Predicted, uint64_t Threshold,
+                    DriftObservatory &Obs, size_t First, size_t Last) {
+  const uint32_t *Ids = Schedule.taggedIds();
+  const uint64_t *Clocks = Schedule.clocks();
+  const AllocRecord *Records = Trace.records().data();
+  for (size_t Event = First; Event < Last; ++Event) {
+    uint32_t Tagged = Ids[Event];
+    if (Tagged & EventSchedule::FreeBit)
+      continue;
+    const AllocRecord &Record = Records[Tagged];
+    Obs.recordAlloc(Clocks[Event], Record.ChainIndex, Record.Size,
+                    Predicted.test(Tagged), Record.Lifetime,
+                    Record.Lifetime <= Threshold);
+  }
+}
+
+/// Batched drive shape: same stream via forEachEventBatched's permuted
+/// within-batch order (windowed adds commute, so the result is identical).
+class DriftBatchConsumer : public ScheduleConsumer<DriftBatchConsumer> {
+public:
+  DriftBatchConsumer(const AllocationTrace &Trace,
+                     const PredictedShortBits &Predicted, uint64_t Threshold,
+                     DriftObservatory &Obs)
+      : Records(Trace.records().data()), Predicted(Predicted),
+        Threshold(Threshold), Obs(Obs) {}
+
+  /// Two routes keyed by the predicted bit: the batched replay genuinely
+  /// permutes within-batch event order, so equality with the sequential
+  /// shape demonstrates the observatory's updates commute.
+  uint32_t routeCount() const { return 2; }
+  uint32_t routeOf(uint32_t Tagged) const {
+    if (Tagged & EventSchedule::FreeBit)
+      return 0;
+    return Predicted.test(Tagged) ? 1u : 0u;
+  }
+
+  void onAlloc(uint32_t Id, uint64_t Clock) {
+    const AllocRecord &Record = Records[Id];
+    Obs.recordAlloc(Clock, Record.ChainIndex, Record.Size,
+                    Predicted.test(Id), Record.Lifetime,
+                    Record.Lifetime <= Threshold);
+  }
+
+  void onFree(uint32_t, uint64_t) {}
+
+private:
+  const AllocRecord *Records;
+  const PredictedShortBits &Predicted;
+  uint64_t Threshold;
+  DriftObservatory &Obs;
+};
+
+/// Fixed shard width for the sharded drive shape — independent of --jobs,
+/// so shard boundaries (and the merged result) never depend on the worker
+/// count.
+constexpr size_t DriftShardEvents = 64 * 1024;
+
+/// The drift subcommand: the Table 7 train/test workload scored window by
+/// window.  One observatory per program, reports printed and exported in
+/// program order, so output is bit-identical at any --jobs and across
+/// every --drift-shape.
+int runDrift(const CommandLine &Cl, const std::string &Target) {
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  if (Target != "all")
+    Options.OnlyProgram = Target;
+
+  const std::string ShapeName = Cl.getString("drift-shape", "memory");
+  DriftShape Shape;
+  if (ShapeName == "memory")
+    Shape = DriftShape::Memory;
+  else if (ShapeName == "stream")
+    Shape = DriftShape::Stream;
+  else if (ShapeName == "batch")
+    Shape = DriftShape::Batch;
+  else if (ShapeName == "shard")
+    Shape = DriftShape::Shard;
+  else {
+    std::fprintf(stderr,
+                 "error: unknown --drift-shape '%s' (expected memory, "
+                 "stream, batch, or shard)\n",
+                 ShapeName.c_str());
+    return 1;
+  }
+
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  ThreadPool Pool(Options.Jobs);
+  std::vector<ProgramTraces> All = makeAllTraces(Options, Pool);
+  if (All.empty()) {
+    std::fprintf(stderr, "error: unknown program '%s'\n", Target.c_str());
+    return 1;
+  }
+
+  std::unique_ptr<TraceEventWriter> TraceWriter = makeTraceWriter(Options);
+  JsonReport Report("drift", Options);
+
+  std::vector<Profile> TrainProfiles(All.size());
+  std::vector<SiteDatabase> DBs(All.size());
+  std::vector<StatsRegistry> PerProgram(All.size());
+  std::vector<std::unique_ptr<DriftObservatory>> Observatories(All.size());
+
+  uint64_t Events = 0;
+  for (const ProgramTraces &Traces : All)
+    Events += replayEventCount(Traces.Test);
+  double Start = wallTimeSeconds();
+
+  auto driftConfigFor = [&Options](const EventSchedule &Schedule,
+                                   const SiteDatabase &DB) {
+    DriftConfig Config;
+    Config.EndClock = Schedule.endClock();
+    Config.WindowBytes = Options.DriftWindowBytes;
+    Config.Threshold = DB.threshold();
+    return Config;
+  };
+
+  if (Shape != DriftShape::Shard) {
+    parallelForIndex(Pool, All.size(), [&](size_t Index) {
+      TrainProfiles[Index] = profileTrace(All[Index].Train, Policy);
+      DBs[Index] = trainDatabase(TrainProfiles[Index], Policy);
+      const SiteDatabase &DB = DBs[Index];
+      CompiledTrace Compiled(All[Index].Test, Policy);
+      const EventSchedule &Schedule = Compiled.schedule();
+      auto Obs = std::make_unique<DriftObservatory>(
+          driftConfigFor(Schedule, DB));
+      switch (Shape) {
+      case DriftShape::Memory: {
+        SimTelemetry Telemetry;
+        Telemetry.Registry = &PerProgram[Index];
+        Telemetry.Drift = Obs.get();
+        simulateArena(Compiled, DB, All[Index].Model.CallsPerAlloc,
+                      CostModel(), ArenaAllocator::Config(), &Telemetry);
+        break;
+      }
+      case DriftShape::Stream: {
+        PredictedShortBits Predicted(Compiled, DB);
+        fillDriftRange(Schedule, All[Index].Test, Predicted, DB.threshold(),
+                       *Obs, 0, Schedule.size());
+        break;
+      }
+      case DriftShape::Batch: {
+        PredictedShortBits Predicted(Compiled, DB);
+        DriftBatchConsumer Consumer(All[Index].Test, Predicted,
+                                    DB.threshold(), *Obs);
+        forEachEventBatched(Schedule, Consumer, DriftShardEvents);
+        break;
+      }
+      case DriftShape::Shard:
+        break; // Handled below; unreachable here.
+      }
+      Observatories[Index] = std::move(Obs);
+    });
+  } else {
+    // Sharded shape: programs serial, shards fan out on the pool, merged
+    // in shard-index order.  Shard boundaries are fixed event counts, so
+    // the merged observatory is identical at any --jobs.
+    parallelForIndex(Pool, All.size(), [&](size_t Index) {
+      TrainProfiles[Index] = profileTrace(All[Index].Train, Policy);
+      DBs[Index] = trainDatabase(TrainProfiles[Index], Policy);
+    });
+    for (size_t Index = 0; Index < All.size(); ++Index) {
+      const SiteDatabase &DB = DBs[Index];
+      CompiledTrace Compiled(All[Index].Test, Policy);
+      const EventSchedule &Schedule = Compiled.schedule();
+      PredictedShortBits Predicted(Compiled, DB);
+      DriftConfig Config = driftConfigFor(Schedule, DB);
+      auto Obs = std::make_unique<DriftObservatory>(Config);
+      size_t Shards =
+          (Schedule.size() + DriftShardEvents - 1) / DriftShardEvents;
+      std::vector<std::unique_ptr<DriftObservatory>> PerShard(Shards);
+      parallelForIndex(Pool, Shards, [&](size_t Shard) {
+        auto Local = std::make_unique<DriftObservatory>(Config);
+        size_t First = Shard * DriftShardEvents;
+        size_t Last = std::min(Schedule.size(), First + DriftShardEvents);
+        fillDriftRange(Schedule, All[Index].Test, Predicted, DB.threshold(),
+                       *Local, First, Last);
+        PerShard[Shard] = std::move(Local);
+      });
+      for (const auto &Local : PerShard)
+        Obs->merge(*Local);
+      Observatories[Index] = std::move(Obs);
+    }
+  }
+  Report.setThroughput(Events, wallTimeSeconds() - Start);
+
+  std::string DriftJson = "{\n  \"schema_version\": 1,\n  \"reports\": [\n";
+  StatsRegistry Telemetry;
+  uint64_t TotalWindows = 0;
+  uint64_t TotalChangePoints = 0;
+  bool HaveWorst = false;
+  DriftSiteScore Worst;
+  for (size_t I = 0; I < All.size(); ++I) {
+    const std::string &Name = All[I].Model.Name;
+    Telemetry.merge(PerProgram[I]);
+    TrainedQuantileMap Trained =
+        buildTrainedQuantiles(All[I].Test, TrainProfiles[I], Policy);
+    DriftReport Drift =
+        buildDriftReport(*Observatories[I], &Trained, Name + ".arena");
+    printDriftReport(Drift, stdout);
+    writeDriftJson(Drift, DriftJson, "    ");
+    DriftJson += I + 1 != All.size() ? ",\n" : "\n";
+    exportDriftTelemetry(Drift, Telemetry, "drift." + Name + ".");
+    if (TraceWriter)
+      emitDriftTrack(Drift, *TraceWriter,
+                     900 + static_cast<unsigned>(I) * 2);
+    TotalWindows += Drift.Windows.size();
+    TotalChangePoints += Drift.changePointCount();
+    Report.add(Name + ".drift.windows",
+               static_cast<double>(Drift.Windows.size()));
+    Report.add(Name + ".drift.changepoint_count",
+               static_cast<double>(Drift.changePointCount()));
+    Report.add(Name + ".drift.accuracy_mean_ppm",
+               static_cast<double>(Drift.MeanAccuracyPpm));
+    Report.add(Name + ".drift.pinned_bytes",
+               static_cast<double>(Drift.PinnedBytes));
+    if (Drift.hasWorstSite()) {
+      Report.add(Name + ".drift.worst_site_score", Drift.worstSite().Score);
+      if (!HaveWorst || Drift.worstSite().Score > Worst.Score) {
+        HaveWorst = true;
+        Worst = Drift.worstSite();
+      }
+    }
+  }
+  DriftJson += "  ]\n}\n";
+  Report.add("drift.windows", static_cast<double>(TotalWindows));
+  Report.add("drift.changepoint_count",
+             static_cast<double>(TotalChangePoints));
+  if (HaveWorst) {
+    Report.add("drift.worst_site_id", static_cast<double>(Worst.Site));
+    Report.add("drift.worst_site_window",
+               static_cast<double>(Worst.Window));
+    Report.add("drift.worst_site_score", Worst.Score);
+  }
+  Report.attachTelemetry(&Telemetry);
+  Report.write();
+
+  if (!Options.DriftOutPath.empty()) {
+    std::FILE *File = std::fopen(Options.DriftOutPath.c_str(), "w");
+    if (!File) {
+      std::fprintf(stderr, "error: cannot write --drift-out=%s\n",
+                   Options.DriftOutPath.c_str());
+      return 1;
+    }
+    std::fwrite(DriftJson.data(), 1, DriftJson.size(), File);
+    std::fclose(File);
+    std::printf("drift JSON written to %s\n", Options.DriftOutPath.c_str());
+  }
   if (TraceWriter)
     TraceWriter->close();
   return 0;
@@ -340,6 +621,9 @@ int runHistory(const CommandLine &Cl, const std::string &Dir) {
   if (Window > 0)
     Options.Window = static_cast<size_t>(Window);
   Options.Tolerance = Cl.getDouble("tol", 0.10);
+  long Limit = Cl.getInt("limit", 0);
+  if (Limit > 0)
+    Options.Limit = static_cast<size_t>(Limit);
   int Flagged = renderHistory(Dir, Options, stdout);
   if (Flagged < 0) {
     std::fprintf(stderr, "error: no ledgers under %s\n", Dir.c_str());
@@ -386,6 +670,12 @@ int main(int Argc, char **Argv) {
     if (Args.size() != 2)
       return usage();
     return runAudit(Cl, Args[1]);
+  }
+
+  if (Command == "drift") {
+    if (Args.size() != 2)
+      return usage();
+    return runDrift(Cl, Args[1]);
   }
 
   if (Command == "heatmap") {

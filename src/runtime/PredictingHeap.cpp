@@ -8,6 +8,7 @@
 
 #include "callchain/ShadowStack.h"
 #include "support/MathExtras.h"
+#include "telemetry/DriftObservatory.h"
 #include "telemetry/FlightRecorder.h"
 #include "telemetry/StatsRegistry.h"
 
@@ -80,6 +81,11 @@ void PredictingHeap::recordBirth(const void *Ptr, size_t Size, bool Predicted,
                                  uint32_t Site) {
   uint64_t Id = NextId++;
   LiveIds[Ptr] = Id;
+  if (DriftLog)
+    DriftLog->recordAlloc(Id, ByteClock, Site, static_cast<uint32_t>(Size),
+                          Predicted);
+  if (!Recorder)
+    return;
   AuditPlacement Placement;
   if (isArenaPointer(Ptr)) {
     auto Offset =
@@ -105,7 +111,7 @@ void *PredictingHeap::allocate(size_t Size) {
   if (Cfg.ThreadSafe)
     Guard.lock();
 
-  if (!Recorder)
+  if (!Recorder && !DriftLog)
     return allocateImpl(Size, Predicted);
 
   // Audit path: the byte clock advances by the payload before the
@@ -113,7 +119,8 @@ void *PredictingHeap::allocate(size_t Size) {
   // so pin/reset callbacks fired from the reset scan carry this event's
   // clock.
   ByteClock += Size;
-  Recorder->beginEvent(ByteClock);
+  if (Recorder)
+    Recorder->beginEvent(ByteClock);
   void *Ptr = allocateImpl(Size, Predicted);
   recordBirth(Ptr, Size, Predicted,
               static_cast<uint32_t>(siteKey(Policy, Chain,
@@ -130,12 +137,21 @@ void PredictingHeap::attachRecorder(FlightRecorder *NewRecorder) {
     Recorder->setArenaGeometry(AuditPlacement::DefaultBand, arenaBytes());
 }
 
+void PredictingHeap::attachDriftLog(DriftSampleLog *Log) {
+  std::unique_lock<std::mutex> Guard(Lock, std::defer_lock);
+  if (Cfg.ThreadSafe)
+    Guard.lock();
+  DriftLog = Log;
+}
+
 void PredictingHeap::finishRecording() {
   std::unique_lock<std::mutex> Guard(Lock, std::defer_lock);
   if (Cfg.ThreadSafe)
     Guard.lock();
   if (Recorder)
     Recorder->finish(ByteClock);
+  if (DriftLog)
+    DriftLog->finish(ByteClock);
   LiveIds.clear();
 }
 
@@ -145,10 +161,13 @@ void PredictingHeap::deallocate(void *Ptr) {
   std::unique_lock<std::mutex> Guard(Lock, std::defer_lock);
   if (Cfg.ThreadSafe)
     Guard.lock();
-  if (Recorder) {
+  if (Recorder || DriftLog) {
     auto It = LiveIds.find(Ptr);
     if (It != LiveIds.end()) {
-      Recorder->recordFree(It->second, ByteClock);
+      if (Recorder)
+        Recorder->recordFree(It->second, ByteClock);
+      if (DriftLog)
+        DriftLog->recordFree(It->second, ByteClock);
       LiveIds.erase(It);
     }
   }

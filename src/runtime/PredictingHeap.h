@@ -30,6 +30,7 @@
 
 namespace lifepred {
 
+class DriftSampleLog;
 class FlightRecorder;
 class StatsRegistry;
 
@@ -95,9 +96,18 @@ public:
   /// Unattached heaps skip every audit branch on the allocation path.
   void attachRecorder(FlightRecorder *Recorder);
 
-  /// Finishes the attached recorder at the current byte clock (classifying
-  /// still-live objects as long-lived) and drops the pointer-id map.
+  /// Finishes the attached recorder and drift log at the current byte
+  /// clock (classifying still-live objects as long-lived) and drops the
+  /// pointer-id map.
   void finishRecording();
+
+  /// Attaches a drift sample log (telemetry/DriftObservatory.h): every
+  /// allocation's site, size, prediction, and byte-clock birth/death feed
+  /// the log, so a live run's prediction quality can be compared against
+  /// its trained database after the fact.  Same discipline as
+  /// attachRecorder — attach before the first allocate(), detach with
+  /// nullptr; unattached heaps skip the branch.
+  void attachDriftLog(DriftSampleLog *Log);
 
 private:
   struct Arena {
@@ -121,6 +131,7 @@ private:
   unsigned Current = 0;
   /// Audit state; all null/empty (and untouched) without a recorder.
   FlightRecorder *Recorder = nullptr;
+  DriftSampleLog *DriftLog = nullptr;
   uint64_t ByteClock = 0;
   uint64_t NextId = 0;
   std::unordered_map<const void *, uint64_t> LiveIds;

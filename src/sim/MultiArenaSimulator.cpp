@@ -8,6 +8,7 @@
 
 #include "sim/CompiledPrediction.h"
 #include "sim/SimTelemetry.h"
+#include "telemetry/DriftObservatory.h"
 #include "telemetry/FlightRecorder.h"
 #include "telemetry/LatencyRecorder.h"
 
@@ -70,7 +71,7 @@ public:
     });
     raisePeak(MaxLive, Allocator.liveBytes());
     if (Telemetry) {
-      recordOutcome(Record, Band);
+      recordOutcome(Record, Band, Clock);
       observeSample(Telemetry, Clock, Allocator, Allocator.arenaLiveBytes());
     }
     if (Recorder)
@@ -93,7 +94,8 @@ public:
   uint64_t maxLiveBytes() const { return MaxLive; }
 
 private:
-  void recordOutcome(const AllocRecord &Record, LifetimeClass Band) {
+  void recordOutcome(const AllocRecord &Record, LifetimeClass Band,
+                     uint64_t Clock) {
     const std::vector<uint64_t> &Thresholds = DB.thresholds();
     bool PredictedBanded = Band < Thresholds.size();
     // A banded prediction is right when the object died within its band's
@@ -106,6 +108,10 @@ private:
     bool ActuallyShort = PredictedBanded ? Correct : !Correct;
     Telemetry->Outcomes.add(PredictedBanded, ActuallyShort);
     Telemetry->PerSite[Record.ChainIndex].add(PredictedBanded, ActuallyShort);
+    if (Telemetry->Drift)
+      Telemetry->Drift->recordAlloc(Clock, Record.ChainIndex, Record.Size,
+                                    PredictedBanded, Record.Lifetime,
+                                    ActuallyShort);
   }
 
   /// Feeds one allocation into the flight recorder.  The per-object class

@@ -29,6 +29,7 @@
 namespace lifepred {
 
 class AllocatorSim;
+class DriftObservatory;
 class FlightRecorder;
 class FragmentationProbe;
 class HeapHeatmap;
@@ -100,6 +101,12 @@ struct SimTelemetry {
   FragmentationProbe *Fragmentation = nullptr;
   HeapHeatmap *Heatmap = nullptr;
   LatencyRecorder *Latency = nullptr;
+  /// Windowed prediction-drift accounting (predicting simulators only).
+  /// When set, every allocation outcome also lands in the observatory's
+  /// byte-clock windows.  Not exported by exportObservatory — the drift
+  /// report needs trained quantiles, so fan-out code builds and exports
+  /// DriftReports per program after the replay.
+  DriftObservatory *Drift = nullptr;
 };
 
 /// Records byte-clock observatory samples of \p Allocator when any of the

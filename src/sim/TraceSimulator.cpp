@@ -17,6 +17,7 @@
 #include "core/Profiler.h"
 #include "sim/CompiledPrediction.h"
 #include "sim/SimTelemetry.h"
+#include "telemetry/DriftObservatory.h"
 #include "telemetry/FlightRecorder.h"
 #include "telemetry/LatencyRecorder.h"
 
@@ -202,6 +203,10 @@ public:
       bool ActuallyShort = Record.Lifetime <= DB.threshold();
       Telemetry->Outcomes.add(PredictedShort, ActuallyShort);
       Telemetry->PerSite[Record.ChainIndex].add(PredictedShort, ActuallyShort);
+      if (Telemetry->Drift)
+        Telemetry->Drift->recordAlloc(Clock, Record.ChainIndex, Record.Size,
+                                      PredictedShort, Record.Lifetime,
+                                      ActuallyShort);
       observeSample(Telemetry, Clock, Allocator, Allocator.arenaLiveBytes());
     }
     if (Recorder) {

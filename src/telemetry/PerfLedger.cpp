@@ -105,14 +105,20 @@ bool lifepred::appendRunRecord(const std::string &ReportPath,
   }
   Line += "}}\n";
 
+  // An empty --history-dir means the current directory; create_directories
+  // on "" would fail, and "" / "x.jsonl" silently degrades to a bare
+  // relative path, so normalize before touching the filesystem.  Nested
+  // not-yet-existing directories are created in full — the ledger must be
+  // appendable from a fresh checkout or a clean CI workspace.
   namespace fs = std::filesystem;
+  fs::path Dir = HistoryDir.empty() ? fs::path(".") : fs::path(HistoryDir);
   std::error_code Ec;
-  fs::create_directories(HistoryDir, Ec);
+  fs::create_directories(Dir, Ec);
   if (Ec) {
-    Error = "cannot create " + HistoryDir + ": " + Ec.message();
+    Error = "cannot create " + Dir.string() + ": " + Ec.message();
     return false;
   }
-  fs::path LedgerPath = fs::path(HistoryDir) / (Bench + ".jsonl");
+  fs::path LedgerPath = Dir / (Bench + ".jsonl");
   std::ofstream Out(LedgerPath, std::ios::app);
   if (!Out) {
     Error = "cannot append to " + LedgerPath.string();
@@ -203,9 +209,19 @@ int lifepred::renderHistory(const std::string &HistoryDir,
     std::string Error;
     if (!readLedger(Ledger.string(), Records, Error) || Records.empty())
       continue;
-    std::fprintf(Out, "== %s (%zu runs, latest %s) ==\n",
-                 Ledger.stem().string().c_str(), Records.size(),
-                 Records.back().TimeIso.c_str());
+    size_t Total = Records.size();
+    if (Options.Limit > 0 && Records.size() > Options.Limit)
+      Records.erase(Records.begin(),
+                    Records.end() - static_cast<ptrdiff_t>(Options.Limit));
+    if (Records.size() < Total)
+      std::fprintf(Out, "== %s (last %zu of %zu runs, latest %s) ==\n",
+                   Ledger.stem().string().c_str(), Records.size(), Total,
+                   Records.back().TimeIso.c_str());
+    else
+      std::fprintf(Out, "== %s (%zu runs, latest %s) ==\n",
+                   Ledger.stem().string().c_str(), Records.size(),
+                   Records.back().TimeIso.c_str());
+    std::fprintf(Out, "   ledger: %s\n", Ledger.string().c_str());
 
     // Series per metric key, in ledger (append) order.  Headline metrics
     // first, then every values.* key.

@@ -62,6 +62,10 @@ struct HistoryOptions {
   std::string MetricGlob = "*"; ///< Keys to render (globMatch syntax).
   size_t Window = 8;            ///< Trailing records per sparkline.
   double Tolerance = 0.10;      ///< Relative deviation that flags.
+  /// Cap on ledger records considered, applied as a trailing window before
+  /// sparklining (0 = the whole ledger).  Lets a long-lived ledger be read
+  /// "recent runs only" without truncating the file.
+  size_t Limit = 0;
 };
 
 /// Unicode sparkline of \p Series scaled to its own min/max.

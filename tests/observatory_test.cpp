@@ -31,6 +31,7 @@
 #include "gtest/gtest.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -708,6 +709,80 @@ TEST(PerfLedgerTest, AppendReadRenderRoundTrip) {
   std::fclose(Out);
   std::remove(RenderPath.c_str());
   std::remove((HistoryDir + "/ledger_unit.jsonl").c_str());
+}
+
+TEST(PerfLedgerTest, AppendCreatesNestedHistoryDirectories) {
+  // --append-history must work into a ledger directory that does not
+  // exist yet, parents included (a fresh checkout or clean CI workspace).
+  const std::string HistoryDir =
+      tempPath("ledger_nested") + "/deeper/history";
+  std::filesystem::remove_all(tempPath("ledger_nested"));
+  ASSERT_FALSE(std::filesystem::exists(HistoryDir));
+
+  std::string Error;
+  std::string Report = writeReport("ledger_nested_report.json", 100.0, 2e6);
+  ASSERT_TRUE(appendRunRecord(Report, HistoryDir, Error)) << Error;
+  std::remove(Report.c_str());
+
+  std::vector<LedgerRecord> Records;
+  ASSERT_TRUE(readLedger(HistoryDir + "/ledger_unit.jsonl", Records, Error))
+      << Error;
+  ASSERT_EQ(Records.size(), 1u);
+  EXPECT_EQ(Records[0].Bench, "ledger_unit");
+  std::filesystem::remove_all(tempPath("ledger_nested"));
+}
+
+TEST(PerfLedgerTest, HistoryLimitCapsTrailingWindowAndNamesLedger) {
+  const std::string HistoryDir = tempPath("ledger_limit_history");
+  std::filesystem::remove_all(HistoryDir);
+
+  // Five runs ending in a doubled heap metric.
+  std::string Error;
+  for (double HeapK : {100.0, 100.0, 100.0, 100.0, 200.0}) {
+    std::string Report = writeReport("ledger_limit_report.json", HeapK, 2e6);
+    ASSERT_TRUE(appendRunRecord(Report, HistoryDir, Error)) << Error;
+    std::remove(Report.c_str());
+  }
+
+  auto render = [&](const HistoryOptions &Options, int &Flagged) {
+    std::string RenderPath = tempPath("ledger_limit_render.txt");
+    std::FILE *Out = std::fopen(RenderPath.c_str(), "w");
+    EXPECT_NE(Out, nullptr);
+    Flagged = renderHistory(HistoryDir, Options, Out);
+    std::fclose(Out);
+    std::ifstream In(RenderPath);
+    std::string Rendered((std::istreambuf_iterator<char>(In)),
+                         std::istreambuf_iterator<char>());
+    std::remove(RenderPath.c_str());
+    return Rendered;
+  };
+
+  // Unlimited: all five runs considered, the jump is flagged, and the
+  // rendering names the ledger file it read.
+  HistoryOptions Options;
+  Options.Tolerance = 0.10;
+  int Flagged = 0;
+  std::string Rendered = render(Options, Flagged);
+  EXPECT_EQ(Flagged, 1);
+  EXPECT_TRUE(Rendered.find("(5 runs") != std::string::npos) << Rendered;
+  EXPECT_TRUE(Rendered.find("ledger: ") != std::string::npos) << Rendered;
+  EXPECT_TRUE(Rendered.find("ledger_unit.jsonl") != std::string::npos)
+      << Rendered;
+
+  // --limit=3 reads only the trailing window and says so.
+  Options.Limit = 3;
+  Rendered = render(Options, Flagged);
+  EXPECT_EQ(Flagged, 1);
+  EXPECT_TRUE(Rendered.find("(last 3 of 5 runs") != std::string::npos)
+      << Rendered;
+
+  // --limit=2 leaves too few records for the deviation check to run.
+  Options.Limit = 2;
+  Rendered = render(Options, Flagged);
+  EXPECT_EQ(Flagged, 0);
+  EXPECT_TRUE(Rendered.find("(last 2 of 5 runs") != std::string::npos)
+      << Rendered;
+  std::filesystem::remove_all(HistoryDir);
 }
 
 TEST(PerfLedgerTest, SparklineScalesToOwnRange) {
