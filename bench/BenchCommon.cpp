@@ -207,6 +207,29 @@ bool JsonReport::write() const {
   Out += "    \"program\": \"";
   appendJsonEscaped(Out, Manifest.Program);
   Out += "\",\n";
+  if (Manifest.Threads != 0) {
+    // Serving-mode provenance (see RunManifest): scaling-run identity plus
+    // contention totals.  Provenance only — contention is interleaving-
+    // dependent and must never become a gated value.
+    std::snprintf(Buf, sizeof(Buf), "    \"threads\": %u,\n",
+                  Manifest.Threads);
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf), "    \"tenants\": %u,\n",
+                  Manifest.Tenants);
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf), "    \"contention_cas_retries\": %llu,\n",
+                  static_cast<unsigned long long>(
+                      Manifest.ContentionCasRetries));
+    Out += Buf;
+    std::snprintf(
+        Buf, sizeof(Buf), "    \"contention_remote_free_pushes\": %llu,\n",
+        static_cast<unsigned long long>(Manifest.ContentionRemoteFreePushes));
+    Out += Buf;
+    std::snprintf(
+        Buf, sizeof(Buf), "    \"contention_max_drain_depth\": %llu,\n",
+        static_cast<unsigned long long>(Manifest.ContentionMaxDrainDepth));
+    Out += Buf;
+  }
   // Sampled at write() time, i.e. after the bench's replay work: the
   // streamed-replay residency evidence.  Manifest entries are provenance
   // notes, not gated values, so run-to-run RSS jitter cannot fail a gate.

@@ -97,6 +97,19 @@ struct RunManifest {
   double Scale = 1.0;
   std::string Program; ///< --program filter; empty = all.
 
+  /// Serving-engine provenance (bench_sim_throughput --serve), so
+  /// bench_compare / trace_tool history can identify scaling runs: engine
+  /// worker threads and tenant count, plus run totals of the
+  /// interleaving-dependent contention counters.  Manifest entries are
+  /// provenance notes, never gated values — contention totals vary run to
+  /// run by design.  Zero outside serving mode; the manifest JSON carries
+  /// them only when Threads is nonzero.
+  unsigned Threads = 0;
+  unsigned Tenants = 0;
+  uint64_t ContentionCasRetries = 0;
+  uint64_t ContentionRemoteFreePushes = 0;
+  uint64_t ContentionMaxDrainDepth = 0;
+
   /// The manifest of this build and \p Options (the one constructor every
   /// bench uses, so no field can be recorded inconsistently).
   static RunManifest current(const BenchOptions &Options);
@@ -156,6 +169,18 @@ public:
   void setThroughput(uint64_t Events, double WallSeconds) {
     this->Events = Events;
     this->WallSeconds = WallSeconds;
+  }
+
+  /// Records serving-mode provenance in the manifest (see RunManifest):
+  /// worker threads, tenant count, and contention-counter run totals.
+  void setServeProvenance(unsigned Threads, unsigned Tenants,
+                          uint64_t CasRetries, uint64_t RemoteFreePushes,
+                          uint64_t MaxDrainDepth) {
+    Manifest.Threads = Threads;
+    Manifest.Tenants = Tenants;
+    Manifest.ContentionCasRetries = CasRetries;
+    Manifest.ContentionRemoteFreePushes = RemoteFreePushes;
+    Manifest.ContentionMaxDrainDepth = MaxDrainDepth;
   }
 
   /// Adds \p Registry's metrics as the report's "telemetry" section.  The

@@ -86,6 +86,7 @@
 #include "sim/MultiArenaSimulator.h"
 #include "sim/SimTelemetry.h"
 #include "sim/StreamReplay.h"
+#include "sim/TenantMux.h"
 #include "sim/TraceSimulator.h"
 #include "support/TableFormatter.h"
 #include "telemetry/DriftObservatory.h"
@@ -97,6 +98,7 @@
 #include "verify/TraceFuzzer.h"
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -165,6 +167,230 @@ ScheduleFileWriter::Config scheduleConfig(const CommandLine &Cl) {
   if (ChunkEvents > 0)
     Config.EventsPerChunk = static_cast<uint64_t>(ChunkEvents);
   return Config;
+}
+
+/// --serve=<tenants>x<threads>: the multi-tenant serving tier
+/// (sim/TenantMux over alloc/ShardedHeap).  One TenantSet — thousands of
+/// scaled per-tenant sessions with deterministic RNG streams — is built
+/// once and replayed per allocator family: serially (the scaling
+/// reference), in parallel channel mode (deterministic remote frees), and
+/// for the CAS family additionally in eager mode (the lock-free
+/// remote-free fast path).  The instrumented pass replays channel mode
+/// into one StatsRegistry — aggregate, per-shard, and per-tenant sections
+/// — which is byte-identical at any worker count; contention counters
+/// (CAS retries, remote-free pushes, drain depths) are reported as
+/// timing-class JSON values and manifest provenance, never gated.
+///
+/// Flags: --serve=TxW (tenants x workers; plain T uses --jobs workers),
+/// --shards=S (logical heap shards, default 8), --slice-events=N (events
+/// per tenant per round, default 256), --tenant-scale=F (per-tenant
+/// workload scale, default 0.02), --serve-family=ff|bsd|cas|arena|all,
+/// --repeat=N, plus the common --program/--seed/--json/--observe.
+int runServeBench(const CommandLine &Cl, const BenchOptions &Options) {
+  std::string ServeArg = Cl.getString("serve", "");
+  unsigned Tenants = 64;
+  unsigned Workers = Options.Jobs;
+  {
+    unsigned T = 0, W = 0;
+    if (std::sscanf(ServeArg.c_str(), "%ux%u", &T, &W) == 2) {
+      Tenants = T;
+      Workers = W;
+    } else if (std::sscanf(ServeArg.c_str(), "%u", &T) == 1) {
+      Tenants = T;
+    } else if (!ServeArg.empty()) {
+      std::fprintf(stderr, "bad --serve=%s (want <tenants>x<threads>)\n",
+                   ServeArg.c_str());
+      return 1;
+    }
+  }
+  unsigned Repeat = static_cast<unsigned>(Cl.getInt("repeat", 3));
+  if (Repeat < 1)
+    Repeat = 1;
+
+  ServeConfig Cfg;
+  Cfg.Tenants = Tenants;
+  Cfg.Workers = Workers < 1 ? 1 : Workers;
+  long Shards = Cl.getInt("shards", 8);
+  Cfg.Shards = Shards < 1 ? 1 : static_cast<unsigned>(Shards);
+  long Slice = Cl.getInt("slice-events", 256);
+  Cfg.SliceEvents = Slice < 1 ? 1 : static_cast<unsigned>(Slice);
+  Cfg.TenantScale = Cl.getDouble("tenant-scale", 0.02);
+  Cfg.Seed = Options.Seed;
+  Cfg.Program = Options.OnlyProgram;
+
+  struct FamilyRow {
+    ServeFamily Family;
+    const char *Name;
+  };
+  std::vector<FamilyRow> Families;
+  std::string FamilyArg = Cl.getString("serve-family", "all");
+  bool All = FamilyArg == "all";
+  if (All || FamilyArg == "ff")
+    Families.push_back({ServeFamily::FirstFit, "serve-ff"});
+  if (All || FamilyArg == "bsd")
+    Families.push_back({ServeFamily::Bsd, "serve-bsd"});
+  if (All || FamilyArg == "cas")
+    Families.push_back({ServeFamily::Cas, "serve-cas"});
+  if (All || FamilyArg == "arena")
+    Families.push_back({ServeFamily::Arena, "serve-arena"});
+  if (Families.empty()) {
+    std::fprintf(stderr, "unknown --serve-family=%s (ff|bsd|cas|arena|all)\n",
+                 FamilyArg.c_str());
+    return 1;
+  }
+  for (const FamilyRow &Row : Families)
+    Cfg.NeedPrediction |= Row.Family == ServeFamily::Arena;
+
+  printBanner("Throughput (serving)",
+              "multi-tenant sharded-heap replay events per second", Options);
+  std::printf("tenants: %u; workers: %u; shards: %u; slice: %u events; "
+              "tenant scale: %.3g\n\n",
+              Cfg.Tenants, Cfg.Workers, Cfg.Shards, Cfg.SliceEvents,
+              Cfg.TenantScale);
+
+  ThreadPool Pool(Options.Jobs);
+  std::unique_ptr<TenantSet> TS;
+  try {
+    TS = std::make_unique<TenantSet>(Cfg, Pool);
+  } catch (const std::exception &Ex) {
+    std::fprintf(stderr, "error: %s\n", Ex.what());
+    return 1;
+  }
+
+  struct ServeCell {
+    const char *Family = nullptr;
+    const char *Mode = nullptr;
+    unsigned Workers = 1;
+    Cell C;
+    ContentionCounters Contention;
+    uint64_t RemoteFrees = 0;
+  };
+  std::vector<ServeCell> Cells;
+  ContentionCounters ContentionTotal;
+
+  auto TimedRun = [&](ServeFamily Family, const char *FamilyName,
+                      const char *Mode, unsigned RunWorkers,
+                      RemoteFreeMode Remote) {
+    ServeCell Row;
+    Row.Family = FamilyName;
+    Row.Mode = Mode;
+    Row.Workers = RunWorkers;
+    Row.C.Events = uint64_t(Repeat) * TS->totalEvents();
+    for (unsigned R = 0; R < Repeat; ++R) {
+      TS->resetReplayState();
+      ServeRunOptions Run;
+      Run.Family = Family;
+      Run.Remote = Remote;
+      Run.Workers = RunWorkers;
+      double Start = wallTimeSeconds();
+      ServeResult Result = runServe(*TS, Run);
+      Row.C.Seconds += wallTimeSeconds() - Start;
+      Row.Contention.merge(Result.Contention);
+      Row.RemoteFrees = Result.RemoteFrees;
+    }
+    ContentionTotal.merge(Row.Contention);
+    Cells.push_back(Row);
+  };
+
+  for (const FamilyRow &Row : Families) {
+    TimedRun(Row.Family, Row.Name, "serial", 1, RemoteFreeMode::Channel);
+    if (Cfg.Workers > 1)
+      TimedRun(Row.Family, Row.Name, "parallel", Cfg.Workers,
+               RemoteFreeMode::Channel);
+    if (Row.Family == ServeFamily::Cas)
+      TimedRun(Row.Family, Row.Name, "eager", Cfg.Workers,
+               RemoteFreeMode::Eager);
+  }
+
+  TableFormatter Table({"Family", "Mode", "Workers", "Events", "Seconds",
+                        "Events/sec", "Speedup", "CAS retries",
+                        "Remote frees"});
+  JsonReport Report("serve_throughput", Options);
+  Cell Total;
+  double SerialSeconds = 0.0;
+  for (const ServeCell &Row : Cells) {
+    if (std::strcmp(Row.Mode, "serial") == 0)
+      SerialSeconds = Row.C.Seconds;
+    Total.Events += Row.C.Events;
+    Total.Seconds += Row.C.Seconds;
+    double Speedup = SerialSeconds > 0.0 && Row.C.Seconds > 0.0
+                         ? SerialSeconds / Row.C.Seconds
+                         : 0.0;
+    Table.beginRow();
+    Table.addCell(Row.Family);
+    Table.addCell(Row.Mode);
+    Table.addInt(Row.Workers);
+    Table.addInt(static_cast<int64_t>(Row.C.Events));
+    Table.addReal(Row.C.Seconds, 3);
+    Table.addInt(static_cast<int64_t>(Row.C.eventsPerSec()));
+    Table.addReal(Speedup, 2);
+    Table.addInt(static_cast<int64_t>(Row.Contention.BitmapCasRetries +
+                                      Row.Contention.ChannelCasRetries));
+    Table.addInt(static_cast<int64_t>(Row.RemoteFrees));
+    std::string Key = std::string(Row.Family) + "." + Row.Mode;
+    Report.add(Key + ".events_per_sec", Row.C.eventsPerSec());
+    if (std::strcmp(Row.Mode, "serial") != 0)
+      Report.add(Key + ".speedup", Speedup);
+  }
+  Table.print(std::cout);
+  std::printf("\nserving totals: %llu events over %llu rounds; %llu remote "
+              "frees; peak RSS %llu KB\n",
+              static_cast<unsigned long long>(TS->totalEvents()),
+              static_cast<unsigned long long>(TS->rounds()),
+              static_cast<unsigned long long>(
+                  Cells.empty() ? 0 : Cells.back().RemoteFrees),
+              static_cast<unsigned long long>(peakRssKb()));
+
+  Report.setThroughput(Total.Events, Total.Seconds);
+  Report.add("serve.tenants", static_cast<double>(Cfg.Tenants));
+  Report.add("serve.workers", static_cast<double>(Cfg.Workers));
+  Report.add("serve.shards", static_cast<double>(Cfg.Shards));
+  Report.add("serve.slice_events", static_cast<double>(Cfg.SliceEvents));
+  Report.add("serve.total_events", static_cast<double>(TS->totalEvents()));
+  Report.add("serve.rounds", static_cast<double>(TS->rounds()));
+  // Contention totals across all timed runs: timing-class keys
+  // (isContentionMetric), reported for observability, never gated.
+  Report.add("serve.contention.bitmap_cas_retries",
+             static_cast<double>(ContentionTotal.BitmapCasRetries));
+  Report.add("serve.contention.channel_cas_retries",
+             static_cast<double>(ContentionTotal.ChannelCasRetries));
+  Report.add("serve.contention.remote_free_pushes",
+             static_cast<double>(ContentionTotal.RemoteFreePushes));
+  Report.add("serve.contention.max_drain_depth",
+             static_cast<double>(ContentionTotal.MaxDrainDepth));
+  Report.setServeProvenance(Cfg.Workers, Cfg.Tenants,
+                            ContentionTotal.BitmapCasRetries +
+                                ContentionTotal.ChannelCasRetries,
+                            ContentionTotal.RemoteFreePushes,
+                            ContentionTotal.MaxDrainDepth);
+
+  // Untimed instrumented pass: channel mode at the configured worker
+  // count, one registry for every family in fixed order — byte-identical
+  // at any worker count (the jobs-invariance test pins this).  Per-tenant
+  // sections are exported once, under the first family's prefix: tenant
+  // stats are stream-derived and family-independent.
+  if (!Options.JsonPath.empty() || Options.Observe) {
+    StatsRegistry Telemetry;
+    bool FirstFamily = true;
+    for (const FamilyRow &Row : Families) {
+      TS->resetReplayState();
+      ServeRunOptions Run;
+      Run.Family = Row.Family;
+      Run.Remote = RemoteFreeMode::Channel;
+      Run.Registry = &Telemetry;
+      Run.Prefix = std::string(Row.Name) + ".";
+      Run.ExportTenants = FirstFamily;
+      Run.CollectLatency = Options.Observe;
+      Run.ProbeStrideBytes = Options.ObserveStride;
+      runServe(*TS, Run);
+      FirstFamily = false;
+    }
+    Report.attachTelemetry(&Telemetry);
+    Report.write();
+  } else {
+    Report.write();
+  }
+  return 0;
 }
 
 /// --stream: the streamed-replay tier over the paper workloads.  Each
@@ -480,6 +706,8 @@ int main(int Argc, char **Argv) {
   if (Cl.has("grand-challenge"))
     return runGrandChallenge(
         Cl, Options, static_cast<uint64_t>(Cl.getInt("grand-challenge", 0)));
+  if (Cl.has("serve"))
+    return runServeBench(Cl, Options);
   if (Cl.has("stream"))
     return runStreamBench(Cl, Options);
   std::string PolicyName = Cl.getString("policy", "roving");

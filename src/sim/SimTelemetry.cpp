@@ -35,6 +35,12 @@ void lifepred::observeSample(SimTelemetry *Telemetry, uint64_t Clock,
   HeapHeatmap *Heatmap = Telemetry->Heatmap && Telemetry->Heatmap->due(Clock)
                              ? Telemetry->Heatmap
                              : nullptr;
+  probeHeapSpans(Allocator, Clock, Probe, Heatmap);
+}
+
+void lifepred::probeHeapSpans(const AllocatorSim &Allocator, uint64_t Clock,
+                              FragmentationProbe *Probe,
+                              HeapHeatmap *Heatmap) {
   if (!Probe && !Heatmap)
     return;
 

@@ -109,6 +109,16 @@ struct SimTelemetry {
   DriftObservatory *Drift = nullptr;
 };
 
+/// The span walk under observeSample, exposed for shard-aware callers: one
+/// pass over \p Allocator's free and live spans feeding \p Probe and/or
+/// \p Heatmap (either may be null; both null is a no-op).  The serving
+/// engine calls this once per shard sub-heap — each shard is its own
+/// AllocatorSim, so the walk needs no notion of sharding, only a caller
+/// that aggregates per-shard samples into one probe.  Quiescent heaps
+/// only.
+void probeHeapSpans(const AllocatorSim &Allocator, uint64_t Clock,
+                    FragmentationProbe *Probe, HeapHeatmap *Heatmap);
+
 /// Records byte-clock observatory samples of \p Allocator when any of the
 /// attached sinks (timeline, fragmentation probe, heatmap) is due at
 /// \p Clock.  One fragmentation/heatmap scan shares a single span walk.

@@ -1,0 +1,221 @@
+//===- sim/TenantMux.h - Multi-tenant serving trace multiplexer -*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-tenant serving engine: interleaves many synthetic "sessions" —
+/// each a scaled workload-model instance with its own site universe and a
+/// deterministic per-tenant RNG stream — onto N worker threads driving the
+/// sharded concurrent heap layer (alloc/ShardedHeap.h).  This is the first
+/// harness where the allocator families compete under contention rather
+/// than in isolation: cross-shard frees, remote-free channels, CAS'd
+/// bitmaps.
+///
+/// Scheduling model (the determinism backbone, argued in DESIGN.md §16):
+///
+///   * S *logical shards*, a knob independent of the worker count W.
+///     Shard s is owned by worker s % W for the whole run.
+///   * Replay advances in *rounds* of SliceEvents events per tenant.
+///     Tenant t's home shard in round k is (t + k) % S, so tenants migrate
+///     across shards round by round and an object's free routinely lands
+///     on a different shard (and worker) than its alloc — the cross-thread
+///     free traffic real allocators fight over.
+///   * Within a round, the owner of shard s replays its tenants in
+///     ascending tenant order; cross-shard frees go to the owning shard's
+///     MPSC channel; after a barrier, owners drain their channels with
+///     entries sorted by address (live addresses are unique, so the sorted
+///     order is a pure function of the round's free set); a second barrier
+///     closes the round.
+///
+/// Every value-class observable is therefore a pure function of
+/// (tenants, shards, schedules) and byte-identical at any worker count —
+/// the jobs-invariance the rest of the repo's telemetry already promises.
+/// Interleaving-dependent quantities (CAS retries, drain depths) are
+/// quarantined in ContentionCounters and never enter the StatsRegistry.
+///
+/// The CAS family additionally supports an *eager* remote-free mode —
+/// frees apply immediately via fetch_or into the owning shard's atomic
+/// bitmap, no channel, no drain — which is the lock-free fast path the
+/// timed serving rows measure.  Placement under eager frees is
+/// interleaving-dependent, so instrumented (gated) runs always use
+/// channel mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_SIM_TENANTMUX_H
+#define LIFEPRED_SIM_TENANTMUX_H
+
+#include "alloc/ShardedHeap.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lifepred {
+
+class StatsRegistry;
+class ThreadPool;
+struct TenantSession;
+
+/// Allocator family a serving run drives (one sub-heap per shard).
+enum class ServeFamily {
+  FirstFit, ///< FirstFitAllocator per shard.
+  Bsd,      ///< BsdAllocator (LIFO lists) per shard — the serial baseline.
+  Cas,      ///< CasHeapShard — the lock-free bitmap fast path.
+  Arena,    ///< ArenaAllocator per shard with per-tenant trained predictors.
+};
+
+/// How cross-shard frees reach the owning shard.
+enum class RemoteFreeMode {
+  /// MPSC channel, drained sorted at batch boundaries.  Deterministic at
+  /// any worker count; the only mode instrumented runs may use.
+  Channel,
+  /// Immediate fetch_or into the owning shard's atomic bitmap (CAS family
+  /// only).  Lock-free and barrier-light, but placement becomes
+  /// interleaving-dependent — timed rows only.
+  Eager,
+};
+
+/// Shape of one serving run's tenant population.
+struct ServeConfig {
+  unsigned Tenants = 64;
+  unsigned Workers = 4;
+  /// Logical shard count (heap partitions), independent of Workers so the
+  /// replayed event streams — and every value-class stat — do not change
+  /// with the worker count.
+  unsigned Shards = 8;
+  /// Events replayed per tenant per round.
+  unsigned SliceEvents = 256;
+  /// Workload scale of each tenant (fraction of the model's BaseObjects).
+  double TenantScale = 0.02;
+  uint64_t Seed = 0x1993;
+  /// Workload model for every tenant; empty = round-robin over
+  /// allPrograms(), the heterogeneous serving mix.
+  std::string Program;
+  /// Build per-tenant train traces and site databases so the arena family
+  /// can predict.  Off by default: training dominates setup cost.
+  bool NeedPrediction = false;
+};
+
+/// Deterministic per-tenant serving totals, derived purely from the
+/// tenant's event stream (never from heap state), hence byte-identical at
+/// any worker count by construction.
+struct TenantServeStats {
+  uint64_t Allocs = 0;
+  uint64_t Frees = 0;
+  uint64_t AllocBytes = 0;
+  /// Frees whose home shard at free time differed from the object's home
+  /// shard at alloc time (the cross-shard traffic).
+  uint64_t RemoteFrees = 0;
+  uint64_t PredictedShort = 0;
+  uint64_t LiveBytes = 0; ///< Running; ends at the stream's leak residue.
+  uint64_t PeakLiveBytes = 0;
+};
+
+/// A built tenant population: schedules, sizes, prediction bits, replay
+/// cursors.  Built once (the expensive part: workload generation and
+/// optional training) and replayed many times across families and modes.
+class TenantSet {
+public:
+  /// Generates all tenants in parallel on \p Pool.  Throws
+  /// std::runtime_error for an unknown ServeConfig::Program.
+  TenantSet(const ServeConfig &Cfg, ThreadPool &Pool);
+  ~TenantSet();
+
+  TenantSet(const TenantSet &) = delete;
+  TenantSet &operator=(const TenantSet &) = delete;
+
+  const ServeConfig &config() const { return Cfg; }
+  unsigned tenantCount() const { return static_cast<unsigned>(Sessions.size()); }
+  /// Total events across all tenants (allocs + frees).
+  uint64_t totalEvents() const { return TotalEvents; }
+  /// Rounds one replay takes: ceil(longest tenant schedule / SliceEvents).
+  uint64_t rounds() const { return Rounds; }
+
+  /// Rewinds every tenant's replay cursor and stats for another run.
+  void resetReplayState();
+
+  /// Stream-derived stats of tenant \p Tenant after a run.
+  const TenantServeStats &tenantStats(unsigned Tenant) const;
+  /// Workload model name tenant \p Tenant replays.
+  const std::string &tenantProgram(unsigned Tenant) const;
+
+  /// Engine access (sim/TenantMux.cpp).
+  TenantSession &session(unsigned Tenant) { return *Sessions[Tenant]; }
+  const TenantSession &session(unsigned Tenant) const {
+    return *Sessions[Tenant];
+  }
+
+private:
+  ServeConfig Cfg;
+  std::vector<std::unique_ptr<TenantSession>> Sessions;
+  uint64_t TotalEvents = 0;
+  uint64_t Rounds = 0;
+};
+
+/// One heap operation as applied to a shard, in application order — the
+/// conformance hook: a W=1 channel-mode CAS run logs per-shard op streams,
+/// and the test replays each into a fresh bitmap-mode BsdAllocator under a
+/// ShadowBsd, asserting address-for-address agreement.
+struct ServeOpLogEntry {
+  uint64_t Addr = 0;
+  uint32_t Size = 0;
+  bool IsAlloc = false;
+};
+
+/// Options for one replay of a TenantSet.
+struct ServeRunOptions {
+  ServeFamily Family = ServeFamily::Cas;
+  RemoteFreeMode Remote = RemoteFreeMode::Channel;
+  /// Worker-count override for this run; 0 = ServeConfig::Workers.  The
+  /// scaling rows replay one TenantSet serially and in parallel — value-
+  /// class results are identical either way, by design.
+  unsigned Workers = 0;
+  /// Destination for deterministic value-class telemetry; null = timed run,
+  /// nothing exported.  Channel mode only (asserted): eager placement would
+  /// leak interleaving into heap gauges.
+  StatsRegistry *Registry = nullptr;
+  /// Key prefix for exports, e.g. "serve.cas.".
+  std::string Prefix;
+  /// Also export per-tenant sections ("<Prefix>tenant.NNNN.*").
+  bool ExportTenants = false;
+  /// Attach a per-shard LatencyRecorder and export its distributions
+  /// (timing-class keys, ignored by gates).
+  bool CollectLatency = false;
+  /// Fragmentation probe stride for the end-of-run per-shard samples.
+  uint64_t ProbeStrideBytes = 64 * 1024;
+  /// Per-shard op logs in application order; W=1 channel mode only
+  /// (asserted) — with one worker there is exactly one application order.
+  std::vector<std::vector<ServeOpLogEntry>> *OpLog = nullptr;
+};
+
+/// Aggregate outcome of one serving replay.
+struct ServeResult {
+  uint64_t Events = 0;
+  uint64_t AllocEvents = 0;
+  uint64_t FreeEvents = 0;
+  uint64_t RemoteFrees = 0;
+  uint64_t Rounds = 0;
+  /// Events handled by the busiest / idlest shard (imbalance signal).
+  uint64_t ShardEventsMax = 0;
+  uint64_t ShardEventsMin = 0;
+  /// Sum of per-shard heap sizes at end of run.
+  uint64_t HeapBytes = 0;
+  /// Backing-store reservations (CAS family; 0 for families that bump
+  /// inside their own lane).
+  uint64_t ReservedBytes = 0;
+  /// Interleaving-dependent counters — timing-class, never gated.
+  ContentionCounters Contention;
+};
+
+/// Replays \p Tenants once under \p Options, constructing the family's
+/// shard set and an engine-owned worker pool of config().Workers threads.
+/// Call resetReplayState() between runs of the same TenantSet.
+ServeResult runServe(TenantSet &Tenants, const ServeRunOptions &Options);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_SIM_TENANTMUX_H

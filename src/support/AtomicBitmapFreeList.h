@@ -1,0 +1,271 @@
+//===- support/AtomicBitmapFreeList.h - Lock-free block bitmap --*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrent generalization of support/BitmapFreeList.h: one size
+/// class, one bit per block, but the words are atomic so the class can be
+/// shared between one *owner* thread (the shard's worker, which allocates)
+/// and any number of *remote* threads returning blocks (cross-shard frees
+/// in the serving engine's eager mode).  This is the btmalloc
+/// compare-and-set bitmap idiom:
+///
+///   - pop() — owner only — scans for the lowest set bit and claims it
+///     with a CAS; a lost race (a remote push landed in the same word
+///     between load and CAS) retries the word and is counted, so the
+///     bench can report CAS contention.
+///   - push() — any thread — is one fetch_or (the previous value doubles
+///     as the double-free check), a fetch_add on the free count, and a
+///     CAS-min on the scan cursor.  Wait-free except the cursor hint.
+///
+/// Serial conformance: driven from a single thread, pop() returns exactly
+/// BitmapFreeList's lowest-free-address sequence (asserted by
+/// tests/serve_test.cpp), so a shard built on this class mirrors
+/// BsdAllocator's FreeListKind::Bitmap placement bit for bit in the
+/// deterministic channel mode.
+///
+/// Cursor discipline: the cursor is a *hint* — no set bit lies below it
+/// only in quiescent states.  pop() therefore restarts its scan from word
+/// zero whenever it runs off the end while the free count says blocks
+/// exist (a remote push below the cursor raced the claim).  Progress: a
+/// pusher sets the bit *before* incrementing FreeCount, so once the owner
+/// observes FreeCount > 0 with an acquire load, a set bit is visible.
+///
+/// Word storage is published once: the owner allocates the full word array
+/// for MaxExtents on its first addExtent() and release-stores the pointer;
+/// remote pushers acquire-load it.  A remote thread can only free an
+/// address that was allocated, which post-dates the publication, so the
+/// pointer is never null when a remote push dereferences it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_SUPPORT_ATOMICBITMAPFREELIST_H
+#define LIFEPRED_SUPPORT_ATOMICBITMAPFREELIST_H
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+namespace lifepred {
+
+/// Lock-free bitmap free list of one size class.  Geometry (power-of-two
+/// block size and blocks per extent) matches BitmapFreeList; capacity is
+/// bounded by MaxExtents so the word array can be published once instead
+/// of being resized under concurrent access.
+class AtomicBitmapFreeList {
+public:
+  AtomicBitmapFreeList() = default;
+  AtomicBitmapFreeList(const AtomicBitmapFreeList &) = delete;
+  AtomicBitmapFreeList &operator=(const AtomicBitmapFreeList &) = delete;
+
+  /// Configures the class geometry.  Must be called (once) before use,
+  /// before any concurrent access.  \p MaxExtents bounds addExtent calls;
+  /// the word array is sized for it on first use.
+  void configure(uint64_t BlockBytes, uint64_t BlocksPerExtent,
+                 uint64_t MaxExtents) {
+    assert(ExtentCount.load(std::memory_order_relaxed) == 0 &&
+           "configure after extents were added");
+    assert(std::has_single_bit(BlockBytes) &&
+           std::has_single_bit(BlocksPerExtent) &&
+           "class geometry must be a power of two");
+    assert(MaxExtents > 0 && "need room for at least one extent");
+    this->BlockBytes = BlockBytes;
+    PerExtent = BlocksPerExtent;
+    this->MaxExtents = MaxExtents;
+    BlockShift = static_cast<unsigned>(std::countr_zero(BlockBytes));
+    PerExtentShift = static_cast<unsigned>(std::countr_zero(BlocksPerExtent));
+  }
+
+  /// True when no block is free.  Acquire: pairs with push()'s release
+  /// increment, so a true->false transition makes the pushed bit visible
+  /// to the subsequent pop() scan.
+  bool empty() const {
+    return FreeCount.load(std::memory_order_acquire) == 0;
+  }
+
+  uint64_t freeCount() const {
+    return FreeCount.load(std::memory_order_acquire);
+  }
+
+  uint64_t blockCount() const {
+    return ExtentCount.load(std::memory_order_acquire) << PerExtentShift;
+  }
+
+  uint64_t extentCount() const {
+    return ExtentCount.load(std::memory_order_acquire);
+  }
+
+  /// Registers a freshly carved extent at \p Base; all of its blocks start
+  /// free.  Owner thread only; bases must arrive in increasing address
+  /// order (the simulated heap only grows).
+  void addExtent(uint64_t Base) {
+    assert(PerExtent != 0 && "configure() not called");
+    uint64_t Extent = ExtentCount.load(std::memory_order_relaxed);
+    assert(Extent < MaxExtents && "size class exceeded MaxExtents");
+    std::atomic<uint64_t> *W = Words.load(std::memory_order_relaxed);
+    if (!W) {
+      // First extent: allocate the full zero-initialized word array and
+      // the extent-base table, then publish.  Remote pushers acquire-load
+      // the pointer; the bases they binary-search are covered by the same
+      // release (written before the store below).
+      uint64_t WordCapacity = ((MaxExtents << PerExtentShift) + 63) / 64;
+      WordStore.reset(new std::atomic<uint64_t>[WordCapacity]());
+      BaseStore.reset(new uint64_t[MaxExtents]());
+      W = WordStore.get();
+      BaseStore[0] = Base;
+      Words.store(W, std::memory_order_release);
+    } else {
+      assert(BaseStore[Extent - 1] < Base &&
+             "extents must arrive in address order");
+      BaseStore[Extent] = Base;
+    }
+    uint64_t First = Extent << PerExtentShift;
+    uint64_t Last = First + PerExtent; // Exclusive.
+    // Set the extent's bits.  Sub-word extents (block >= page) share words
+    // with neighbouring extents, so fetch_or rather than plain stores;
+    // remote pushers may be flipping other bits of the same word.
+    for (uint64_t Bit = First; Bit < Last;) {
+      uint64_t WordIndex = Bit >> 6;
+      unsigned Low = static_cast<unsigned>(Bit & 63);
+      uint64_t Span = std::min<uint64_t>(64 - Low, Last - Bit);
+      uint64_t Mask = Span == 64 ? ~uint64_t(0)
+                                 : (((uint64_t(1) << Span) - 1) << Low);
+      W[WordIndex].fetch_or(Mask, std::memory_order_relaxed);
+      Bit += Span;
+    }
+    // Publish the extent before the count: a remote bitFor() that sees
+    // ExtentCount == Extent + 1 (acquire) must see BaseStore[Extent].
+    ExtentCount.store(Extent + 1, std::memory_order_release);
+    cursorMin(First >> 6);
+    FreeCount.fetch_add(PerExtent, std::memory_order_release);
+  }
+
+  /// Claims and returns the lowest free address the scan finds.  Owner
+  /// thread only; precondition: !empty() (the acquire there makes the
+  /// corresponding bit visible).  \p CasRetries accumulates lost CAS races
+  /// against concurrent remote pushes into the same word.
+  uint64_t pop(uint64_t &CasRetries) {
+    assert(FreeCount.load(std::memory_order_relaxed) != 0 &&
+           "pop from an empty class");
+    std::atomic<uint64_t> *W = Words.load(std::memory_order_relaxed);
+    uint64_t WordCount = (blockCount() + 63) / 64;
+    uint64_t Index = Cursor.load(std::memory_order_relaxed);
+    for (;;) {
+      if (Index >= WordCount) {
+        // Stale cursor: a remote push landed below it.  Restart; the
+        // FreeCount precondition guarantees a set bit exists.
+        Index = 0;
+        continue;
+      }
+      uint64_t Word = W[Index].load(std::memory_order_acquire);
+      if (Word == 0) {
+        ++Index;
+        continue;
+      }
+      unsigned BitInWord = static_cast<unsigned>(std::countr_zero(Word));
+      if (W[Index].compare_exchange_weak(Word, Word & (Word - 1),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        FreeCount.fetch_sub(1, std::memory_order_relaxed);
+        // Heuristic cursor advance; remote pushes CAS-min it back down.
+        Cursor.store(Index, std::memory_order_relaxed);
+        uint64_t Bit = (Index << 6) | BitInWord;
+        return BaseStore[Bit >> PerExtentShift] +
+               ((Bit & (PerExtent - 1)) << BlockShift);
+      }
+      // Lost the word to a concurrent remote push (only pushes mutate
+      // words besides the owner); the reloaded value has at least as many
+      // set bits, so retry the same word.
+      ++CasRetries;
+    }
+  }
+
+  /// Releases \p Addr, which must be a block of this class.  Any thread.
+  void push(uint64_t Addr) {
+    uint64_t Bit = bitFor(Addr);
+    std::atomic<uint64_t> *W = Words.load(std::memory_order_acquire);
+    assert(W && "push before any extent was carved");
+    uint64_t Prev =
+        W[Bit >> 6].fetch_or(uint64_t(1) << (Bit & 63),
+                             std::memory_order_release);
+    (void)Prev;
+    assert(!(Prev & (uint64_t(1) << (Bit & 63))) && "block freed twice");
+    cursorMin(Bit >> 6);
+    // Count after the bit: an owner that observes the count sees the bit.
+    FreeCount.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Invokes \p F with the address of every free block.  Quiescent use
+  /// only (no concurrent pop/push): telemetry span walks at barriers.
+  template <typename FnT> void forEachFree(FnT &&F) const {
+    const std::atomic<uint64_t> *W = Words.load(std::memory_order_acquire);
+    uint64_t Blocks = blockCount();
+    for (uint64_t Bit = 0; Bit < Blocks; ++Bit)
+      if (W[Bit >> 6].load(std::memory_order_relaxed) &
+          (uint64_t(1) << (Bit & 63)))
+        F(BaseStore[Bit >> PerExtentShift] +
+          ((Bit & (PerExtent - 1)) << BlockShift));
+  }
+
+  /// Invokes \p F with the address of every allocated block — the bitmap
+  /// complement of forEachFree.  Quiescent use only.
+  template <typename FnT> void forEachLive(FnT &&F) const {
+    const std::atomic<uint64_t> *W = Words.load(std::memory_order_acquire);
+    uint64_t Blocks = blockCount();
+    for (uint64_t Bit = 0; Bit < Blocks; ++Bit)
+      if (!(W[Bit >> 6].load(std::memory_order_relaxed) &
+            (uint64_t(1) << (Bit & 63))))
+        F(BaseStore[Bit >> PerExtentShift] +
+          ((Bit & (PerExtent - 1)) << BlockShift));
+  }
+
+private:
+  void cursorMin(uint64_t WordIndex) {
+    uint64_t Current = Cursor.load(std::memory_order_relaxed);
+    while (WordIndex < Current &&
+           !Cursor.compare_exchange_weak(Current, WordIndex,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t bitFor(uint64_t Addr) const {
+    // Binary search over the published extent bases.  No one-entry cache
+    // here (BitmapFreeList's is a data race when pushes are concurrent);
+    // extent counts are small and the search is log2 of them.
+    uint64_t Count = ExtentCount.load(std::memory_order_acquire);
+    assert(Count != 0 && "push before any extent was carved");
+    const uint64_t *Bases = BaseStore.get();
+    const uint64_t *End = Bases + Count;
+    const uint64_t *It = std::upper_bound(Bases, End, Addr);
+    assert(It != Bases && "address below every extent");
+    uint64_t Extent = static_cast<uint64_t>(It - Bases) - 1;
+    uint64_t Offset = Addr - Bases[Extent];
+    assert(Offset < (PerExtent << BlockShift) &&
+           (Offset & (BlockBytes - 1)) == 0 &&
+           "address is not a block of this class");
+    return (Extent << PerExtentShift) + (Offset >> BlockShift);
+  }
+
+  uint64_t BlockBytes = 0;
+  uint64_t PerExtent = 0;
+  uint64_t MaxExtents = 0;
+  unsigned BlockShift = 0;
+  unsigned PerExtentShift = 0;
+  /// Owned storage; Words below is the published view of WordStore.
+  std::unique_ptr<std::atomic<uint64_t>[]> WordStore;
+  std::unique_ptr<uint64_t[]> BaseStore;
+  std::atomic<std::atomic<uint64_t> *> Words{nullptr};
+  std::atomic<uint64_t> ExtentCount{0};
+  std::atomic<uint64_t> FreeCount{0};
+  std::atomic<uint64_t> Cursor{0}; ///< Scan hint: lowest word to try first.
+};
+
+} // namespace lifepred
+
+#endif // LIFEPRED_SUPPORT_ATOMICBITMAPFREELIST_H

@@ -24,6 +24,14 @@ bool lifepred::isTimingMetric(std::string_view Key) {
          Key.find("latency") != std::string_view::npos;
 }
 
+bool lifepred::isContentionMetric(std::string_view Key) {
+  return Key.find("contention") != std::string_view::npos ||
+         Key.find("cas_retries") != std::string_view::npos ||
+         Key.find("queue_depth") != std::string_view::npos ||
+         Key.find("drain_depth") != std::string_view::npos ||
+         Key.find("imbalance") != std::string_view::npos;
+}
+
 bool lifepred::globMatch(std::string_view Pattern, std::string_view Text) {
   // Iterative matcher with single-star backtracking: on mismatch, retry
   // from the most recent '*' with one more character consumed.  Linear in
@@ -176,7 +184,9 @@ DiffResult lifepred::diffReports(const JsonValue &Old, const JsonValue &New,
       Result.MissingInNew.push_back(Key);
       continue;
     }
-    bool Timing = isTimingMetric(Key);
+    // Contention metrics share the timing class: both measure the run,
+    // not the allocator, so both default to not-compared.
+    bool Timing = isTimingMetric(Key) || isContentionMetric(Key);
     double Tolerance =
         Timing ? Options.TimeTolerance : Options.ValueTolerance;
     if (Tolerance < 0.0)
@@ -220,8 +230,8 @@ int usage() {
                "[--history-dir=DIR]\n"
                "  --tol=R       relative tolerance for value metrics "
                "(default 1e-9)\n"
-               "  --time-tol=R  relative tolerance for timing metrics "
-               "(default: not compared)\n"
+               "  --time-tol=R  relative tolerance for timing and "
+               "contention metrics (default: not compared)\n"
                "  --ignore=GLOB exclude matching metric keys from the diff "
                "('*' any run, '?' one char); repeatable\n"
                "  --append-history   append the report's manifest and "

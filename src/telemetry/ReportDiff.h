@@ -73,6 +73,13 @@ struct DiffResult {
 /// "seconds", "per_sec", "speedup", "latency").
 bool isTimingMetric(std::string_view Key);
 
+/// True for contention metrics of the concurrent serving engine (matched
+/// by key: "contention", "cas_retries", "queue_depth", "drain_depth",
+/// "imbalance").  These measure thread interleaving, not allocator
+/// behaviour, so they share the timing class: ignored by default, opt-in
+/// via --time-tol.
+bool isContentionMetric(std::string_view Key);
+
 /// Shell-style glob match over the whole of \p Text: '*' matches any run
 /// (including empty), '?' matches exactly one character, everything else
 /// (dots included) matches literally.
