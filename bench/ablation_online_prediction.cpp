@@ -1,0 +1,224 @@
+//===- bench/ablation_online_prediction.cpp - Online vs static routing -----===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+// Extension beyond the paper: the paper's predictor is trained once and
+// frozen; this ablation measures what *online adaptation* buys.  Three
+// routing policies replay the same test trace through the same arena
+// allocator:
+//
+//   static — the paper's algorithm: the trained SiteDatabase's verdicts,
+//            compiled to per-record bits (PredictedShortBits).
+//   online — the static database warm-starts an OnlinePredictor; observed
+//            deaths feed a per-site windowed CUSUM, flagged sites retrain
+//            by majority vote and re-route mid-run.  The causal model is
+//            compiled once into a frozen route plan (runtime/Retrainer.h),
+//            so the replay itself stays jobs-invariant.
+//   oracle — perfect routing from the traced lifetimes: the upper bound
+//            any predictor can reach.
+//
+// Reported per workload: routing accuracy against the trained threshold,
+// arena byte fraction, max heap size, and the online model's retrain
+// count and final epoch.  --retrain-out writes the full per-site retrain
+// timeline as JSON (the CI artifact).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/Pipeline.h"
+#include "runtime/Retrainer.h"
+#include "sim/CompiledPrediction.h"
+#include "sim/TraceSimulator.h"
+#include "support/TableFormatter.h"
+
+#include <fstream>
+#include <iostream>
+
+using namespace lifepred;
+
+namespace {
+
+/// One program's three-way results.
+struct Row {
+  RouteScore StaticScore, OnlineScore, OracleScore;
+  ArenaSimResult StaticSim, OnlineSim, OracleSim;
+  OnlineRoutePlan Plan;
+};
+
+/// Per-record oracle routes: short iff the traced lifetime is within the
+/// threshold (never-freed is long).
+std::vector<uint64_t> oracleRouteWords(const AllocationTrace &Trace,
+                                       uint64_t Threshold) {
+  std::vector<uint64_t> Words((Trace.size() + 63) / 64, 0);
+  for (size_t Id = 0; Id < Trace.size(); ++Id)
+    if (Trace.records()[Id].Lifetime <= Threshold)
+      Words[Id >> 6] |= uint64_t(1) << (Id & 63);
+  return Words;
+}
+
+/// Writes every program's retrain timeline as one JSON document.
+bool writeRetrainTimeline(const std::string &Path,
+                          const std::vector<ProgramTraces> &All,
+                          const std::vector<Row> &Rows) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  Out << "{\n  \"programs\": [\n";
+  for (size_t I = 0; I < All.size(); ++I) {
+    const OnlineRoutePlan &Plan = Rows[I].Plan;
+    Out << "    {\n      \"program\": \"" << All[I].Model.Name << "\",\n"
+        << "      \"window_bytes\": " << Plan.WindowBytes << ",\n"
+        << "      \"threshold\": " << Plan.Threshold << ",\n"
+        << "      \"epochs\": " << Plan.Epochs << ",\n"
+        << "      \"sites_seen\": " << Plan.SitesSeen << ",\n"
+        << "      \"deaths_observed\": " << Plan.DeathsObserved << ",\n"
+        << "      \"retrains\": [\n";
+    for (size_t R = 0; R < Plan.Retrains.size(); ++R) {
+      const RetrainEvent &E = Plan.Retrains[R];
+      Out << "        {\"window\": " << E.Window << ", \"clock\": " << E.Clock
+          << ", \"site\": " << E.Site << ", \"old_route\": "
+          << (E.OldRoute ? "\"short\"" : "\"long\"") << ", \"new_route\": "
+          << (E.NewRoute ? "\"short\"" : "\"long\"")
+          << ", \"window_short_deaths\": " << E.WindowShortDeaths
+          << ", \"window_long_deaths\": " << E.WindowLongDeaths
+          << ", \"gate_ppm\": " << E.GatePpm << ", \"epoch\": " << E.Epoch
+          << "}" << (R + 1 < Plan.Retrains.size() ? "," : "") << "\n";
+    }
+    Out << "      ]\n    }" << (I + 1 < All.size() ? "," : "") << "\n";
+  }
+  Out << "  ]\n}\n";
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  if (!Cl.has("scale"))
+    Options.Scale = 0.25;
+  std::string RetrainOutPath = Cl.getString("retrain-out", "");
+  printBanner("Ablation I",
+              "online adaptive prediction vs the paper's frozen database",
+              Options);
+
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+
+  ThreadPool Pool(Options.Jobs);
+  std::vector<ProgramTraces> All = makeAllTraces(Options, Pool);
+  std::vector<CompiledTrace> Compiled = compileAllTraces(All, Pool, &Policy);
+
+  // One task per (program, policy); all three replay the shared compiled
+  // schedule, and the online route compile pass rides inside its task.
+  std::vector<Row> Rows(All.size());
+  uint64_t Events = 0;
+  for (const ProgramTraces &Traces : All)
+    Events += 3 * replayEventCount(Traces.Test);
+  double Start = wallTimeSeconds();
+  parallelForIndex(Pool, All.size() * 3, [&](size_t Task) {
+    const ProgramTraces &Traces = All[Task / 3];
+    const CompiledTrace &Test = Compiled[Task / 3];
+    Row &R = Rows[Task / 3];
+
+    Profile TrainProfile = profileTrace(Traces.Train, Policy);
+    SiteDatabase DB = trainDatabase(TrainProfile, Policy);
+    switch (Task % 3) {
+    case 0: {
+      PredictedShortBits Bits(Test, DB);
+      R.StaticScore = scoreRoutes(Traces.Test, DB.threshold(),
+                                  [&Bits](uint64_t Id) { return Bits.test(Id); });
+      R.StaticSim = simulateArena(Test, DB, Traces.Model.CallsPerAlloc);
+      break;
+    }
+    case 1: {
+      OnlinePredictorConfig Config;
+      Config.WarmStart = &DB;
+      R.Plan = compileOnlineRoutes(Test, Config);
+      DynamicRouteBits Routes(R.Plan.RouteWords);
+      R.OnlineScore =
+          scoreRoutes(Traces.Test, DB.threshold(),
+                      [&R](uint64_t Id) { return R.Plan.testShort(Id); });
+      R.OnlineSim =
+          simulateArena(Test, DB, Routes, Traces.Model.CallsPerAlloc);
+      break;
+    }
+    case 2: {
+      DynamicRouteBits Routes(
+          oracleRouteWords(Traces.Test, DB.threshold()));
+      R.OracleScore = scoreRoutes(
+          Traces.Test, DB.threshold(),
+          [&Routes](uint64_t Id) { return Routes.test(Id); });
+      R.OracleSim =
+          simulateArena(Test, DB, Routes, Traces.Model.CallsPerAlloc);
+      break;
+    }
+    }
+  });
+  double Wall = wallTimeSeconds() - Start;
+
+  TableFormatter Table({"Program", "Policy", "Acc%", "Arena%", "MaxHeap(K)",
+                        "Retrains", "Epochs"});
+  JsonReport Report("ablation_online_prediction", Options);
+  Report.setThroughput(Events, Wall);
+
+  for (size_t I = 0; I < All.size(); ++I) {
+    const Row &R = Rows[I];
+    std::string Name = All[I].Model.Name;
+
+    struct Line {
+      const char *Policy;
+      const RouteScore *Score;
+      const ArenaSimResult *Sim;
+    };
+    const Line Lines[] = {{"static", &R.StaticScore, &R.StaticSim},
+                          {"online", &R.OnlineScore, &R.OnlineSim},
+                          {"oracle", &R.OracleScore, &R.OracleSim}};
+    bool First = true;
+    for (const Line &L : Lines) {
+      Table.beginRow();
+      Table.addCell(First ? Name : "");
+      Table.addCell(L.Policy);
+      Table.addPercent(L.Score->accuracyPercent(), 2);
+      Table.addPercent(L.Sim->arenaBytesPercent(), 1);
+      Table.addInt(static_cast<int64_t>(L.Sim->MaxHeapBytes / 1024));
+      Table.addCell(L.Policy == Lines[1].Policy
+                        ? std::to_string(R.Plan.Retrains.size())
+                        : "-");
+      Table.addCell(L.Policy == Lines[1].Policy
+                        ? std::to_string(R.Plan.Epochs)
+                        : "-");
+      First = false;
+
+      std::string Prefix = Name + "." + L.Policy;
+      Report.add(Prefix + ".accuracy_pct", L.Score->accuracyPercent());
+      Report.add(Prefix + ".arena_bytes_pct", L.Sim->arenaBytesPercent());
+      Report.add(Prefix + ".max_heap_k",
+                 static_cast<double>(L.Sim->MaxHeapBytes / 1024));
+    }
+    Report.add(Name + ".online.retrains",
+               static_cast<double>(R.Plan.Retrains.size()));
+    Report.add(Name + ".online.epochs", static_cast<double>(R.Plan.Epochs));
+    Report.add(Name + ".online.sites_seen",
+               static_cast<double>(R.Plan.SitesSeen));
+    Report.add(Name + ".online.deaths_observed",
+               static_cast<double>(R.Plan.DeathsObserved));
+  }
+
+  Table.print(std::cout);
+  std::printf("\nReading: the online model never loses to its own warm "
+              "start — frozen verdicts are the floor, and every re-route "
+              "needs sustained CUSUM evidence — and on workloads whose "
+              "phase behaviour the training run under-represents it claws "
+              "back part of the static-to-oracle gap mid-run.  The oracle "
+              "column is the ceiling: the accuracy left on the table is "
+              "what no amount of adaptation at this site granularity can "
+              "recover.\n");
+
+  if (!RetrainOutPath.empty())
+    writeRetrainTimeline(RetrainOutPath, All, Rows);
+  Report.write();
+  return 0;
+}

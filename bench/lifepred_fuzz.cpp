@@ -15,12 +15,25 @@
 ///   lifepred_fuzz --replay=tests/corpus/foo.lptrace
 ///   lifepred_fuzz --emit-corpus=tests/corpus --objects=256
 ///   lifepred_fuzz --runs=24 --json=FUZZ_smoke.json   # CI smoke + gate
+///   lifepred_fuzz --mode=onlinepred --runs=20        # online-route battery
+///
+/// --mode=onlinepred swaps the shadow-heap oracle for the online-
+/// prediction differential battery: every adversarial profile is
+/// self-trained into a database, the warm-started online model is
+/// compiled over both replay drivers, and the run fails unless (a) the
+/// oracle-path and compiled-path route plans are value-identical, (b) a
+/// frozen model reproduces the static PredictedShortBits bit-for-bit,
+/// and (c) online and static routings both partition the trace's bytes
+/// exactly (arena + general == total on each side).
 ///
 /// Exit status: 0 = no violations, 1 = violations found, 2 = usage error.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "core/Pipeline.h"
+#include "runtime/Retrainer.h"
+#include "sim/CompiledPrediction.h"
 #include "trace/TraceBinaryIO.h"
 #include "verify/Shrinker.h"
 #include "verify/TraceFuzzer.h"
@@ -86,6 +99,85 @@ int emitCorpus(const std::string &Dir, uint64_t Seed, size_t Objects) {
   return 0;
 }
 
+/// One onlinepred-mode case: the online-route differential battery over a
+/// generated adversarial trace.  Returns the number of cross-check
+/// failures after printing each; 0 means the case passed.
+struct OnlineFuzzResult {
+  uint64_t Events = 0;
+  uint64_t Failures = 0;
+};
+
+OnlineFuzzResult runOnlineFuzzCase(FuzzProfile Shape, uint64_t Seed,
+                                   size_t Objects) {
+  OnlineFuzzResult Result;
+  AllocationTrace Trace = generateFuzzTrace(Shape, Seed, Objects);
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  Profile TrainProfile = profileTrace(Trace, Policy);
+  SiteDatabase DB = trainDatabase(TrainProfile, Policy);
+  CompiledTrace Compiled(Trace, Policy);
+  Result.Events = replayEventCount(Trace);
+
+  auto fail = [&](const char *Check, const std::string &Detail) {
+    ++Result.Failures;
+    std::printf("ONLINE VIOLATION profile %s seed %llu [%s]: %s\n",
+                profileName(Shape), static_cast<unsigned long long>(Seed),
+                Check, Detail.c_str());
+  };
+
+  // (a) The causal model compiled over the flat schedule and driven from
+  // the priority-queue oracle must produce the same frozen artifact.
+  OnlinePredictorConfig Config;
+  Config.WarmStart = &DB;
+  OnlineRoutePlan CompiledPlan = compileOnlineRoutes(Compiled, Config);
+  OnlineRoutePlan OraclePlan = replayOnlineRoutesOracle(Trace, Policy, Config);
+  if (!(CompiledPlan == OraclePlan))
+    fail("plan-differential",
+         "oracle-path and compiled-path route plans differ (epochs " +
+             std::to_string(OraclePlan.Epochs) + " vs " +
+             std::to_string(CompiledPlan.Epochs) + ", retrains " +
+             std::to_string(OraclePlan.Retrains.size()) + " vs " +
+             std::to_string(CompiledPlan.Retrains.size()) + ")");
+
+  // (b) Frozen, the warm-started model IS the static predictor.
+  OnlinePredictorConfig Frozen = Config;
+  Frozen.ReactToDrift = false;
+  OnlineRoutePlan FrozenPlan = compileOnlineRoutes(Compiled, Frozen);
+  PredictedShortBits StaticBits(Compiled, DB);
+  for (size_t Id = 0; Id < Trace.size(); ++Id) {
+    if (FrozenPlan.testShort(Id) != StaticBits.test(Id)) {
+      fail("frozen-differential",
+           "record " + std::to_string(Id) +
+               " frozen-online route disagrees with static bits");
+      break;
+    }
+  }
+  if (FrozenPlan.Epochs != 0 || !FrozenPlan.Retrains.empty())
+    fail("frozen-differential", "frozen model retrained anyway");
+
+  // (c) Byte accounting: each routing partitions every allocated byte
+  // between arena and general heap — nothing dropped, nothing doubled.
+  uint64_t OnlineArena = 0, OnlineGeneral = 0;
+  uint64_t StaticArena = 0, StaticGeneral = 0;
+  const std::vector<AllocRecord> &Records = Trace.records();
+  for (size_t Id = 0; Id < Records.size(); ++Id) {
+    uint64_t Size = Records[Id].Size;
+    (CompiledPlan.testShort(Id) ? OnlineArena : OnlineGeneral) += Size;
+    (StaticBits.test(Id) ? StaticArena : StaticGeneral) += Size;
+  }
+  uint64_t Total = Trace.totalBytes();
+  if (OnlineArena + OnlineGeneral != Total)
+    fail("byte-accounting",
+         "online arena " + std::to_string(OnlineArena) + " + general " +
+             std::to_string(OnlineGeneral) + " != total " +
+             std::to_string(Total));
+  if (StaticArena + StaticGeneral != Total)
+    fail("byte-accounting",
+         "static arena " + std::to_string(StaticArena) + " + general " +
+             std::to_string(StaticGeneral) + " != total " +
+             std::to_string(Total));
+  return Result;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -98,6 +190,12 @@ int main(int Argc, char **Argv) {
   bool Minimize = !Cl.has("no-minimize");
   std::string CorpusOut = Cl.getString("corpus-out", "fuzz-repros");
   std::string ProfileArg = Cl.getString("profile", "all");
+  std::string Mode = Cl.getString("mode", "shadow");
+  if (Mode != "shadow" && Mode != "onlinepred") {
+    std::printf("unknown mode '%s' (expected shadow or onlinepred)\n",
+                Mode.c_str());
+    return 2;
+  }
 
   if (Cl.has("replay"))
     return replayFile(Cl.getString("replay", ""));
@@ -118,10 +216,10 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  std::printf("lifepred_fuzz: %zu runs x %zu objects, seed %llu, "
+  std::printf("lifepred_fuzz: %s mode, %zu runs x %zu objects, seed %llu, "
               "%zu profile(s)\n",
-              Runs, Objects, static_cast<unsigned long long>(Seed),
-              Profiles.size());
+              Mode.c_str(), Runs, Objects,
+              static_cast<unsigned long long>(Seed), Profiles.size());
 
   double Start = wallTimeSeconds();
   uint64_t TotalEvents = 0;
@@ -131,6 +229,13 @@ int main(int Argc, char **Argv) {
   for (size_t Run = 0; Run < Runs; ++Run) {
     FuzzProfile Profile = Profiles[Run % Profiles.size()];
     uint64_t CaseSeed = Seed + Run;
+    if (Mode == "onlinepred") {
+      OnlineFuzzResult Online = runOnlineFuzzCase(Profile, CaseSeed, Objects);
+      TotalEvents += Online.Events;
+      EventsByProfile[profileName(Profile)] += Online.Events;
+      TotalViolations += Online.Failures;
+      continue;
+    }
     ShadowReport Report = runFuzzCase(Profile, CaseSeed, Objects);
     TotalEvents += Report.Events;
     EventsByProfile[profileName(Profile)] += Report.Events;

@@ -64,6 +64,18 @@
 //       identical reports at any --jobs.  --json writes a
 //       bench_compare-gateable report, --drift-out an ordered drift JSON,
 //       --trace-out chrome://tracing accuracy/pinned-bytes tracks.
+//   trace_tool retrain <program|all> [--scale=S] [--seed=N] [--jobs=J]
+//                         [--window=B] [--limit=N] [--json=F]
+//                         [--retrain-out=F] [--trace-out=F]
+//       Run the Table 7 workload with the online predictor warm-started
+//       from the trained database: print the applied re-route timeline
+//       (window, byte clock, site, verdict flip, window evidence, CUSUM
+//       gate), per-flipped-site forensics (observed lifetime median,
+//       cumulative death mix, flip count), and the before/after routing
+//       accuracy against the static database.  --json writes a
+//       bench_compare-gateable report, --retrain-out the full timeline
+//       JSON (same shape as the ablation bench's CI artifact),
+//       --trace-out chrome://tracing retrain instant events.
 //
 //===----------------------------------------------------------------------===//
 
@@ -71,6 +83,7 @@
 
 #include "core/GeneratedAllocator.h"
 #include "core/Pipeline.h"
+#include "runtime/Retrainer.h"
 #include "sim/CompiledPrediction.h"
 #include "sim/MultiArenaSimulator.h"
 #include "sim/SimTelemetry.h"
@@ -135,6 +148,12 @@ int usage() {
                "                        [--drift-window=B] "
                "[--drift-shape=memory|stream|batch|shard]\n"
                "                        [--json=F] [--drift-out=F] "
+               "[--trace-out=F]\n"
+               "       trace_tool retrain <program|all> [--scale=S] "
+               "[--seed=N] [--jobs=J]\n"
+               "                          [--window=B] [--limit=N] "
+               "[--json=F]\n"
+               "                          [--retrain-out=F] "
                "[--trace-out=F]\n");
   return 1;
 }
@@ -483,6 +502,159 @@ int runDrift(const CommandLine &Cl, const std::string &Target) {
   return 0;
 }
 
+/// The retrain subcommand: online-prediction forensics.  The warm-started
+/// model is compiled once per program into a frozen route plan (the same
+/// pass every replay shape consumes), and the report shows exactly which
+/// sites the CUSUM flagged, when, on what evidence, and what the applied
+/// re-routes bought against the static database.
+int runRetrain(const CommandLine &Cl, const std::string &Target) {
+  BenchOptions Options = BenchOptions::fromCommandLine(Cl);
+  if (Target != "all")
+    Options.OnlyProgram = Target;
+  long WindowArg = Cl.getInt("window", 0);
+  long LimitArg = Cl.getInt("limit", 20);
+  size_t Limit = LimitArg > 0 ? static_cast<size_t>(LimitArg) : SIZE_MAX;
+
+  SiteKeyPolicy Policy = SiteKeyPolicy::completeChain();
+  ThreadPool Pool(Options.Jobs);
+  std::vector<ProgramTraces> All = makeAllTraces(Options, Pool);
+  if (All.empty()) {
+    std::fprintf(stderr, "error: unknown program '%s'\n", Target.c_str());
+    return 1;
+  }
+
+  std::unique_ptr<TraceEventWriter> TraceWriter = makeTraceWriter(Options);
+  JsonReport Report("retrain", Options);
+
+  struct ProgramResult {
+    OnlineRoutePlan Plan;
+    RouteScore Static, Online;
+  };
+  std::vector<ProgramResult> Results(All.size());
+
+  uint64_t Events = 0;
+  for (const ProgramTraces &Traces : All)
+    Events += replayEventCount(Traces.Test);
+  double Start = wallTimeSeconds();
+  parallelForIndex(Pool, All.size(), [&](size_t Index) {
+    Profile TrainProfile = profileTrace(All[Index].Train, Policy);
+    SiteDatabase DB = trainDatabase(TrainProfile, Policy);
+    CompiledTrace Compiled(All[Index].Test, Policy);
+    OnlinePredictorConfig Config;
+    Config.WarmStart = &DB;
+    if (WindowArg > 0)
+      Config.WindowBytes = static_cast<uint64_t>(WindowArg);
+    ProgramResult &R = Results[Index];
+    R.Plan = compileOnlineRoutes(Compiled, Config);
+    PredictedShortBits Bits(Compiled, DB);
+    R.Static = scoreRoutes(All[Index].Test, DB.threshold(),
+                           [&Bits](uint64_t Id) { return Bits.test(Id); });
+    R.Online =
+        scoreRoutes(All[Index].Test, DB.threshold(),
+                    [&R](uint64_t Id) { return R.Plan.testShort(Id); });
+  });
+  Report.setThroughput(Events, wallTimeSeconds() - Start);
+
+  for (size_t I = 0; I < All.size(); ++I) {
+    const std::string &Name = All[I].Model.Name;
+    const ProgramResult &R = Results[I];
+    const OnlineRoutePlan &Plan = R.Plan;
+
+    std::printf("== %s: %zu retrains across %u epochs (window %llu bytes, "
+                "%llu sites, %llu deaths observed) ==\n",
+                Name.c_str(), Plan.Retrains.size(), Plan.Epochs,
+                static_cast<unsigned long long>(Plan.WindowBytes),
+                static_cast<unsigned long long>(Plan.SitesSeen),
+                static_cast<unsigned long long>(Plan.DeathsObserved));
+    std::printf("  accuracy: static %.2f%% -> online %.2f%%\n",
+                R.Static.accuracyPercent(), R.Online.accuracyPercent());
+
+    size_t Shown = std::min(Plan.Retrains.size(), Limit);
+    for (size_t E = 0; E < Shown; ++E) {
+      const RetrainEvent &Event = Plan.Retrains[E];
+      std::printf("  window %4llu clock %12llu site %20llu %s->%s "
+                  "(win %llu short / %llu long, gate %lld ppm, epoch %u)\n",
+                  static_cast<unsigned long long>(Event.Window),
+                  static_cast<unsigned long long>(Event.Clock),
+                  static_cast<unsigned long long>(Event.Site),
+                  Event.OldRoute ? "short" : "long",
+                  Event.NewRoute ? "short" : "long",
+                  static_cast<unsigned long long>(Event.WindowShortDeaths),
+                  static_cast<unsigned long long>(Event.WindowLongDeaths),
+                  static_cast<long long>(Event.GatePpm), Event.Epoch);
+      if (TraceWriter)
+        TraceWriter->instantAt(Name + ".retrain." + std::to_string(Event.Site),
+                               "retrain", 950 + static_cast<unsigned>(I),
+                               Event.Clock);
+    }
+    if (Shown < Plan.Retrains.size())
+      std::printf("  ... %zu more (raise --limit)\n",
+                  Plan.Retrains.size() - Shown);
+
+    // Per-site forensics for the sites that actually flipped.
+    for (const OnlineSiteSnapshot &Site : Plan.Sites) {
+      if (Site.RouteFlips == 0)
+        continue;
+      std::printf("  site %20llu: %u flips, final %s, %llu short / %llu "
+                  "long deaths, observed median lifetime %llu\n",
+                  static_cast<unsigned long long>(Site.Site), Site.RouteFlips,
+                  Site.Route ? "short" : "long",
+                  static_cast<unsigned long long>(Site.ShortDeaths),
+                  static_cast<unsigned long long>(Site.LongDeaths),
+                  static_cast<unsigned long long>(Site.ObservedQ50));
+    }
+
+    Report.add(Name + ".retrain.count",
+               static_cast<double>(Plan.Retrains.size()));
+    Report.add(Name + ".retrain.epochs", static_cast<double>(Plan.Epochs));
+    Report.add(Name + ".retrain.sites_seen",
+               static_cast<double>(Plan.SitesSeen));
+    Report.add(Name + ".retrain.deaths_observed",
+               static_cast<double>(Plan.DeathsObserved));
+    Report.add(Name + ".retrain.static_accuracy_ppm",
+               static_cast<double>(R.Static.accuracyPpm()));
+    Report.add(Name + ".retrain.online_accuracy_ppm",
+               static_cast<double>(R.Online.accuracyPpm()));
+  }
+  Report.write();
+
+  std::string RetrainOutPath = Cl.getString("retrain-out", "");
+  if (!RetrainOutPath.empty()) {
+    std::ofstream Out(RetrainOutPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write --retrain-out=%s\n",
+                   RetrainOutPath.c_str());
+      return 1;
+    }
+    Out << "{\n  \"programs\": [\n";
+    for (size_t I = 0; I < All.size(); ++I) {
+      const OnlineRoutePlan &Plan = Results[I].Plan;
+      Out << "    {\n      \"program\": \"" << All[I].Model.Name << "\",\n"
+          << "      \"window_bytes\": " << Plan.WindowBytes << ",\n"
+          << "      \"epochs\": " << Plan.Epochs << ",\n"
+          << "      \"retrains\": [\n";
+      for (size_t E = 0; E < Plan.Retrains.size(); ++E) {
+        const RetrainEvent &Event = Plan.Retrains[E];
+        Out << "        {\"window\": " << Event.Window
+            << ", \"clock\": " << Event.Clock << ", \"site\": " << Event.Site
+            << ", \"old_route\": "
+            << (Event.OldRoute ? "\"short\"" : "\"long\"")
+            << ", \"new_route\": "
+            << (Event.NewRoute ? "\"short\"" : "\"long\"")
+            << ", \"gate_ppm\": " << Event.GatePpm
+            << ", \"epoch\": " << Event.Epoch << "}"
+            << (E + 1 < Plan.Retrains.size() ? "," : "") << "\n";
+      }
+      Out << "      ]\n    }" << (I + 1 < All.size() ? "," : "") << "\n";
+    }
+    Out << "  ]\n}\n";
+    std::printf("retrain JSON written to %s\n", RetrainOutPath.c_str());
+  }
+  if (TraceWriter)
+    TraceWriter->close();
+  return 0;
+}
+
 std::optional<AllocationTrace> loadTrace(const std::string &Path);
 
 /// The heatmap subcommand: one replay with every observatory sink
@@ -682,6 +854,12 @@ int main(int Argc, char **Argv) {
     if (Args.size() != 2)
       return usage();
     return runHeatmap(Cl, Args[1]);
+  }
+
+  if (Command == "retrain") {
+    if (Args.size() != 2)
+      return usage();
+    return runRetrain(Cl, Args[1]);
   }
 
   if (Command == "history") {

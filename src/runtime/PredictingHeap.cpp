@@ -7,6 +7,7 @@
 #include "runtime/PredictingHeap.h"
 
 #include "callchain/ShadowStack.h"
+#include "runtime/OnlinePredictor.h"
 #include "support/MathExtras.h"
 #include "telemetry/DriftObservatory.h"
 #include "telemetry/FlightRecorder.h"
@@ -104,27 +105,38 @@ void *PredictingHeap::allocate(size_t Size) {
   CallChain Chain = Policy.Mode == SiteKeyMode::LastN
                         ? Stack.captureLastN(Policy.Length)
                         : Stack.capture();
-  bool Predicted =
-      Database.predictShortLived(Chain, static_cast<uint32_t>(Size));
 
   std::unique_lock<std::mutex> Guard(Lock, std::defer_lock);
   if (Cfg.ThreadSafe)
     Guard.lock();
 
-  if (!Recorder && !DriftLog)
+  if (!Online && !Recorder && !DriftLog) {
+    bool Predicted =
+        Database.predictShortLived(Chain, static_cast<uint32_t>(Size));
     return allocateImpl(Size, Predicted);
+  }
 
-  // Audit path: the byte clock advances by the payload before the
+  // Instrumented path: the byte clock advances by the payload before the
   // allocation (matching the simulator's "clock after alloc" convention),
   // so pin/reset callbacks fired from the reset scan carry this event's
-  // clock.
+  // clock, and the online predictor's retrain windows close on exactly
+  // the clocks a replay of the same run would close them on.
   ByteClock += Size;
+  SiteKey Key = siteKey(Policy, Chain, static_cast<uint32_t>(Size));
+  bool Predicted;
+  if (Online) {
+    Online->advanceClock(ByteClock);
+    Predicted = Online->routeShort(Key);
+  } else {
+    Predicted = Database.contains(Key);
+  }
   if (Recorder)
     Recorder->beginEvent(ByteClock);
   void *Ptr = allocateImpl(Size, Predicted);
-  recordBirth(Ptr, Size, Predicted,
-              static_cast<uint32_t>(siteKey(Policy, Chain,
-                                            static_cast<uint32_t>(Size))));
+  if (Online)
+    OnlineLive[Ptr] = OnlineBirth{Key, ByteClock, Predicted};
+  if (Recorder || DriftLog)
+    recordBirth(Ptr, Size, Predicted, static_cast<uint32_t>(Key));
   return Ptr;
 }
 
@@ -144,6 +156,17 @@ void PredictingHeap::attachDriftLog(DriftSampleLog *Log) {
   DriftLog = Log;
 }
 
+void PredictingHeap::attachOnline(OnlinePredictor *Predictor) {
+  std::unique_lock<std::mutex> Guard(Lock, std::defer_lock);
+  if (Cfg.ThreadSafe)
+    Guard.lock();
+  Online = Predictor;
+}
+
+uint32_t PredictingHeap::routeEpoch() const {
+  return Online ? Online->epoch() : 0;
+}
+
 void PredictingHeap::finishRecording() {
   std::unique_lock<std::mutex> Guard(Lock, std::defer_lock);
   if (Cfg.ThreadSafe)
@@ -152,7 +175,10 @@ void PredictingHeap::finishRecording() {
     Recorder->finish(ByteClock);
   if (DriftLog)
     DriftLog->finish(ByteClock);
+  if (Online)
+    Online->finish(ByteClock);
   LiveIds.clear();
+  OnlineLive.clear();
 }
 
 void PredictingHeap::deallocate(void *Ptr) {
@@ -169,6 +195,16 @@ void PredictingHeap::deallocate(void *Ptr) {
       if (DriftLog)
         DriftLog->recordFree(It->second, ByteClock);
       LiveIds.erase(It);
+    }
+  }
+  if (Online) {
+    auto It = OnlineLive.find(Ptr);
+    if (It != OnlineLive.end()) {
+      // Lifetime in bytes allocated since birth — the paper's definition —
+      // fed back under the route the object was actually placed with.
+      Online->observeDeath(It->second.Site, It->second.RoutedShort,
+                           ByteClock - It->second.BirthClock);
+      OnlineLive.erase(It);
     }
   }
   if (isArenaPointer(Ptr)) {

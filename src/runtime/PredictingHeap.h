@@ -32,6 +32,7 @@ namespace lifepred {
 
 class DriftSampleLog;
 class FlightRecorder;
+class OnlinePredictor;
 class StatsRegistry;
 
 /// Profile-driven two-strategy heap.
@@ -109,6 +110,21 @@ public:
   /// nullptr; unattached heaps skip the branch.
   void attachDriftLog(DriftSampleLog *Log);
 
+  /// Attaches an online predictor (runtime/OnlinePredictor.h): allocation
+  /// routing switches from the frozen database probe to the predictor's
+  /// epoch-versioned routing table, every deallocation feeds the observed
+  /// lifetime back, and the heap's byte clock drives the predictor's
+  /// retrain windows — so a drifting live workload re-routes its flagged
+  /// sites mid-run.  Attach before the first allocate(); detach with
+  /// nullptr.  The predictor is *not* internally locked; in ThreadSafe
+  /// mode the heap's own mutex serializes every model call.
+  void attachOnline(OnlinePredictor *Predictor);
+
+  /// The attached predictor's routing-table epoch (0 without one): bumps
+  /// exactly when a retrain window flipped at least one site's route, so
+  /// callers can cheaply detect mid-run re-routing.
+  uint32_t routeEpoch() const;
+
 private:
   struct Arena {
     size_t AllocPtr = 0;
@@ -132,9 +148,17 @@ private:
   /// Audit state; all null/empty (and untouched) without a recorder.
   FlightRecorder *Recorder = nullptr;
   DriftSampleLog *DriftLog = nullptr;
+  OnlinePredictor *Online = nullptr;
   uint64_t ByteClock = 0;
   uint64_t NextId = 0;
   std::unordered_map<const void *, uint64_t> LiveIds;
+  /// Birth facts the online feedback loop needs at deallocate().
+  struct OnlineBirth {
+    SiteKey Site = 0;
+    uint64_t BirthClock = 0;
+    bool RoutedShort = false;
+  };
+  std::unordered_map<const void *, OnlineBirth> OnlineLive;
 };
 
 } // namespace lifepred

@@ -156,7 +156,16 @@ lifepred::simulateMultiArena(const CompiledTrace &Compiled,
                              const ClassDatabase &DB,
                              MultiArenaAllocator::Config Config,
                              SimTelemetry *Telemetry) {
-  std::vector<LifetimeClass> Bands = compileBands(Compiled, DB);
+  return simulateMultiArena(Compiled, DB, compileBands(Compiled, DB), Config,
+                            Telemetry);
+}
+
+MultiArenaSimResult
+lifepred::simulateMultiArena(const CompiledTrace &Compiled,
+                             const ClassDatabase &DB,
+                             const std::vector<LifetimeClass> &Bands,
+                             MultiArenaAllocator::Config Config,
+                             SimTelemetry *Telemetry) {
   MultiArenaAllocator Allocator(Config);
   if (Telemetry && Telemetry->Registry)
     Allocator.attachTelemetry(*Telemetry->Registry, "multiarena.");

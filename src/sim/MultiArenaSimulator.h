@@ -69,6 +69,19 @@ simulateMultiArena(const AllocationTrace &Trace, const ClassDatabase &DB,
                        MultiArenaAllocator::Config(),
                    SimTelemetry *Telemetry = nullptr);
 
+/// Precomputed-bands overload: replays with \p Bands (one LifetimeClass
+/// per record) instead of re-deriving them from \p DB — the banded
+/// dynamic-override lane.  Callers compose compileBands with
+/// overrideBands (sim/CompiledPrediction.h) to fold an online route plan
+/// into the static classification; \p DB still supplies the band
+/// thresholds for outcome telemetry.  \p Bands must cover every record.
+MultiArenaSimResult
+simulateMultiArena(const CompiledTrace &Compiled, const ClassDatabase &DB,
+                   const std::vector<LifetimeClass> &Bands,
+                   MultiArenaAllocator::Config Config =
+                       MultiArenaAllocator::Config(),
+                   SimTelemetry *Telemetry = nullptr);
+
 } // namespace lifepred
 
 #endif // LIFEPRED_SIM_MULTIARENASIMULATOR_H

@@ -1,0 +1,182 @@
+//===- sim/OnlineReplay.cpp - Sharded online-routing replay ----------------===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/OnlineReplay.h"
+
+#include "support/ThreadPool.h"
+#include "telemetry/DriftObservatory.h"
+#include "telemetry/StatsRegistry.h"
+
+#include <memory>
+
+using namespace lifepred;
+
+namespace {
+
+/// One shard's accumulation over the in-memory schedule.
+struct MemoryShard {
+  PredictionCounts Outcomes;
+  uint64_t ArenaAllocs = 0;
+  uint64_t ArenaBytes = 0;
+  uint64_t GeneralAllocs = 0;
+  uint64_t GeneralBytes = 0;
+  uint64_t Events = 0;
+  std::unique_ptr<DriftObservatory> Drift;
+};
+
+} // namespace
+
+OnlineShardedResult lifepred::onlineReplaySharded(
+    const CompiledTrace &Compiled, const DynamicRouteBits &Routes,
+    uint64_t Threshold, ThreadPool &Pool, StatsRegistry *Registry,
+    DriftObservatory *MergedDrift, size_t ShardEvents) {
+  const EventSchedule &Schedule = Compiled.schedule();
+  const AllocRecord *Records = Compiled.trace().records().data();
+  if (ShardEvents == 0)
+    ShardEvents = 1;
+  const size_t ShardCount =
+      Schedule.size() == 0 ? 0 : (Schedule.size() + ShardEvents - 1) / ShardEvents;
+
+  std::vector<MemoryShard> Shards(ShardCount);
+  parallelForIndex(Pool, ShardCount, [&](size_t Index) {
+    MemoryShard &Shard = Shards[Index];
+    if (MergedDrift)
+      Shard.Drift =
+          std::make_unique<DriftObservatory>(MergedDrift->config());
+    const size_t First = Index * ShardEvents;
+    const size_t Last = std::min(First + ShardEvents, Schedule.size());
+    for (size_t Event = First; Event < Last; ++Event) {
+      ++Shard.Events;
+      if (Schedule.isFree(Event))
+        continue;
+      uint32_t Id = Schedule.objectId(Event);
+      const AllocRecord &Record = Records[Id];
+      bool RoutedShort = Routes.test(Id);
+      bool ActuallyShort = Record.Lifetime <= Threshold;
+      Shard.Outcomes.add(RoutedShort, ActuallyShort);
+      if (RoutedShort) {
+        ++Shard.ArenaAllocs;
+        Shard.ArenaBytes += Record.Size;
+      } else {
+        ++Shard.GeneralAllocs;
+        Shard.GeneralBytes += Record.Size;
+      }
+      if (Shard.Drift)
+        Shard.Drift->recordAlloc(Schedule.clock(Event), Record.ChainIndex,
+                                 Record.Size, RoutedShort, Record.Lifetime,
+                                 ActuallyShort);
+    }
+  });
+
+  OnlineShardedResult Result;
+  Result.Shards = ShardCount;
+  // Shard-index-order merge: deterministic by construction, and every
+  // value is a commutative sum, so it equals the sequential fill.
+  for (MemoryShard &Shard : Shards) {
+    Result.Outcomes.TrueShort += Shard.Outcomes.TrueShort;
+    Result.Outcomes.FalseShort += Shard.Outcomes.FalseShort;
+    Result.Outcomes.MissedShort += Shard.Outcomes.MissedShort;
+    Result.Outcomes.TrueLong += Shard.Outcomes.TrueLong;
+    Result.ArenaAllocs += Shard.ArenaAllocs;
+    Result.ArenaBytes += Shard.ArenaBytes;
+    Result.GeneralAllocs += Shard.GeneralAllocs;
+    Result.GeneralBytes += Shard.GeneralBytes;
+    Result.Events += Shard.Events;
+    if (MergedDrift && Shard.Drift)
+      MergedDrift->merge(*Shard.Drift);
+  }
+
+  if (Registry) {
+    Result.Outcomes.exportTelemetry(*Registry, "online.pred.");
+    Registry->counter("online.arena_allocs") += Result.ArenaAllocs;
+    Registry->counter("online.arena_bytes") += Result.ArenaBytes;
+    Registry->counter("online.general_allocs") += Result.GeneralAllocs;
+    Registry->counter("online.general_bytes") += Result.GeneralBytes;
+    Registry->counter("online.events") += Result.Events;
+    Registry->counter("online.shards") += Result.Shards;
+  }
+  return Result;
+}
+
+std::vector<uint64_t>
+lifepred::expandRoutesToEvents(const EventSchedule &Schedule,
+                               const DynamicRouteBits &Routes) {
+  std::vector<uint64_t> Words((Schedule.size() + 63) / 64, 0);
+  for (size_t Event = 0; Event < Schedule.size(); ++Event)
+    if (!Schedule.isFree(Event) && Routes.test(Schedule.objectId(Event)))
+      Words[Event >> 6] |= uint64_t(1) << (Event & 63);
+  return Words;
+}
+
+namespace {
+
+struct FileShard {
+  uint64_t ArenaAllocs = 0;
+  uint64_t ArenaBytes = 0;
+  uint64_t GeneralAllocs = 0;
+  uint64_t GeneralBytes = 0;
+  uint64_t Events = 0;
+};
+
+} // namespace
+
+StreamOnlineResult lifepred::streamReplayOnlineSharded(
+    const ScheduleFile &File, ThreadPool &Pool,
+    const std::vector<uint64_t> &EventRouteWords, StatsRegistry *Registry,
+    uint64_t ChunksPerShard) {
+  if (ChunksPerShard == 0)
+    ChunksPerShard = 1;
+  const uint64_t Chunks = File.chunkCount();
+  const uint64_t ShardCount = (Chunks + ChunksPerShard - 1) / ChunksPerShard;
+
+  std::vector<FileShard> Shards(ShardCount);
+  parallelForIndex(Pool, ShardCount, [&](size_t Index) {
+    FileShard &Shard = Shards[Index];
+    const uint64_t FirstChunk = Index * ChunksPerShard;
+    const uint64_t LastChunk = std::min(FirstChunk + ChunksPerShard, Chunks);
+    for (uint64_t Chunk = FirstChunk; Chunk < LastChunk; ++Chunk) {
+      const ScheduleChunkInfo &Info = File.chunk(Chunk);
+      const ScheduleEvent *Events = File.chunkEvents(Chunk);
+      for (uint64_t I = 0; I < Info.EventCount; ++I) {
+        ++Shard.Events;
+        const ScheduleEvent &Event = Events[I];
+        if (Event.TaggedSlot & EventSchedule::FreeBit)
+          continue;
+        uint64_t Global = Info.FirstEvent + I;
+        bool RoutedShort =
+            (EventRouteWords[Global >> 6] >> (Global & 63)) & 1;
+        if (RoutedShort) {
+          ++Shard.ArenaAllocs;
+          Shard.ArenaBytes += Event.Size;
+        } else {
+          ++Shard.GeneralAllocs;
+          Shard.GeneralBytes += Event.Size;
+        }
+      }
+      File.dropChunk(Chunk);
+    }
+  });
+
+  StreamOnlineResult Result;
+  Result.Shards = ShardCount;
+  for (const FileShard &Shard : Shards) {
+    Result.ArenaAllocs += Shard.ArenaAllocs;
+    Result.ArenaBytes += Shard.ArenaBytes;
+    Result.GeneralAllocs += Shard.GeneralAllocs;
+    Result.GeneralBytes += Shard.GeneralBytes;
+    Result.Events += Shard.Events;
+  }
+
+  if (Registry) {
+    Registry->counter("online.stream.arena_allocs") += Result.ArenaAllocs;
+    Registry->counter("online.stream.arena_bytes") += Result.ArenaBytes;
+    Registry->counter("online.stream.general_allocs") += Result.GeneralAllocs;
+    Registry->counter("online.stream.general_bytes") += Result.GeneralBytes;
+    Registry->counter("online.stream.events") += Result.Events;
+    Registry->counter("online.stream.shards") += Result.Shards;
+  }
+  return Result;
+}

@@ -1,0 +1,111 @@
+//===- sim/OnlineReplay.h - Sharded online-routing replay -------*- C++ -*-===//
+//
+// Part of the lifepred project (Barrett & Zorn, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Jobs-invariant fan-out shapes for online-routed replay.  The online
+/// model itself is sequential (runtime/Retrainer.h compiles it into an
+/// immutable per-record route plan); these shapes consume the frozen plan
+/// in shards of a *fixed* event count, so the partition depends only on
+/// the schedule and the shard width, never on the worker count — the same
+/// discipline as sim/StreamReplay.h's sharded tier.  Shard results merge
+/// in shard index order, making the exported registry byte-identical at
+/// any --jobs.
+///
+/// Two shapes:
+///  * onlineReplaySharded — over the in-memory compiled schedule, scoring
+///    routed-vs-actual outcomes (the trace's lifetimes are at hand) and
+///    optionally filling a DriftObservatory window-wise.
+///  * streamReplayOnlineSharded — over an on-disk ScheduleFile.  Disk
+///    events carry no record identity, but allocation events appear in
+///    record order, so the route plan is first expanded to one bit per
+///    *event* (expandRoutesToEvents) and shards index it by the global
+///    event number their chunk header pins.  This is how the
+///    billion-event StreamReplay tier participates in mid-run re-routing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFEPRED_SIM_ONLINEREPLAY_H
+#define LIFEPRED_SIM_ONLINEREPLAY_H
+
+#include "sim/CompiledPrediction.h"
+#include "sim/SimTelemetry.h"
+#include "trace/CompiledTrace.h"
+#include "trace/ScheduleFile.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lifepred {
+
+class DriftObservatory;
+class StatsRegistry;
+class ThreadPool;
+
+/// Merged result of one sharded online-routed replay.
+struct OnlineShardedResult {
+  PredictionCounts Outcomes; ///< Routed verdict vs actual lifetime.
+  uint64_t ArenaAllocs = 0;  ///< Allocations routed short.
+  uint64_t ArenaBytes = 0;
+  uint64_t GeneralAllocs = 0;
+  uint64_t GeneralBytes = 0;
+  uint64_t Events = 0; ///< Schedule events walked (allocs + frees).
+  uint64_t Shards = 0;
+
+  bool operator==(const OnlineShardedResult &Other) const = default;
+};
+
+/// Default shard width of the online shapes (events per shard); fixed so
+/// the partition is a property of the schedule alone.
+inline constexpr size_t OnlineShardEvents = 64 * 1024;
+
+/// Shards \p Compiled's event schedule across \p Pool, scoring every
+/// allocation's \p Routes verdict against \p Threshold.  A non-null
+/// \p Registry receives the merged totals under "online." ("online.pred."
+/// confusion counters, arena/general alloc+byte routing counters, shard
+/// and event counts).  A non-null \p MergedDrift — its DriftConfig fixes
+/// the window geometry — accumulates every outcome window-wise, merged in
+/// shard index order.  Output is byte-identical at any pool size and
+/// equals a sequential fill (every exported value is a commutative sum).
+OnlineShardedResult onlineReplaySharded(
+    const CompiledTrace &Compiled, const DynamicRouteBits &Routes,
+    uint64_t Threshold, ThreadPool &Pool, StatsRegistry *Registry = nullptr,
+    DriftObservatory *MergedDrift = nullptr,
+    size_t ShardEvents = OnlineShardEvents);
+
+/// Expands a per-record route plan to one bit per schedule *event*: bit
+/// set at event E iff E is an allocation whose record is routed short.
+/// Free events carry a zero bit.  This is the representation the on-disk
+/// tier can index, because a ScheduleFile chunk knows its global first
+/// event but not its records.
+std::vector<uint64_t> expandRoutesToEvents(const EventSchedule &Schedule,
+                                           const DynamicRouteBits &Routes);
+
+/// Result of one on-disk online-routed replay.
+struct StreamOnlineResult {
+  uint64_t ArenaAllocs = 0;
+  uint64_t ArenaBytes = 0;
+  uint64_t GeneralAllocs = 0;
+  uint64_t GeneralBytes = 0;
+  uint64_t Events = 0;
+  uint64_t Shards = 0;
+
+  bool operator==(const StreamOnlineResult &Other) const = default;
+};
+
+/// Shards \p File as runs of \p ChunksPerShard consecutive chunks across
+/// \p Pool, routing each allocation event by \p EventRouteWords (one bit
+/// per global event, from expandRoutesToEvents).  A non-null \p Registry
+/// receives merged totals under "online.stream.".  The partition depends
+/// only on the file and \p ChunksPerShard, so output is identical at any
+/// pool size.
+StreamOnlineResult streamReplayOnlineSharded(
+    const ScheduleFile &File, ThreadPool &Pool,
+    const std::vector<uint64_t> &EventRouteWords,
+    StatsRegistry *Registry = nullptr, uint64_t ChunksPerShard = 1);
+
+} // namespace lifepred
+
+#endif // LIFEPRED_SIM_ONLINEREPLAY_H

@@ -144,10 +144,14 @@ private:
 
 /// Uninstrumented arena replay: the predicted-short verdict is one bit
 /// load, the allocate/free calls are non-virtual, nothing else happens.
-class PlainArenaConsumer : public ScheduleConsumer<PlainArenaConsumer> {
+/// Templated over the bits provider so the static lane
+/// (PredictedShortBits) and the online dynamic-override lane
+/// (DynamicRouteBits) replay through the identical code path.
+template <typename BitsT>
+class PlainArenaConsumer : public ScheduleConsumer<PlainArenaConsumer<BitsT>> {
 public:
   PlainArenaConsumer(ArenaAllocator &Allocator, const AllocationTrace &Trace,
-                     const PredictedShortBits &Predicted)
+                     const BitsT &Predicted)
       : Allocator(Allocator), Records(Trace.records().data()),
         Predicted(Predicted) {
     Addresses.resize(Trace.size());
@@ -165,19 +169,20 @@ public:
 private:
   ArenaAllocator &Allocator;
   const AllocRecord *Records;
-  const PredictedShortBits &Predicted;
+  const BitsT &Predicted;
   std::vector<uint64_t> Addresses;
   uint64_t MaxLive = 0;
 };
 
 /// Instrumented arena replay: prediction outcomes, timeline, recorder.
+template <typename BitsT>
 class InstrumentedArenaConsumer
-    : public ScheduleConsumer<InstrumentedArenaConsumer> {
+    : public ScheduleConsumer<InstrumentedArenaConsumer<BitsT>> {
 public:
   InstrumentedArenaConsumer(ArenaAllocator &Allocator,
                             const AllocationTrace &Trace,
                             const SiteDatabase &DB,
-                            const PredictedShortBits &Predicted,
+                            const BitsT &Predicted,
                             SimTelemetry *Telemetry)
       : Allocator(Allocator), Records(Trace.records().data()), DB(DB),
         Predicted(Predicted), Telemetry(Telemetry),
@@ -241,13 +246,62 @@ private:
   ArenaAllocator &Allocator;
   const AllocRecord *Records;
   const SiteDatabase &DB;
-  const PredictedShortBits &Predicted;
+  const BitsT &Predicted;
   SimTelemetry *Telemetry;
   FlightRecorder *Recorder;
   LatencyRecorder *Latency;
   std::vector<uint64_t> Addresses;
   uint64_t MaxLive = 0;
 };
+
+/// Shared arena replay body: identical allocator calls for either bits
+/// provider, so the static and online lanes differ only in the verdict
+/// each record carries.
+template <typename BitsT>
+ArenaSimResult simulateArenaWith(const CompiledTrace &Compiled,
+                                 const SiteDatabase &DB,
+                                 const BitsT &Predicted, double CallsPerAlloc,
+                                 const CostModel &Costs,
+                                 ArenaAllocator::Config Config,
+                                 SimTelemetry *Telemetry) {
+  ArenaAllocator Allocator(Config);
+  if (Telemetry && Telemetry->Registry)
+    Allocator.attachTelemetry(*Telemetry->Registry, "arena.");
+  if (Telemetry && Telemetry->Recorder) {
+    Telemetry->Recorder->setArenaGeometry(AuditPlacement::DefaultBand,
+                                          Allocator.arenaBytes());
+    Allocator.attachLifecycle(Telemetry->Recorder);
+  }
+  uint64_t MaxLive = 0;
+  if (!Telemetry) {
+    PlainArenaConsumer<BitsT> Consumer(Allocator, Compiled.trace(), Predicted);
+    forEachEvent(Compiled.schedule(), Consumer);
+    MaxLive = Consumer.maxLiveBytes();
+  } else {
+    InstrumentedArenaConsumer<BitsT> Consumer(Allocator, Compiled.trace(), DB,
+                                              Predicted, Telemetry);
+    forEachEvent(Compiled.schedule(), Consumer);
+    MaxLive = Consumer.maxLiveBytes();
+  }
+  if (Telemetry && Telemetry->Registry) {
+    Allocator.exportTelemetry(*Telemetry->Registry, "arena.");
+    Telemetry->Outcomes.exportTelemetry(*Telemetry->Registry, "arena.pred.");
+    raisePeak(Telemetry->Registry->gauge("arena.pred.sites"),
+              Telemetry->PerSite.size());
+    exportObservatory(Telemetry, "arena.");
+  }
+
+  ArenaSimResult Result;
+  Result.MaxHeapBytes = Allocator.maxHeapBytes();
+  Result.MaxLiveBytes = MaxLive;
+  Result.Arena = Allocator.counters();
+  Result.General = Allocator.general().counters();
+  Result.InstrLen4 = Costs.arena(Result.Arena, Result.General,
+                                 /*UseCce=*/false, CallsPerAlloc);
+  Result.InstrCce = Costs.arena(Result.Arena, Result.General,
+                                /*UseCce=*/true, CallsPerAlloc);
+  return Result;
+}
 
 } // namespace
 
@@ -344,43 +398,19 @@ ArenaSimResult lifepred::simulateArena(const CompiledTrace &Compiled,
                                        ArenaAllocator::Config Config,
                                        SimTelemetry *Telemetry) {
   PredictedShortBits Predicted(Compiled, DB);
-  ArenaAllocator Allocator(Config);
-  if (Telemetry && Telemetry->Registry)
-    Allocator.attachTelemetry(*Telemetry->Registry, "arena.");
-  if (Telemetry && Telemetry->Recorder) {
-    Telemetry->Recorder->setArenaGeometry(AuditPlacement::DefaultBand,
-                                          Allocator.arenaBytes());
-    Allocator.attachLifecycle(Telemetry->Recorder);
-  }
-  uint64_t MaxLive = 0;
-  if (!Telemetry) {
-    PlainArenaConsumer Consumer(Allocator, Compiled.trace(), Predicted);
-    forEachEvent(Compiled.schedule(), Consumer);
-    MaxLive = Consumer.maxLiveBytes();
-  } else {
-    InstrumentedArenaConsumer Consumer(Allocator, Compiled.trace(), DB,
-                                       Predicted, Telemetry);
-    forEachEvent(Compiled.schedule(), Consumer);
-    MaxLive = Consumer.maxLiveBytes();
-  }
-  if (Telemetry && Telemetry->Registry) {
-    Allocator.exportTelemetry(*Telemetry->Registry, "arena.");
-    Telemetry->Outcomes.exportTelemetry(*Telemetry->Registry, "arena.pred.");
-    raisePeak(Telemetry->Registry->gauge("arena.pred.sites"),
-              Telemetry->PerSite.size());
-    exportObservatory(Telemetry, "arena.");
-  }
+  return simulateArenaWith(Compiled, DB, Predicted, CallsPerAlloc, Costs,
+                           Config, Telemetry);
+}
 
-  ArenaSimResult Result;
-  Result.MaxHeapBytes = Allocator.maxHeapBytes();
-  Result.MaxLiveBytes = MaxLive;
-  Result.Arena = Allocator.counters();
-  Result.General = Allocator.general().counters();
-  Result.InstrLen4 = Costs.arena(Result.Arena, Result.General,
-                                 /*UseCce=*/false, CallsPerAlloc);
-  Result.InstrCce = Costs.arena(Result.Arena, Result.General,
-                                /*UseCce=*/true, CallsPerAlloc);
-  return Result;
+ArenaSimResult lifepred::simulateArena(const CompiledTrace &Compiled,
+                                       const SiteDatabase &DB,
+                                       const DynamicRouteBits &Routes,
+                                       double CallsPerAlloc,
+                                       const CostModel &Costs,
+                                       ArenaAllocator::Config Config,
+                                       SimTelemetry *Telemetry) {
+  return simulateArenaWith(Compiled, DB, Routes, CallsPerAlloc, Costs,
+                           Config, Telemetry);
 }
 
 ArenaSimResult lifepred::simulateArena(const AllocationTrace &Trace,

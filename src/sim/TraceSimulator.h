@@ -40,6 +40,7 @@
 
 namespace lifepred {
 
+class DynamicRouteBits;
 struct Profile;
 struct SimTelemetry;
 
@@ -135,6 +136,20 @@ ArenaSimResult simulateArena(const CompiledTrace &Compiled,
 /// simulates.
 ArenaSimResult simulateArena(const AllocationTrace &Trace,
                              const SiteDatabase &DB, double CallsPerAlloc,
+                             const CostModel &Costs = {},
+                             ArenaAllocator::Config Config = ArenaAllocator::Config(),
+                             SimTelemetry *Telemetry = nullptr);
+
+/// Online-routing overload: replays with \p Routes — the dynamic-override
+/// lane (sim/CompiledPrediction.h), typically wrapping an OnlineRoutePlan
+/// from runtime/Retrainer.h — deciding each record's arena/general
+/// placement instead of the static database probe.  \p DB still supplies
+/// the classification threshold for the prediction-outcome telemetry, so
+/// static and online runs score against the same ground truth.
+ArenaSimResult simulateArena(const CompiledTrace &Compiled,
+                             const SiteDatabase &DB,
+                             const DynamicRouteBits &Routes,
+                             double CallsPerAlloc,
                              const CostModel &Costs = {},
                              ArenaAllocator::Config Config = ArenaAllocator::Config(),
                              SimTelemetry *Telemetry = nullptr);

@@ -32,6 +32,11 @@ bool lifepred::isContentionMetric(std::string_view Key) {
          Key.find("imbalance") != std::string_view::npos;
 }
 
+bool lifepred::isOnlineMetric(std::string_view Key) {
+  return Key.find("online.") != std::string_view::npos ||
+         Key.find("retrain.") != std::string_view::npos;
+}
+
 bool lifepred::globMatch(std::string_view Pattern, std::string_view Text) {
   // Iterative matcher with single-star backtracking: on mismatch, retry
   // from the most recent '*' with one more character consumed.  Linear in
@@ -185,8 +190,12 @@ DiffResult lifepred::diffReports(const JsonValue &Old, const JsonValue &New,
       continue;
     }
     // Contention metrics share the timing class: both measure the run,
-    // not the allocator, so both default to not-compared.
-    bool Timing = isTimingMetric(Key) || isContentionMetric(Key);
+    // not the allocator, so both default to not-compared.  Online-
+    // prediction metrics are deterministic by contract, so they stay in
+    // the strictly-gated value class unless the key itself is a timing
+    // measurement (latency, seconds, per_sec).
+    bool Timing = isTimingMetric(Key) ||
+                  (!isOnlineMetric(Key) && isContentionMetric(Key));
     double Tolerance =
         Timing ? Options.TimeTolerance : Options.ValueTolerance;
     if (Tolerance < 0.0)

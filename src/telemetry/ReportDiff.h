@@ -80,6 +80,15 @@ bool isTimingMetric(std::string_view Key);
 /// via --time-tol.
 bool isContentionMetric(std::string_view Key);
 
+/// True for online-prediction metrics (key contains "online." or
+/// "retrain.").  The online model is deterministic by contract — its
+/// route plans, retrain counts, and epochs are pure functions of the
+/// event stream — so these keys are gated at the strict value tolerance
+/// even when they would otherwise match a contention substring (e.g. a
+/// future "online.queue_depth").  Timing keys inside the family
+/// ("*.latency*", "*seconds*", "*per_sec*") still classify as timing.
+bool isOnlineMetric(std::string_view Key);
+
 /// Shell-style glob match over the whole of \p Text: '*' matches any run
 /// (including empty), '?' matches exactly one character, everything else
 /// (dots included) matches literally.

@@ -8,6 +8,7 @@
 
 #include "core/Profiler.h"
 #include "core/Trainer.h"
+#include "runtime/Retrainer.h"
 #include "sim/CompiledPrediction.h"
 #include "trace/CompiledTrace.h"
 #include "trace/TraceReplayer.h"
@@ -243,6 +244,126 @@ ShadowReport lifepred::shadowCheckArena(const AllocationTrace &Trace,
   return reportFrom(Log, Events);
 }
 
+namespace {
+
+/// Oracle-path online driver: a live predictor routes each allocation at
+/// its birth clock and sees each death as it happens — the causal loop the
+/// route compile pass (runtime/Retrainer.h) replays sequentially.
+class OnlineOracleDriver : public TraceConsumer {
+public:
+  OnlineOracleDriver(const AllocationTrace &Trace, const SiteKeyPolicy &Policy,
+                     OnlinePredictor &Online, ArenaAllocator &Allocator,
+                     ShadowArena &Shadow)
+      : Trace(Trace), Policy(Policy), Online(Online), Allocator(Allocator),
+        Shadow(Shadow) {
+    Addresses.resize(Trace.size());
+    Keys.resize(Trace.size());
+    Routes.resize(Trace.size());
+  }
+
+  void onAlloc(uint64_t Id, const AllocRecord &Record,
+               uint64_t Clock) override {
+    Online.advanceClock(Clock);
+    SiteKey Key = siteKey(Policy, Trace.chain(Record.ChainIndex), Record.Size,
+                          Record.TypeId);
+    bool Route = Online.routeShort(Key);
+    Keys[Id] = Key;
+    Routes[Id] = Route;
+    Addresses[Id] = Allocator.allocate(Record.Size, Route);
+    Shadow.onAlloc(Record.Size, Route, Addresses[Id]);
+    ++Events;
+  }
+
+  void onFree(uint64_t Id, const AllocRecord &Record,
+              uint64_t Clock) override {
+    Online.advanceClock(Clock);
+    // Feed back the route the object was *born* under, so misprediction
+    // evidence scores what the allocator actually did.
+    Online.observeDeath(Keys[Id], Routes[Id] != 0, Record.Lifetime);
+    Allocator.free(Addresses[Id]);
+    Shadow.onFree(Addresses[Id]);
+    ++Events;
+  }
+
+  void onEnd(uint64_t Clock) override { Online.finish(Clock); }
+
+  uint64_t events() const { return Events; }
+  bool routedShort(uint64_t Id) const { return Routes[Id] != 0; }
+
+private:
+  const AllocationTrace &Trace;
+  const SiteKeyPolicy &Policy;
+  OnlinePredictor &Online;
+  ArenaAllocator &Allocator;
+  ShadowArena &Shadow;
+  std::vector<uint64_t> Addresses;
+  std::vector<SiteKey> Keys;
+  std::vector<unsigned char> Routes;
+  uint64_t Events = 0;
+};
+
+} // namespace
+
+ShadowReport lifepred::shadowCheckArenaOnline(const AllocationTrace &Trace,
+                                              const SiteDatabase &DB,
+                                              OnlinePredictorConfig OnlineConfig,
+                                              ArenaAllocator::Config Config,
+                                              ReplayPath Path) {
+  // Resolve the window width once so the live predictor and the compiled
+  // plan close retrain windows on the same clocks.
+  OnlineConfig.WindowBytes =
+      resolveOnlineWindowBytes(OnlineConfig, Trace.totalBytes());
+  CompiledTrace Compiled(Trace, DB.policy());
+  OnlineRoutePlan Plan = compileOnlineRoutes(Compiled, OnlineConfig);
+
+  ArenaAllocator Allocator(Config);
+  ViolationLog Log;
+  ShadowArena Shadow(Allocator, Log);
+
+  if (Path == ReplayPath::Oracle) {
+    OnlinePredictor Online(OnlineConfig);
+    OnlineOracleDriver Driver(Trace, DB.policy(), Online, Allocator, Shadow);
+    replayTrace(Trace, Driver);
+    Shadow.finish();
+    ShadowReport Report = reportFrom(Log, Driver.events());
+    // Routes must be a pure function of the event stream: the live causal
+    // run and the sequential route compile pass agree on every birth.
+    for (size_t Id = 0; Id < Trace.size(); ++Id) {
+      if (Driver.routedShort(Id) == Plan.testShort(Id))
+        continue;
+      ++Report.ViolationCount;
+      if (Report.Violations.size() < 32)
+        Report.Violations.push_back(
+            {Id, "online-route-differential",
+             "live oracle route disagrees with the compiled plan at record " +
+                 std::to_string(Id)});
+    }
+    if (Online.epoch() != Plan.Epochs) {
+      ++Report.ViolationCount;
+      if (Report.Violations.size() < 32)
+        Report.Violations.push_back(
+            {Trace.size(), "online-route-differential",
+             "live oracle epoch " + std::to_string(Online.epoch()) +
+                 " != compiled plan epoch " + std::to_string(Plan.Epochs)});
+    }
+    return Report;
+  }
+
+  DynamicRouteBits Routes(Plan.RouteWords);
+  auto Route = [&Routes](ArenaAllocator &A, ShadowArena &S, uint64_t Id,
+                         const AllocRecord &Record) {
+    bool Bit = Routes.test(Id);
+    uint64_t Addr = A.allocate(Record.Size, Bit);
+    S.onAlloc(Record.Size, Bit, Addr);
+    return Addr;
+  };
+  CompiledDriver<ArenaAllocator, ShadowArena, decltype(Route)> Driver(
+      Trace, Allocator, Shadow, Route);
+  forEachEvent(Compiled.schedule(), Driver);
+  Shadow.finish();
+  return reportFrom(Log, Driver.events());
+}
+
 ShadowReport lifepred::shadowCheckMultiArena(const AllocationTrace &Trace,
                                              const ClassDatabase &DB,
                                              ReplayPath Path) {
@@ -401,6 +522,17 @@ ShadowReport lifepred::shadowCheckAll(const AllocationTrace &Trace) {
   Report.merge(shadowCheckArena(Trace, DB, ArenaAllocator::Config(),
                                 ReplayPath::Compiled),
                "arena/compiled");
+
+  OnlinePredictorConfig OnlineConfig;
+  OnlineConfig.WarmStart = &DB;
+  Report.merge(shadowCheckArenaOnline(Trace, DB, OnlineConfig,
+                                      ArenaAllocator::Config(),
+                                      ReplayPath::Oracle),
+               "arena-online/oracle");
+  Report.merge(shadowCheckArenaOnline(Trace, DB, OnlineConfig,
+                                      ArenaAllocator::Config(),
+                                      ReplayPath::Compiled),
+               "arena-online/compiled");
 
   ClassDatabase CDB = trainClassDatabase(Prof, Policy, {4096, 32 * 1024});
   Report.merge(shadowCheckMultiArena(Trace, CDB, ReplayPath::Oracle),

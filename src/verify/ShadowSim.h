@@ -22,6 +22,7 @@
 
 #include "core/LifetimeClassifier.h"
 #include "core/SiteDatabase.h"
+#include "runtime/OnlinePredictor.h"
 #include "verify/ShadowHeap.h"
 
 #include <string>
@@ -73,6 +74,21 @@ ShadowReport shadowCheckBsd(const AllocationTrace &Trace,
 ShadowReport shadowCheckArena(const AllocationTrace &Trace,
                               const SiteDatabase &DB,
                               ArenaAllocator::Config Config, ReplayPath Path);
+
+/// Replays \p Trace through an ArenaAllocator under ShadowArena with
+/// *online* routing.  The oracle path drives a live OnlinePredictor
+/// causally — advanceClock / routeShort at each birth, observeDeath at
+/// each death — and afterwards cross-checks every birth route against the
+/// frozen compileOnlineRoutes plan (the routes-are-a-pure-function-of-the-
+/// event-stream invariant).  The compiled path consumes the frozen plan
+/// through DynamicRouteBits, exactly as the production sharded replays do.
+/// \p OnlineConfig's WindowBytes, when 0, resolves to the trace's
+/// automatic drift-window width on both paths.
+ShadowReport shadowCheckArenaOnline(const AllocationTrace &Trace,
+                                    const SiteDatabase &DB,
+                                    OnlinePredictorConfig OnlineConfig,
+                                    ArenaAllocator::Config Config,
+                                    ReplayPath Path);
 
 /// Replays \p Trace through a MultiArenaAllocator under ShadowMultiArena,
 /// routing by \p DB's band classifications.  The allocator is configured

@@ -612,6 +612,62 @@ TEST(ReportDiffTest, TimingMetricsMatchedByKey) {
   EXPECT_FALSE(isTimingMetric("telemetry.counters.arena.resets"));
 }
 
+TEST(ReportDiffTest, OnlineMetricsMatchedByKey) {
+  EXPECT_TRUE(isOnlineMetric("telemetry.counters.online.arena_bytes"));
+  EXPECT_TRUE(isOnlineMetric("values.GAWK.online.retrains"));
+  EXPECT_TRUE(isOnlineMetric("values.GAWK.retrain.epochs"));
+  EXPECT_FALSE(isOnlineMetric("values.GAWK.static.accuracy_pct"));
+  EXPECT_FALSE(isOnlineMetric("wall_seconds"));
+}
+
+TEST(ReportDiffTest, OnlineKeysAreValueClassEvenUnderContentionNames) {
+  // Online-prediction metrics are deterministic by contract: a drifted
+  // online.* counter is a regression at the strict value tolerance even
+  // when the key would otherwise match a contention substring, while a
+  // latency key inside the family stays in the (default-ignored) timing
+  // class.
+  auto report = [](double Depth, double Latency) {
+    std::ostringstream Out;
+    Out << "{\"schema_version\": 2, \"events\": 10, \"wall_seconds\": 1.0,"
+        << " \"events_per_sec\": 10, \"values\": {},"
+        << " \"telemetry\": {\"counters\": {\"online.queue_depth\": " << Depth
+        << ", \"online.window_latency_p99\": " << Latency
+        << "}, \"gauges\": {}, \"histograms\": {}}}";
+    return Out.str();
+  };
+  JsonValue Old = parsed(report(8, 100));
+  JsonValue DepthDrift = parsed(report(9, 100));
+  DiffResult Result = diffReports(Old, DepthDrift);
+  EXPECT_FALSE(Result.ok());
+  ASSERT_EQ(Result.Drifted.size(), 1u);
+  EXPECT_EQ(Result.Drifted[0].Key, "telemetry.counters.online.queue_depth");
+  EXPECT_FALSE(Result.Drifted[0].Timing);
+
+  // A plain contention key with the same drift is not compared at all.
+  JsonValue OldPlain = parsed(
+      "{\"schema_version\": 2, \"events\": 10, \"wall_seconds\": 1.0,"
+      " \"events_per_sec\": 10, \"values\": {},"
+      " \"telemetry\": {\"counters\": {\"serving.queue_depth\": 8},"
+      " \"gauges\": {}, \"histograms\": {}}}");
+  JsonValue NewPlain = parsed(
+      "{\"schema_version\": 2, \"events\": 10, \"wall_seconds\": 1.0,"
+      " \"events_per_sec\": 10, \"values\": {},"
+      " \"telemetry\": {\"counters\": {\"serving.queue_depth\": 9},"
+      " \"gauges\": {}, \"histograms\": {}}}");
+  EXPECT_TRUE(diffReports(OldPlain, NewPlain).ok());
+
+  // Latency drift inside the online family: timing class, ignored by
+  // default, flagged as Timing when opted in.
+  JsonValue LatencyDrift = parsed(report(8, 200));
+  EXPECT_TRUE(diffReports(Old, LatencyDrift).ok());
+  DiffOptions WithTime;
+  WithTime.TimeTolerance = 0.25;
+  DiffResult Timed = diffReports(Old, LatencyDrift, WithTime);
+  EXPECT_FALSE(Timed.ok());
+  ASSERT_EQ(Timed.Drifted.size(), 1u);
+  EXPECT_TRUE(Timed.Drifted[0].Timing);
+}
+
 TEST(ReportDiffTest, GlobMatchSemantics) {
   // Literals (dots included) match only themselves, over the whole text.
   EXPECT_TRUE(globMatch("abc", "abc"));
